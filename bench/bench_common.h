@@ -1,0 +1,37 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures. Every binary prints the paper's reference values
+// next to the measured ones so EXPERIMENTS.md can be assembled directly
+// from bench output.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/cli.h"
+#include "core/stopwatch.h"
+#include "core/table.h"
+#include "detect/pipeline.h"
+#include "train/pretrained.h"
+#include "video/decoder.h"
+#include "video/trailer.h"
+
+namespace fdet::bench {
+
+inline constexpr const char* kDefaultCacheDir = "fdet_cache";
+
+/// Loads (or trains once and caches) the paper's cascade pair.
+inline train::CascadePair load_cascades(const std::string& cache_dir) {
+  return train::get_or_train_cascades(cache_dir);
+}
+
+/// Banner shared by all bench binaries.
+inline void print_header(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("Reproduction of Oro et al., \"Accelerating Boosting-based\n");
+  std::printf("Face Detection on GPUs\", ICPP 2012 (virtual-GPU simulator).\n");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace fdet::bench

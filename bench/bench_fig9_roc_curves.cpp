@@ -1,0 +1,75 @@
+// Fig. 9: TPR/FP curves for the OpenCV-style feature set and our compact
+// cascade, truncated at 15, 20 and 25 stages, over the synthetic mugshot
+// benchmark (the SCFace + 3000 backgrounds substitute).
+//
+// Reproduced shape: our cascade matches or beats the baseline despite
+// having half the weak classifiers, and both improve with depth (fewer
+// false positives at comparable TPR).
+#include "bench_common.h"
+#include "eval/accuracy.h"
+#include "facegen/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace fdet;
+  int mugshots = 120;
+  int backgrounds = 150;
+  int image_size = 128;
+  std::string cache_dir = bench::kDefaultCacheDir;
+  core::Cli cli("bench_fig9_roc_curves");
+  cli.flag("mugshots", mugshots, "face images in the benchmark");
+  cli.flag("backgrounds", backgrounds, "face-free images");
+  cli.flag("image-size", image_size, "benchmark image side (px)");
+  cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  bench::print_header("Fig. 9", "TPR/FP curves at 15/20/25 stages");
+
+  const train::CascadePair pair = bench::load_cascades(cache_dir);
+  const vgpu::DeviceSpec spec;
+  const facegen::MugshotBenchmark bench_set =
+      facegen::build_mugshot_benchmark(mugshots, backgrounds, image_size, 42);
+
+  for (const int stages : {15, 20, 25}) {
+    std::printf("--- %d stages ---\n", stages);
+    core::Table table({"cascade", "classifiers", "TPR@0FP", "TPR@5FP",
+                       "TPR@20FP", "max TPR", "FP total"});
+    struct Row {
+      const char* name;
+      const haar::Cascade* cascade;
+    };
+    for (const Row& row : {Row{"ours", &pair.ours},
+                           Row{"OpenCV-style", &pair.opencv_like}}) {
+      const haar::Cascade truncated = row.cascade->prefix(stages);
+      detect::PipelineOptions options;
+      options.min_neighbors = 2;  // classic isolated-window pruning
+      const detect::Pipeline pipeline(spec, truncated, options);
+      const eval::BenchmarkRun run =
+          eval::run_mugshot_benchmark(pipeline, bench_set);
+      const auto curve = eval::roc_curve(run.scored, run.total_faces);
+
+      const auto tpr_at_fp = [&curve](int budget) {
+        double best = 0.0;
+        for (const auto& p : curve) {
+          if (p.false_positives <= budget) {
+            best = std::max(best, p.true_positive_rate);
+          }
+        }
+        return best;
+      };
+      const double max_tpr = curve.empty() ? 0.0 : curve.back().true_positive_rate;
+      const int total_fp = curve.empty() ? 0 : curve.back().false_positives;
+      table.add_row({row.name, std::to_string(truncated.classifier_count()),
+                     core::Table::num(tpr_at_fp(0), 3),
+                     core::Table::num(tpr_at_fp(5), 3),
+                     core::Table::num(tpr_at_fp(20), 3),
+                     core::Table::num(max_tpr, 3), std::to_string(total_fp)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("paper: with 15 stages both cascades emit thousands of FPs;\n"
+              "deeper cascades shrink FPs dramatically, and ours generally\n"
+              "outperforms the OpenCV set despite having half the filters.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension bench (paper Sec. VII future work): soft cascade vs the
+// staged cascade. Compares the average number of weak classifiers
+// evaluated per window — the workload that dominates the detection
+// kernel — and the hit rate on held-out synthetic faces.
+#include "bench_common.h"
+#include "detect/soft_cascade.h"
+#include "facegen/dataset.h"
+#include "integral/integral.h"
+
+int main(int argc, char** argv) {
+  using namespace fdet;
+  int calibration_faces = 400;
+  int holdout_faces = 300;
+  int scenes = 4;
+  std::string cache_dir = bench::kDefaultCacheDir;
+  core::Cli cli("bench_softcascade");
+  cli.flag("calibration-faces", calibration_faces, "faces for calibration");
+  cli.flag("holdout-faces", holdout_faces, "held-out faces for hit rate");
+  cli.flag("scenes", scenes, "background scenes for depth measurement");
+  cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  bench::print_header("Extension",
+                      "soft cascade vs staged cascade (paper future work)");
+
+  const train::CascadePair pair = bench::load_cascades(cache_dir);
+
+  // Calibration faces (fresh seed, not the training set).
+  core::Rng rng(20120924);
+  std::vector<integral::IntegralImage> faces;
+  faces.reserve(static_cast<std::size_t>(calibration_faces));
+  for (int i = 0; i < calibration_faces; ++i) {
+    faces.push_back(
+        integral::integral_cpu(facegen::random_training_face(rng).image));
+  }
+  std::vector<const integral::IntegralImage*> face_ptrs;
+  for (const auto& ii : faces) {
+    face_ptrs.push_back(&ii);
+  }
+
+  core::Table table({"cascade", "avg weak evals/window (staged)",
+                     "(soft)", "reduction", "hit staged", "hit soft"});
+  for (const auto& [name, cascade] :
+       {std::pair<const char*, const haar::Cascade*>{"ours", &pair.ours},
+        {"OpenCV-style", &pair.opencv_like}}) {
+    const detect::SoftCascade soft =
+        detect::build_soft_cascade(*cascade, face_ptrs, {.hit_target = 0.985});
+
+    // Average evaluation depth over background scenes.
+    double staged_depth = 0.0;
+    double soft_depth = 0.0;
+    for (int s = 0; s < scenes; ++s) {
+      const auto scene = facegen::render_background(320, 240, rng);
+      const auto ii = integral::integral_cpu(scene);
+      staged_depth += detect::average_depth(*cascade, ii, 2);
+      soft_depth += detect::average_depth(soft, ii, 2);
+    }
+    staged_depth /= scenes;
+    soft_depth /= scenes;
+
+    // Held-out hit rates.
+    core::Rng holdout_rng(777001);
+    int staged_hits = 0;
+    int soft_hits = 0;
+    for (int i = 0; i < holdout_faces; ++i) {
+      const auto face = facegen::random_training_face(holdout_rng);
+      const auto ii = integral::integral_cpu(face.image);
+      staged_hits += cascade->evaluate(ii, 0, 0).accepted;
+      soft_hits += soft.evaluate(ii, 0, 0).accepted;
+    }
+
+    char reduction[32];
+    std::snprintf(reduction, sizeof(reduction), "%.1f%%",
+                  100.0 * (1.0 - soft_depth / staged_depth));
+    table.add_row({name, core::Table::num(staged_depth, 2),
+                   core::Table::num(soft_depth, 2), reduction,
+                   core::Table::num(double(staged_hits) / holdout_faces, 3),
+                   core::Table::num(double(soft_hits) / holdout_faces, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nthe soft cascade rejects at every weak classifier instead\n"
+              "of at stage boundaries, trimming the per-window workload at\n"
+              "matched hit rates (Bourdev & Brandt, the paper's ref [32]).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Table II: average face-detection time per frame (virtual milliseconds)
+// over the ten synthetic trailer presets, for {our cascade, OpenCV-style
+// cascade} x {concurrent, serial kernel execution}. Also reports the
+// profiler-style statistics quoted in the paper's text: branch efficiency
+// (98.9 %), integral-image share (~20 %), cascade-kernel DRAM read
+// throughput range, decode latency and end-to-end throughput (~70 fps).
+#include <map>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fdet;
+  int frames = 4;
+  int width = 1920;
+  int height = 1080;
+  std::string cache_dir = bench::kDefaultCacheDir;
+  core::Cli cli("bench_table2_detection_time");
+  cli.flag("frames", frames, "frames sampled per trailer");
+  cli.flag("width", width, "frame width");
+  cli.flag("height", height, "frame height");
+  cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  bench::print_header("Table II", "average face detection time per frame (ms)");
+
+  const train::CascadePair pair = bench::load_cascades(cache_dir);
+  const vgpu::DeviceSpec spec;
+  detect::PipelineOptions options;  // mode handled by process_dual
+  const detect::Pipeline ours(spec, pair.ours, options);
+  const detect::Pipeline opencv(spec, pair.opencv_like, options);
+
+  // Paper Table II reference values (ms), per trailer:
+  // {ours-conc, ours-serial, ocv-conc, ocv-serial}.
+  const std::map<std::string, std::array<double, 4>> paper = {
+      {"21 Jump Street", {4.17, 8.53, 10.91, 22.12}},
+      {"50/50", {4.91, 10.17, 13.58, 27.86}},
+      {"American Reunion", {4.01, 8.12, 9.98, 20.12}},
+      {"Bad Teacher", {4.8, 9.13, 12.43, 23.37}},
+      {"Friends With Kids", {4.68, 9.11, 12.52, 24.05}},
+      {"One For The Money", {4.17, 8.43, 10.72, 21.40}},
+      {"The Dictator", {4.7, 8.99, 12.55, 22.65}},
+      {"Tim & Eric's Billion Dollar Movie", {4.83, 9.03, 12.56, 22.66}},
+      {"Unicorn City", {4.23, 8.41, 11.03, 20.99}},
+      {"What To Expect When You're Expecting", {4.13, 8.52, 10.43, 20.51}},
+  };
+
+  core::Table table({"Movie Trailer", "Ours Conc", "Ours Serial", "OCV Conc",
+                     "OCV Serial", "(paper: O-C", "O-S", "C-C", "C-S)"});
+
+  vgpu::PerfCounters cascade_totals;
+  double cascade_busy_s = 0.0;
+  double dram_min = 1e30;
+  double dram_max = 0.0;
+  double sum_ours_conc = 0.0;
+  double sum_decode = 0.0;
+  int frames_total = 0;
+  std::array<double, 4> grand{};
+
+  for (video::TrailerSpec spec_t :
+       video::table2_trailers(frames, width, height)) {
+    // Spread the sampled frames over several shots so one pathological
+    // scene cannot dominate a trailer's average.
+    spec_t.shot_frames = std::max(1, frames / 4);
+    const video::SyntheticTrailer trailer(spec_t);
+    const video::MockH264Decoder decoder(trailer);
+    std::array<double, 4> avg{};
+    for (int f = 0; f < frames; ++f) {
+      const video::DecodedFrame frame = decoder.decode(f);
+      const auto [ours_conc, ours_serial] =
+          ours.process_dual(frame.frame.luma());
+      const auto [ocv_conc, ocv_serial] =
+          opencv.process_dual(frame.frame.luma());
+      avg[0] += ours_conc.detect_ms;
+      avg[1] += ours_serial.detect_ms;
+      avg[2] += ocv_conc.detect_ms;
+      avg[3] += ocv_serial.detect_ms;
+      sum_decode += frame.decode_ms;
+      sum_ours_conc += ours_conc.detect_ms;
+      ++frames_total;
+
+      cascade_totals += ours_conc.cascade_counters;
+      for (const auto& record : ours_conc.timeline.records) {
+        if (record.name.rfind("cascade", 0) == 0) {
+          cascade_busy_s += record.busy_s;
+          const double bps =
+              record.counters.dram_read_throughput(record.busy_s);
+          if (bps > 0.0) {
+            dram_min = std::min(dram_min, bps);
+            dram_max = std::max(dram_max, bps);
+          }
+        }
+      }
+    }
+    for (auto& v : avg) {
+      v /= frames;
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      grand[i] += avg[i] / 10.0;
+    }
+    const auto& ref = paper.at(spec_t.title);
+    table.add_row({spec_t.title, core::Table::num(avg[0]),
+                   core::Table::num(avg[1]), core::Table::num(avg[2]),
+                   core::Table::num(avg[3]), core::Table::num(ref[0]),
+                   core::Table::num(ref[1]), core::Table::num(ref[2]),
+                   core::Table::num(ref[3])});
+  }
+  table.print(std::cout);
+
+  std::printf("\n--- aggregate shapes (paper reference in parentheses) ---\n");
+  std::printf("concurrent speedup, our cascade : %.2fx  (paper ~2.0x)\n",
+              grand[1] / grand[0]);
+  std::printf("concurrent speedup, OpenCV-style: %.2fx  (paper ~2.0x)\n",
+              grand[3] / grand[2]);
+  std::printf("our cascade vs OpenCV, concurrent: %.2fx  (paper ~2.5x)\n",
+              grand[2] / grand[0]);
+  std::printf("combined speedup (ocv serial / ours conc): %.2fx  (paper ~5x)\n",
+              grand[3] / grand[0]);
+  std::printf("branch efficiency (ours, cascade kernel): %.1f%%  (paper 98.9%%)\n",
+              100.0 * cascade_totals.branch_efficiency());
+  if (dram_max > 0.0) {
+    std::printf("cascade-kernel DRAM read throughput: %.2f .. %.0f MB/s "
+                "(paper 9.57 .. 532 MB/s)\n",
+                dram_min / 1e6, dram_max / 1e6);
+  }
+  const double avg_decode = sum_decode / frames_total;
+  const double avg_detect = sum_ours_conc / frames_total;
+  std::printf("decode latency: %.1f ms/frame (paper 8-10 ms)\n", avg_decode);
+  std::printf("end-to-end throughput (decode || detect): %.0f fps "
+              "(paper ~70 fps)\n",
+              1000.0 / std::max(avg_decode, avg_detect));
+  return 0;
+}

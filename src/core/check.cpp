@@ -1,0 +1,15 @@
+#include "core/check.h"
+
+namespace fdet::core::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream out;
+  out << "FDET_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace fdet::core::detail

@@ -1,0 +1,56 @@
+// Lightweight runtime checking used across the library.
+//
+// FDET_CHECK is always on (it guards logic errors in library internals and
+// public-API contract violations); it throws fdet::core::CheckError so tests
+// can assert on failures instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fdet::core {
+
+/// Error thrown when a FDET_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+/// Accumulates an optional streamed message for FDET_CHECK.
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace fdet::core
+
+/// Checks `cond`; on failure throws fdet::core::CheckError with the source
+/// location and any streamed message: FDET_CHECK(n > 0) << "n=" << n;
+#define FDET_CHECK(cond)                                              \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::fdet::core::detail::CheckMessage(#cond, __FILE__, __LINE__)

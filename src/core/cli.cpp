@@ -1,0 +1,132 @@
+#include "core/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace fdet::core {
+namespace {
+
+bool parse_int(std::string_view text, int& out) {
+  const auto* end = text.data() + text.size();
+  const auto result = std::from_chars(text.data(), end, out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  // from_chars for double is supported by libstdc++ 11+, but go through
+  // strtod for portability with the exact end-pointer check.
+  std::string owned(text);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || owned.empty()) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_bool(std::string_view text, bool& out) {
+  if (text == "1" || text == "true" || text == "yes" || text.empty()) {
+    out = true;
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Cli::add(std::string name, std::string help, std::string default_repr,
+              std::function<bool(std::string_view)> set) {
+  flags_.push_back(
+      {std::move(name), std::move(help), std::move(default_repr), std::move(set)});
+}
+
+void Cli::flag(std::string name, int& value, std::string help) {
+  add(std::move(name), std::move(help), std::to_string(value),
+      [&value](std::string_view text) { return parse_int(text, value); });
+}
+
+void Cli::flag(std::string name, double& value, std::string help) {
+  add(std::move(name), std::move(help), std::to_string(value),
+      [&value](std::string_view text) { return parse_double(text, value); });
+}
+
+void Cli::flag(std::string name, bool& value, std::string help) {
+  add(std::move(name), std::move(help), value ? "true" : "false",
+      [&value](std::string_view text) { return parse_bool(text, value); });
+}
+
+void Cli::flag(std::string name, std::string& value, std::string help) {
+  add(std::move(name), std::move(help), value,
+      [&value](std::string_view text) {
+        value = std::string(text);
+        return true;
+      });
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      continue;  // owned by google-benchmark
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n%s",
+                   program_.c_str(), argv[i], usage().c_str());
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* match = nullptr;
+    for (auto& flag : flags_) {
+      if (flag.name == name) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag '--%.*s'\n%s", program_.c_str(),
+                   static_cast<int>(name.size()), name.data(), usage().c_str());
+      return false;
+    }
+    if (!has_value && i + 1 < argc && argv[i + 1][0] != '-') {
+      value = argv[++i];
+      has_value = true;
+    }
+    if (!match->set(value)) {
+      std::fprintf(stderr, "%s: bad value for '--%s': '%.*s'\n",
+                   program_.c_str(), match->name.c_str(),
+                   static_cast<int>(value.size()), value.data());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_ << " [flags]\n";
+  for (const auto& flag : flags_) {
+    out << "  --" << flag.name << " (default " << flag.default_repr << ")  "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fdet::core

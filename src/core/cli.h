@@ -1,0 +1,50 @@
+// Tiny declarative flag parser for example/bench binaries.
+//
+//   fdet::core::Cli cli("bench_table2");
+//   int frames = 8;
+//   cli.flag("frames", frames, "frames per trailer");
+//   cli.parse(argc, argv);   // accepts --frames=16 or --frames 16
+//
+// Unknown flags are reported and parse() returns false (callers typically
+// print usage and exit). Flags consumed by google-benchmark (--benchmark_*)
+// are passed through untouched.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdet::core {
+
+class Cli {
+ public:
+  explicit Cli(std::string program) : program_(std::move(program)) {}
+
+  void flag(std::string name, int& value, std::string help);
+  void flag(std::string name, double& value, std::string help);
+  void flag(std::string name, bool& value, std::string help);
+  void flag(std::string name, std::string& value, std::string help);
+
+  /// Parses argv; prints a diagnostic and returns false on unknown flags or
+  /// malformed values. `--help` prints usage and also returns false.
+  bool parse(int argc, char** argv);
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    std::function<bool(std::string_view)> set;
+  };
+
+  void add(std::string name, std::string help, std::string default_repr,
+           std::function<bool(std::string_view)> set);
+
+  std::string program_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace fdet::core

@@ -1,0 +1,52 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace fdet::core {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FDET_CHECK(cells.size() == rows_.front().size())
+      << "row arity " << cells.size() << " vs header " << rows_.front().size();
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::left
+          << std::setw(static_cast<int>(widths[c])) << rows_[r][c];
+    }
+    out << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (const auto w : widths) {
+        total += w;
+      }
+      total += 2 * (widths.size() - 1);
+      out << std::string(total, '-') << "\n";
+    }
+  }
+}
+
+std::string Table::num(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+}  // namespace fdet::core

@@ -1,0 +1,28 @@
+// Plain-text table printer used by the benchmark binaries to emit rows in
+// the same layout as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fdet::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& out) const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double value, int digits = 2);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fdet::core

@@ -1,0 +1,118 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "core/check.h"
+
+namespace fdet::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    FDET_CHECK(!stopping_) << "submit() on a stopping pool";
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  const std::size_t chunks =
+      std::min(n, std::max<std::size_t>(1, thread_count() * 4));
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done;
+
+  std::size_t launched = 0;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    ++launched;
+    remaining.fetch_add(1, std::memory_order_relaxed);
+    submit([&, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done.notify_all();
+      }
+    });
+  }
+  (void)launched;
+
+  std::unique_lock lock(done_mutex);
+  done.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace fdet::core

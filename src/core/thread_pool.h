@@ -1,0 +1,56 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// Used by the host-side stages (synthetic rendering, training loops when
+// OpenMP is not wanted) — the virtual GPU has its own scheduler. The pool
+// follows CP.4 ("think in terms of tasks"): callers submit a range and a
+// chunk body, never raw threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fdet::core {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs body(begin, end) over [0, n) split into roughly 4×threads chunks;
+  /// blocks until complete. Exceptions in chunks propagate (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (lazily constructed, hardware concurrency).
+ThreadPool& default_pool();
+
+}  // namespace fdet::core

@@ -1,0 +1,39 @@
+#include "detect/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace fdet::detect {
+
+double EyePair::inter_eye_distance() const {
+  return std::hypot(right_x - left_x, right_y - left_y);
+}
+
+EyePair Detection::predicted_eyes() const {
+  EyePair eyes;
+  eyes.left_x = box.x + (0.5 - kCanonicalEyeDx) * box.w;
+  eyes.right_x = box.x + (0.5 + kCanonicalEyeDx) * box.w;
+  eyes.left_y = eyes.right_y = box.y + kCanonicalEyeY * box.h;
+  return eyes;
+}
+
+double s_square(const img::Rect& a, const img::Rect& b) {
+  const std::int64_t joined = img::union_area(a, b);
+  if (joined == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(img::intersection_area(a, b)) /
+         static_cast<double>(joined);
+}
+
+double s_eyes(const EyePair& a, const EyePair& b) {
+  const double dle = std::hypot(a.left_x - b.left_x, a.left_y - b.left_y);
+  const double dre = std::hypot(a.right_x - b.right_x, a.right_y - b.right_y);
+  const double denom = std::min(a.inter_eye_distance(), b.inter_eye_distance());
+  FDET_CHECK(denom > 0.0) << "degenerate eye pair";
+  return (dle + dre) / denom;
+}
+
+}  // namespace fdet::detect

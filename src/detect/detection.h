@@ -1,0 +1,42 @@
+// Detection records and the eye-distance overlap metric of paper Sec. VI-B.
+#pragma once
+
+#include <vector>
+
+#include "img/image.h"
+
+namespace fdet::detect {
+
+/// Canonical eye geometry of the 24x24 training window (the facegen model
+/// means): used to predict eye locations from a detection's box, which the
+/// S_eyes metric (eq. (6)) is built on.
+inline constexpr double kCanonicalEyeY = 0.40;
+inline constexpr double kCanonicalEyeDx = 0.17;
+
+struct EyePair {
+  double left_x = 0.0;
+  double left_y = 0.0;
+  double right_x = 0.0;
+  double right_y = 0.0;
+
+  double inter_eye_distance() const;
+};
+
+struct Detection {
+  img::Rect box;
+  float score = 0.0f;   ///< final-stage vote sum (thresholded for Fig. 9)
+  int neighbors = 1;    ///< raw windows merged into this detection
+  int scale_index = 0;  ///< pyramid level that produced it
+
+  /// Eye locations predicted from the box and the canonical geometry.
+  EyePair predicted_eyes() const;
+};
+
+/// Ratio of intersected to joined areas (paper eq. (5)).
+double s_square(const img::Rect& a, const img::Rect& b);
+
+/// Eye-distance score (paper eq. (6)): (d_le + d_re) / min(d1, d2).
+/// Lower is better; 0 means identical eye locations.
+double s_eyes(const EyePair& a, const EyePair& b);
+
+}  // namespace fdet::detect

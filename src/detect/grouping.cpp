@@ -1,0 +1,93 @@
+#include "detect/grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fdet::detect {
+namespace {
+
+int find_root(std::vector<int>& parent, int i) {
+  while (parent[static_cast<std::size_t>(i)] != i) {
+    parent[static_cast<std::size_t>(i)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(i)])];
+    i = parent[static_cast<std::size_t>(i)];
+  }
+  return i;
+}
+
+}  // namespace
+
+std::vector<Detection> group_detections(const std::vector<Detection>& raw,
+                                        double eyes_threshold) {
+  if (raw.empty()) {
+    return {};
+  }
+  const int n = static_cast<int>(raw.size());
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+
+  std::vector<EyePair> eyes;
+  eyes.reserve(static_cast<std::size_t>(n));
+  for (const Detection& d : raw) {
+    eyes.push_back(d.predicted_eyes());
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      // Quick reject on disjoint boxes before the metric.
+      if (img::intersection_area(raw[static_cast<std::size_t>(i)].box,
+                                 raw[static_cast<std::size_t>(j)].box) == 0) {
+        continue;
+      }
+      if (s_eyes(eyes[static_cast<std::size_t>(i)],
+                 eyes[static_cast<std::size_t>(j)]) < eyes_threshold) {
+        const int ri = find_root(parent, i);
+        const int rj = find_root(parent, j);
+        if (ri != rj) {
+          parent[static_cast<std::size_t>(rj)] = ri;
+        }
+      }
+    }
+  }
+
+  struct Accumulator {
+    double x = 0.0, y = 0.0, w = 0.0, h = 0.0;
+    float score = -1e30f;
+    int count = 0;
+    int scale_index = 0;
+  };
+  std::vector<Accumulator> clusters(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int root = find_root(parent, i);
+    Accumulator& acc = clusters[static_cast<std::size_t>(root)];
+    const Detection& d = raw[static_cast<std::size_t>(i)];
+    acc.x += d.box.x;
+    acc.y += d.box.y;
+    acc.w += d.box.w;
+    acc.h += d.box.h;
+    acc.score = std::max(acc.score, d.score);
+    acc.scale_index = std::max(acc.scale_index, d.scale_index);
+    ++acc.count;
+  }
+
+  std::vector<Detection> grouped;
+  for (const Accumulator& acc : clusters) {
+    if (acc.count == 0) {
+      continue;
+    }
+    Detection d;
+    const double inv = 1.0 / acc.count;
+    d.box = img::Rect{static_cast<int>(std::lround(acc.x * inv)),
+                      static_cast<int>(std::lround(acc.y * inv)),
+                      static_cast<int>(std::lround(acc.w * inv)),
+                      static_cast<int>(std::lround(acc.h * inv))};
+    d.score = acc.score;
+    d.neighbors = acc.count;
+    d.scale_index = acc.scale_index;
+    grouped.push_back(d);
+  }
+  return grouped;
+}
+
+}  // namespace fdet::detect

@@ -1,0 +1,19 @@
+// Detection grouping (paper Sec. VI-B): overlapping raw windows are merged
+// by clustering on the S_eyes predicate (< 0.5 means "same face") and
+// averaging each cluster.
+#pragma once
+
+#include <vector>
+
+#include "detect/detection.h"
+
+namespace fdet::detect {
+
+/// Groups raw detections: union-find clustering under
+/// s_eyes(predicted_eyes_i, predicted_eyes_j) < threshold, then per-cluster
+/// averaging of the boxes. The result carries the cluster size in
+/// `neighbors` and the maximum member score.
+std::vector<Detection> group_detections(const std::vector<Detection>& raw,
+                                        double eyes_threshold = 0.5);
+
+}  // namespace fdet::detect

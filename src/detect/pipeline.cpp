@@ -1,0 +1,149 @@
+#include "detect/pipeline.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "integral/gpu.h"
+
+namespace fdet::detect {
+
+double FrameResult::busy_share(const std::string& prefix) const {
+  double matched = 0.0;
+  double total = 0.0;
+  for (const auto& record : timeline.records) {
+    total += record.busy_s;
+    if (record.name.rfind(prefix, 0) == 0) {
+      matched += record.busy_s;
+    }
+  }
+  return total == 0.0 ? 0.0 : matched / total;
+}
+
+Pipeline::Pipeline(const vgpu::DeviceSpec& spec, haar::Cascade cascade,
+                   PipelineOptions options)
+    : spec_(spec), cascade_(std::move(cascade)),
+      bank_(haar::ConstantBank::build(cascade_)), options_(options) {
+  FDET_CHECK(!cascade_.empty()) << "pipeline needs a non-empty cascade";
+  if (options_.kernel.constant_memory) {
+    FDET_CHECK(bank_.fits_constant_memory(
+        static_cast<std::size_t>(spec_.constant_mem_bytes)))
+        << "cascade does not fit the device constant memory ("
+        << bank_.bytes_compressed() << " bytes)";
+  }
+}
+
+Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
+  const img::PyramidPlan plan = img::plan_pyramid(
+      luma.width(), luma.height(), options_.pyramid_step, haar::kWindowSize);
+  const int stage_count = cascade_.stage_count();
+
+  Built built;
+  FrameResult& result = built.base;
+  std::vector<vgpu::Launch>& launches = built.launches;
+  std::vector<CascadeKernelOutput> outputs(plan.levels.size());
+
+  if (options_.run_display) {
+    result.display = luma;
+  }
+
+  for (const img::PyramidLevel& level : plan.levels) {
+    const int stream = level.index;
+    const std::string suffix = "_s" + std::to_string(level.index);
+
+    // Scaling + filtering (level 0 is the native frame: neither applies).
+    img::ImageU8 level_image;
+    if (level.index == 0) {
+      level_image = luma;
+    } else {
+      img::ImageU8 scaled(level.width, level.height);
+      launches.push_back(
+          {scale_kernel(spec_, luma, scaled, "scale" + suffix), stream});
+      img::ImageU8 blurred_h(level.width, level.height);
+      launches.push_back(
+          {filter_kernel(spec_, scaled, blurred_h, /*horizontal=*/true,
+                         "filter_h" + suffix),
+           stream});
+      level_image = img::ImageU8(level.width, level.height);
+      launches.push_back(
+          {filter_kernel(spec_, blurred_h, level_image, /*horizontal=*/false,
+                         "filter_v" + suffix),
+           stream});
+    }
+
+    // Integral image: scan, transpose, scan, transpose.
+    integral::GpuIntegralResult ii = integral::integral_gpu(spec_, level_image);
+    const char* names[4] = {"scan", "transpose", "scan2", "transpose2"};
+    for (std::size_t k = 0; k < ii.launches.size(); ++k) {
+      ii.launches[k].config.name = std::string(names[k]) + suffix;
+      launches.push_back({std::move(ii.launches[k]), stream});
+    }
+
+    // Cascade evaluation.
+    CascadeKernelOutput& out = outputs[static_cast<std::size_t>(level.index)];
+    launches.push_back({cascade_kernel(spec_, bank_, ii.integral, out,
+                                       options_.kernel, "cascade" + suffix),
+                        stream});
+    result.cascade_counters += launches.back().cost.counters;
+
+    if (options_.run_display) {
+      launches.push_back({display_kernel(spec_, out.depth, stage_count,
+                                         level.factor, result.display,
+                                         "display" + suffix),
+                          stream});
+    }
+
+    // Collect statistics and raw detections from the depth map.
+    ScaleStats stats;
+    stats.scale_index = level.index;
+    stats.factor = level.factor;
+    stats.depth_histogram.assign(static_cast<std::size_t>(stage_count) + 1, 0);
+    const auto& depth = out.depth;
+    for (int y = 0; y + haar::kWindowSize <= level.height; ++y) {
+      for (int x = 0; x + haar::kWindowSize <= level.width; ++x) {
+        const std::int32_t d = depth(x, y);
+        ++stats.depth_histogram[static_cast<std::size_t>(d)];
+        if (d == stage_count) {
+          Detection det;
+          det.box = img::Rect{
+              static_cast<int>(std::lround(x * level.factor)),
+              static_cast<int>(std::lround(y * level.factor)),
+              static_cast<int>(std::lround(haar::kWindowSize * level.factor)),
+              static_cast<int>(std::lround(haar::kWindowSize * level.factor))};
+          det.score = out.score(x, y);
+          det.scale_index = level.index;
+          result.raw_detections.push_back(det);
+        }
+      }
+    }
+    result.scales.push_back(std::move(stats));
+  }
+
+  result.detections =
+      group_detections(result.raw_detections, options_.group_eyes_threshold);
+  if (options_.min_neighbors > 1) {
+    std::erase_if(result.detections, [this](const Detection& d) {
+      return d.neighbors < options_.min_neighbors;
+    });
+  }
+  return built;
+}
+
+FrameResult Pipeline::finalize(const Built& built, vgpu::ExecMode mode) const {
+  FrameResult result = built.base;
+  result.timeline = vgpu::schedule(spec_, built.launches, mode);
+  result.detect_ms = result.timeline.makespan_s * 1e3;
+  return result;
+}
+
+FrameResult Pipeline::process(const img::ImageU8& luma) const {
+  return finalize(build(luma), options_.mode);
+}
+
+std::pair<FrameResult, FrameResult> Pipeline::process_dual(
+    const img::ImageU8& luma) const {
+  const Built built = build(luma);
+  return {finalize(built, vgpu::ExecMode::kConcurrent),
+          finalize(built, vgpu::ExecMode::kSerial)};
+}
+
+}  // namespace fdet::detect

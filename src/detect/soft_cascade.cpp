@@ -1,0 +1,135 @@
+#include "detect/soft_cascade.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace fdet::detect {
+
+SoftCascade::Result SoftCascade::evaluate(const integral::IntegralImage& ii,
+                                          int wx, int wy) const {
+  Result result;
+  float sum = 0.0f;
+  for (const Entry& entry : entries) {
+    sum += entry.classifier.vote(entry.classifier.feature.response(ii, wx, wy));
+    ++result.depth;
+    if (sum < entry.rejection_threshold) {
+      result.score = sum;
+      return result;
+    }
+  }
+  result.score = sum;
+  result.accepted = true;
+  return result;
+}
+
+SoftCascade build_soft_cascade(
+    const haar::Cascade& cascade,
+    const std::vector<const integral::IntegralImage*>& calibration_faces,
+    const SoftCascadeOptions& options) {
+  FDET_CHECK(!cascade.empty()) << "cannot soften an empty cascade";
+  FDET_CHECK(!calibration_faces.empty()) << "need calibration faces";
+  FDET_CHECK(options.hit_target > 0.0 && options.hit_target <= 1.0);
+
+  SoftCascade soft;
+  soft.name = cascade.name() + "-soft";
+  for (const haar::Stage& stage : cascade.stages()) {
+    for (const haar::WeakClassifier& wc : stage.classifiers) {
+      soft.entries.push_back({wc, -std::numeric_limits<float>::infinity()});
+    }
+  }
+  const std::size_t total = soft.entries.size();
+
+  // Running-sum traces of every calibration face through the flattened
+  // sequence: traces[i][t] = partial sum of face i after classifier t.
+  const std::size_t faces = calibration_faces.size();
+  std::vector<std::vector<float>> traces(faces);
+  for (std::size_t i = 0; i < faces; ++i) {
+    FDET_CHECK(calibration_faces[i] != nullptr);
+    const integral::IntegralImage& ii = *calibration_faces[i];
+    FDET_CHECK(ii.width() >= haar::kWindowSize &&
+               ii.height() >= haar::kWindowSize);
+    traces[i].resize(total);
+    float sum = 0.0f;
+    for (std::size_t t = 0; t < total; ++t) {
+      const haar::WeakClassifier& wc = soft.entries[t].classifier;
+      sum += wc.vote(wc.feature.response(ii, 0, 0));
+      traces[i][t] = sum;
+    }
+  }
+
+  // Keep the quantile of faces whose *whole trace* stays highest: rank
+  // faces by their final score and protect the top hit_target fraction.
+  // (Bourdev-Brandt calibrate against a target detection-rate vector; the
+  // constant vector is its simplest instance.)
+  std::vector<std::size_t> order(faces);
+  for (std::size_t i = 0; i < faces; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return traces[a].back() > traces[b].back();
+  });
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::floor(options.hit_target * static_cast<double>(faces))));
+
+  for (std::size_t t = 0; t < total; ++t) {
+    float min_sum = std::numeric_limits<float>::infinity();
+    for (std::size_t k = 0; k < keep; ++k) {
+      min_sum = std::min(min_sum, traces[order[k]][t]);
+    }
+    soft.entries[t].rejection_threshold = min_sum - options.margin;
+  }
+
+  // Never accept windows the staged cascade's final gate would reject.
+  const float final_gate = cascade.stages().back().threshold;
+  auto& last = soft.entries.back().rejection_threshold;
+  last = std::max(last, final_gate);
+  return soft;
+}
+
+namespace {
+
+template <typename Evaluator>
+double average_depth_impl(const integral::IntegralImage& ii, int step,
+                          Evaluator&& evaluate) {
+  FDET_CHECK(step >= 1);
+  std::int64_t depth_sum = 0;
+  std::int64_t windows = 0;
+  for (int y = 0; y + haar::kWindowSize <= ii.height(); y += step) {
+    for (int x = 0; x + haar::kWindowSize <= ii.width(); x += step) {
+      depth_sum += evaluate(x, y);
+      ++windows;
+    }
+  }
+  FDET_CHECK(windows > 0) << "image smaller than the detection window";
+  return static_cast<double>(depth_sum) / static_cast<double>(windows);
+}
+
+}  // namespace
+
+double average_depth(const SoftCascade& soft,
+                     const integral::IntegralImage& ii, int step) {
+  return average_depth_impl(ii, step, [&](int x, int y) {
+    return soft.evaluate(ii, x, y).depth;
+  });
+}
+
+double average_depth(const haar::Cascade& staged,
+                     const integral::IntegralImage& ii, int step) {
+  return average_depth_impl(ii, step, [&](int x, int y) {
+    // Weak classifiers evaluated = all classifiers of every stage entered.
+    const haar::CascadeResult r = staged.evaluate(ii, x, y);
+    const int stages_entered = std::min(r.depth + 1, staged.stage_count());
+    std::int64_t evaluated = 0;
+    for (int s = 0; s < stages_entered; ++s) {
+      evaluated += static_cast<std::int64_t>(
+          staged.stages()[static_cast<std::size_t>(s)].classifiers.size());
+    }
+    return evaluated;
+  });
+}
+
+}  // namespace fdet::detect

@@ -1,0 +1,68 @@
+// Soft cascade (Bourdev & Brandt, CVPR 2005) — the paper's stated future
+// work ("further improve the accuracy of our feature set with soft
+// cascades", Sec. VII).
+//
+// A staged cascade only rejects at stage boundaries: a window must pay for
+// a whole stage before it can exit. A soft cascade flattens the weak
+// classifiers into one monotone sequence and attaches a rejection
+// threshold to *every* classifier, calibrated so that (almost) no true
+// face is lost at any prefix. Windows then exit at the earliest possible
+// classifier, which cuts the average number of evaluated weak classifiers
+// per window — the quantity that dominates the detection kernel.
+#pragma once
+
+#include <vector>
+
+#include "haar/cascade.h"
+
+namespace fdet::detect {
+
+struct SoftCascade {
+  struct Entry {
+    haar::WeakClassifier classifier;
+    float rejection_threshold = -1e30f;  ///< reject when running sum < this
+  };
+  std::string name;
+  std::vector<Entry> entries;
+
+  int classifier_count() const { return static_cast<int>(entries.size()); }
+
+  /// Evaluates the window; `depth` = weak classifiers evaluated before
+  /// exit (== entries.size() for accepted windows).
+  struct Result {
+    int depth = 0;
+    float score = 0.0f;
+    bool accepted = false;
+  };
+  Result evaluate(const integral::IntegralImage& ii, int wx, int wy) const;
+};
+
+struct SoftCascadeOptions {
+  /// Fraction of calibration faces that must survive the *entire* soft
+  /// cascade; per-classifier thresholds are the minimum running sum over
+  /// the surviving quantile.
+  double hit_target = 0.98;
+  /// Slack subtracted from each calibrated threshold (guards against
+  /// calibration-set overfitting).
+  float margin = 1e-3f;
+};
+
+/// Flattens a trained staged cascade and calibrates per-classifier
+/// rejection thresholds on a set of positive windows (their integral
+/// images). The final-classifier threshold additionally enforces the
+/// staged cascade's final stage threshold so acceptance never becomes
+/// looser than the original cascade's last gate.
+SoftCascade build_soft_cascade(
+    const haar::Cascade& cascade,
+    const std::vector<const integral::IntegralImage*>& calibration_faces,
+    const SoftCascadeOptions& options = {});
+
+/// Average weak-classifier evaluations per window over an image — the
+/// workload metric the soft cascade improves. Counts every valid window
+/// anchor on a `step` grid.
+double average_depth(const SoftCascade& soft,
+                     const integral::IntegralImage& ii, int step = 1);
+double average_depth(const haar::Cascade& staged,
+                     const integral::IntegralImage& ii, int step = 1);
+
+}  // namespace fdet::detect

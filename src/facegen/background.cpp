@@ -1,0 +1,214 @@
+#include "facegen/background.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace fdet::facegen {
+namespace {
+
+void add_noise(img::ImageU8& im, double sigma, core::Rng& rng) {
+  for (auto& p : im.pixels()) {
+    const double v = static_cast<double>(p) + rng.normal(0.0, sigma);
+    p = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+  }
+}
+
+img::ImageU8 gradient(int w, int h, core::Rng& rng) {
+  img::ImageU8 im(w, h);
+  const double base = rng.uniform(60.0, 180.0);
+  const double gx = rng.uniform(-80.0, 80.0);
+  const double gy = rng.uniform(-80.0, 80.0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v = base + gx * (static_cast<double>(x) / w - 0.5) +
+                       gy * (static_cast<double>(y) / h - 0.5);
+      im(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  add_noise(im, 3.0, rng);
+  return im;
+}
+
+img::ImageU8 blobs(int w, int h, core::Rng& rng) {
+  img::ImageU8 im(w, h);
+  const double base = rng.uniform(70.0, 160.0);
+  im.fill(static_cast<std::uint8_t>(base));
+  const int count = rng.uniform_int(6, 18);
+  struct Blob {
+    double cx, cy, r, amp;
+  };
+  std::vector<Blob> list;
+  list.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    list.push_back({rng.uniform(0.0, w), rng.uniform(0.0, h),
+                    rng.uniform(0.05, 0.35) * std::min(w, h),
+                    rng.uniform(-70.0, 70.0)});
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double v = base;
+      for (const Blob& b : list) {
+        const double d2 =
+            ((x - b.cx) * (x - b.cx) + (y - b.cy) * (y - b.cy)) / (b.r * b.r);
+        v += b.amp * std::exp(-d2);
+      }
+      im(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  add_noise(im, 4.0, rng);
+  return im;
+}
+
+img::ImageU8 stripes(int w, int h, core::Rng& rng) {
+  img::ImageU8 im(w, h);
+  const double base = rng.uniform(70.0, 160.0);
+  // Mild amplitude and longer periods: full-frame high-contrast gratings
+  // resonate with Haar edge features and are not plausible video content.
+  const double amp = rng.uniform(12.0, 36.0);
+  const double period = rng.uniform(10.0, 60.0);
+  const double angle = rng.uniform(0.0, 3.14159);
+  const double kx = std::cos(angle) / period;
+  const double ky = std::sin(angle) / period;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v = base + amp * std::sin(2.0 * 3.14159 * (kx * x + ky * y));
+      im(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  add_noise(im, 4.0, rng);
+  return im;
+}
+
+img::ImageU8 blocks(int w, int h, core::Rng& rng) {
+  img::ImageU8 im(w, h);
+  im.fill(static_cast<std::uint8_t>(rng.uniform(60.0, 140.0)));
+  const int count = rng.uniform_int(8, 24);
+  for (int i = 0; i < count; ++i) {
+    const int bw = rng.uniform_int(w / 16 + 1, w / 3 + 2);
+    const int bh = rng.uniform_int(h / 16 + 1, h / 3 + 2);
+    const int bx = rng.uniform_int(0, std::max(0, w - bw));
+    const int by = rng.uniform_int(0, std::max(0, h - bh));
+    const auto level =
+        static_cast<std::uint8_t>(std::clamp(rng.uniform(30.0, 220.0), 0.0, 255.0));
+    for (int y = by; y < std::min(h, by + bh); ++y) {
+      for (int x = bx; x < std::min(w, bx + bw); ++x) {
+        im(x, y) = level;
+      }
+    }
+  }
+  add_noise(im, 5.0, rng);
+  return im;
+}
+
+/// Face-like distractors: soft oval patches carrying dark dot pairs and a
+/// dark bar — enough eye/mouth structure to pass early cascade stages
+/// occasionally, over a textured base.
+img::ImageU8 clutter(int w, int h, core::Rng& rng) {
+  img::ImageU8 im = blobs(w, h, rng);
+  // Density tuned for training patches; capped so a full 1080p frame gets
+  // a handful of crowd-like distractors, not a wall of them.
+  const int count = std::clamp((w * h) / 25000, 2, 12);
+  for (int i = 0; i < count; ++i) {
+    const int size =
+        rng.uniform_int(16, std::max(18, std::min(64, std::min(w, h) / 3)));
+    const int cx = rng.uniform_int(0, std::max(0, w - size));
+    const int cy = rng.uniform_int(0, std::max(0, h - size));
+    const double patch = rng.uniform(110.0, 210.0);
+    const double dark = rng.uniform(30.0, 110.0);
+    // Deliberately imperfect pseudo-faces: dot rows at uneven heights,
+    // sometimes a missing mouth bar or an extra dot — enough structure to
+    // pass early stages, enough wrongness for deep stages to reject.
+    const int dots = rng.uniform_int(1, 3);
+    const bool has_bar = rng.bernoulli(0.6);
+    double dot_x[3];
+    double dot_y[3];
+    for (int d = 0; d < dots; ++d) {
+      dot_x[d] = rng.uniform(-0.26, 0.26);
+      dot_y[d] = rng.uniform(-0.25, 0.10);
+    }
+    const double bar_y = rng.uniform(0.62, 0.88);
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        const double nx = (x + 0.5) / size - 0.5;
+        const double ny = (y + 0.5) / size - 0.5;
+        if (nx * nx / 0.20 + ny * ny / 0.23 > 1.0) {
+          continue;  // outside the oval
+        }
+        double v = patch;
+        for (int d = 0; d < dots; ++d) {
+          const double dist =
+              (nx - dot_x[d]) * (nx - dot_x[d]) + (ny - dot_y[d]) * (ny - dot_y[d]);
+          if (dist < 0.004) {
+            v = dark;
+          }
+        }
+        if (has_bar && std::abs(ny - (bar_y - 0.5)) < 0.035 &&
+            std::abs(nx) < 0.22) {
+          v = dark;
+        }
+        im(cx + x, cy + y) =
+            static_cast<std::uint8_t>(std::clamp(v + rng.normal(0.0, 6.0),
+                                                 0.0, 255.0));
+      }
+    }
+  }
+  return im;
+}
+
+img::ImageU8 noise_only(int w, int h, core::Rng& rng) {
+  img::ImageU8 im(w, h);
+  const double base = rng.uniform(60.0, 180.0);
+  im.fill(static_cast<std::uint8_t>(base));
+  // Film-grain strength: strong enough to be non-trivial, weak enough that
+  // a whole frame of it does not read as wall-to-wall structure.
+  add_noise(im, rng.uniform(6.0, 16.0), rng);
+  return im;
+}
+
+}  // namespace
+
+img::ImageU8 render_background(BackgroundStyle style, int w, int h,
+                               core::Rng& rng) {
+  FDET_CHECK(w > 0 && h > 0);
+  switch (style) {
+    case BackgroundStyle::kGradient:
+      return gradient(w, h, rng);
+    case BackgroundStyle::kBlobs:
+      return blobs(w, h, rng);
+    case BackgroundStyle::kStripes:
+      return stripes(w, h, rng);
+    case BackgroundStyle::kBlocks:
+      return blocks(w, h, rng);
+    case BackgroundStyle::kNoise:
+      return noise_only(w, h, rng);
+    case BackgroundStyle::kClutter:
+      return clutter(w, h, rng);
+  }
+  FDET_CHECK(false) << "unknown background style";
+  return {};
+}
+
+img::ImageU8 render_background(int w, int h, core::Rng& rng) {
+  const auto style = static_cast<BackgroundStyle>(
+      rng.uniform_int(0, kBackgroundStyleCount - 1));
+  return render_background(style, w, h, rng);
+}
+
+img::ImageU8 random_patch(const img::ImageU8& source, int size,
+                          core::Rng& rng) {
+  FDET_CHECK(source.width() >= size && source.height() >= size)
+      << "patch " << size << " larger than source";
+  const int x = rng.uniform_int(0, source.width() - size);
+  const int y = rng.uniform_int(0, source.height() - size);
+  img::ImageU8 patch(size, size);
+  for (int py = 0; py < size; ++py) {
+    for (int px = 0; px < size; ++px) {
+      patch(px, py) = source(x + px, y + py);
+    }
+  }
+  return patch;
+}
+
+}  // namespace fdet::facegen

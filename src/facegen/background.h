@@ -1,0 +1,39 @@
+// Procedural background textures — negative examples for training and the
+// non-face content of the synthetic movie trailers. Several texture
+// families (smooth gradients, blobs, stripes, buildings, plain noise)
+// stand in for the paper's 3500 background photographs.
+#pragma once
+
+#include "core/rng.h"
+#include "img/image.h"
+
+namespace fdet::facegen {
+
+enum class BackgroundStyle {
+  kGradient = 0,
+  kBlobs = 1,
+  kStripes = 2,
+  kBlocks = 3,   ///< rectangular structures ("buildings"/interiors)
+  kNoise = 4,
+  kClutter = 5,  ///< face-like distractors: oval patches with dark dot
+                 ///< pairs and bars — the hard negatives that give early
+                 ///< cascade stages realistic (non-trivial) pass rates
+};
+inline constexpr int kBackgroundStyleCount = 6;
+
+/// Content version: bump when the synthetic face/background distributions
+/// change, so cached trained cascades are invalidated.
+inline constexpr int kFacegenVersion = 9;
+
+/// Renders a w x h texture of the given style.
+img::ImageU8 render_background(BackgroundStyle style, int w, int h,
+                               core::Rng& rng);
+
+/// Random style.
+img::ImageU8 render_background(int w, int h, core::Rng& rng);
+
+/// Extracts a random square patch of side `size` from `source`.
+img::ImageU8 random_patch(const img::ImageU8& source, int size,
+                          core::Rng& rng);
+
+}  // namespace fdet::facegen

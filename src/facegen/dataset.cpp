@@ -1,0 +1,90 @@
+#include "facegen/dataset.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "img/pyramid.h"
+
+namespace fdet::facegen {
+
+TrainingSet build_training_set(int face_count, int background_count,
+                               int background_size, std::uint64_t seed) {
+  FDET_CHECK(face_count > 0 && background_count > 0 && background_size >= 24);
+  TrainingSet set;
+  set.faces.reserve(static_cast<std::size_t>(face_count));
+  core::Rng face_rng(core::hash_combine(seed, 0xfacef));
+  for (int i = 0; i < face_count; ++i) {
+    set.faces.push_back(random_training_face(face_rng));
+  }
+  // Negative material must span the window statistics seen in deployment:
+  // a 24x24 window over a 1080p frame is often locally smooth, while a
+  // 24x24 crop of a small texture is busy. Alternate between native-scale
+  // textures and zoomed-in (downscaled-from-large) renders so the stage
+  // thresholds generalize to both regimes.
+  set.backgrounds.reserve(static_cast<std::size_t>(background_count));
+  core::Rng bg_rng(core::hash_combine(seed, 0xb6d));
+  for (int i = 0; i < background_count; ++i) {
+    if (i % 2 == 0) {
+      set.backgrounds.push_back(
+          render_background(background_size, background_size, bg_rng));
+    } else {
+      const int zoom = bg_rng.uniform_int(3, 8);
+      const img::ImageU8 large = render_background(
+          background_size * zoom, background_size * zoom, bg_rng);
+      const img::ImageF32 resized = img::resize_bilinear(
+          large.cast<float>(), background_size, background_size);
+      img::ImageU8 smooth(background_size, background_size);
+      for (int y = 0; y < background_size; ++y) {
+        for (int x = 0; x < background_size; ++x) {
+          smooth(x, y) = static_cast<std::uint8_t>(
+              std::clamp(resized(x, y), 0.0f, 255.0f));
+        }
+      }
+      set.backgrounds.push_back(std::move(smooth));
+    }
+  }
+  return set;
+}
+
+MugshotBenchmark build_mugshot_benchmark(int mugshot_count,
+                                         int background_count, int image_size,
+                                         std::uint64_t seed) {
+  FDET_CHECK(mugshot_count > 0 && background_count >= 0 && image_size >= 48);
+  MugshotBenchmark bench;
+  bench.mugshots.reserve(static_cast<std::size_t>(mugshot_count));
+  core::Rng rng(core::hash_combine(seed, 0x3156));
+
+  for (int i = 0; i < mugshot_count; ++i) {
+    Mugshot shot;
+    shot.image = render_background(image_size, image_size, rng);
+
+    // Face size between 40 % and 75 % of the image — mugshot framing.
+    const int face_size = rng.uniform_int(
+        std::max(24, static_cast<int>(image_size * 0.40)),
+        std::max(25, static_cast<int>(image_size * 0.75)));
+    const int fx = rng.uniform_int(0, image_size - face_size);
+    const int fy = rng.uniform_int(0, image_size - face_size);
+
+    const FaceParams params = FaceParams::random(rng);
+    const FaceInstance face = render_face(params, face_size);
+    for (int y = 0; y < face_size; ++y) {
+      for (int x = 0; x < face_size; ++x) {
+        shot.image(fx + x, fy + y) = face.image(x, y);
+      }
+    }
+    shot.face = img::Rect{fx, fy, face_size, face_size};
+    shot.left_eye_x = fx + face.left_eye_x;
+    shot.left_eye_y = fy + face.left_eye_y;
+    shot.right_eye_x = fx + face.right_eye_x;
+    shot.right_eye_y = fy + face.right_eye_y;
+    bench.mugshots.push_back(std::move(shot));
+  }
+
+  bench.backgrounds.reserve(static_cast<std::size_t>(background_count));
+  for (int i = 0; i < background_count; ++i) {
+    bench.backgrounds.push_back(render_background(image_size, image_size, rng));
+  }
+  return bench;
+}
+
+}  // namespace fdet::facegen

@@ -1,0 +1,124 @@
+#include "facegen/face.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace fdet::facegen {
+namespace {
+
+double sq(double v) { return v * v; }
+
+/// Smoothstep falloff for soft-edged shapes: 1 inside, 0 outside, a ~1px
+/// transition band controlled by `softness` (in normalized units).
+double soft_inside(double d, double softness) {
+  // d: signed "distance" with d <= 1 inside (normalized ellipse metric).
+  const double t = std::clamp((1.0 - d) / softness, 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+}  // namespace
+
+FaceParams FaceParams::random(core::Rng& rng) {
+  FaceParams p;
+  p.center_x = rng.uniform(0.44, 0.56);
+  p.center_y = rng.uniform(0.46, 0.58);
+  p.face_rx = rng.uniform(0.30, 0.44);
+  p.face_ry = rng.uniform(0.38, 0.50);
+  p.eye_y = rng.uniform(0.36, 0.44);
+  p.eye_dx = rng.uniform(0.14, 0.20);
+  p.eye_r = rng.uniform(0.045, 0.07);
+  p.brow_offset = rng.uniform(0.07, 0.11);
+  p.nose_w = rng.uniform(0.05, 0.09);
+  p.mouth_y = rng.uniform(0.70, 0.78);
+  p.mouth_w = rng.uniform(0.16, 0.26);
+  p.mouth_h = rng.uniform(0.025, 0.05);
+  p.skin = rng.uniform(125.0, 210.0);
+  p.feature_dark = rng.uniform(35.0, 105.0);
+  p.backdrop = rng.uniform(40.0, 160.0);
+  p.light_tilt = rng.uniform(-50.0, 50.0);
+  p.noise_sigma = rng.uniform(5.0, 14.0);
+  return p;
+}
+
+FaceInstance render_face(const FaceParams& p, int size) {
+  FDET_CHECK(size >= 8) << "face size " << size;
+  const double s = static_cast<double>(size);
+
+  FaceInstance instance;
+  instance.image = img::ImageU8(size, size);
+  instance.left_eye_x = (p.center_x - p.eye_dx) * s;
+  instance.left_eye_y = p.eye_y * s;
+  instance.right_eye_x = (p.center_x + p.eye_dx) * s;
+  instance.right_eye_y = p.eye_y * s;
+
+  // Deterministic per-face noise derived from the parameters themselves,
+  // so the same FaceParams always renders identically.
+  core::Rng noise(core::hash_combine(
+      static_cast<std::uint64_t>(p.skin * 1000.0),
+      static_cast<std::uint64_t>(p.eye_y * 100000.0 + size)));
+
+  const double soft = std::max(0.08, 2.0 / s);  // ~2 px transition band
+
+  for (int yi = 0; yi < size; ++yi) {
+    for (int xi = 0; xi < size; ++xi) {
+      const double x = (static_cast<double>(xi) + 0.5) / s;
+      const double y = (static_cast<double>(yi) + 0.5) / s;
+
+      // Lateral illumination across the whole chip.
+      double value = p.backdrop + p.light_tilt * (x - 0.5);
+
+      // Face oval.
+      const double face_d = sq((x - p.center_x) / p.face_rx) +
+                            sq((y - p.center_y) / p.face_ry);
+      const double face_m = soft_inside(face_d, soft);
+      const double skin = p.skin + p.light_tilt * (x - 0.5) -
+                          25.0 * std::max(0.0, face_d - 0.55);
+      value = value * (1.0 - face_m) + skin * face_m;
+
+      // Features are only visible on the face.
+      double feature_m = 0.0;
+      // Eyes (two soft disks).
+      for (const double ex : {p.center_x - p.eye_dx, p.center_x + p.eye_dx}) {
+        const double d = (sq(x - ex) + sq(y - p.eye_y) * 1.6) / sq(p.eye_r);
+        feature_m = std::max(feature_m, soft_inside(d, soft * 3.0));
+      }
+      // Eyebrows (flat dark bars above the eyes).
+      for (const double ex : {p.center_x - p.eye_dx, p.center_x + p.eye_dx}) {
+        const double d = std::max(sq(x - ex) / sq(p.eye_r * 1.8),
+                                  sq(y - (p.eye_y - p.brow_offset)) /
+                                      sq(p.eye_r * 0.6));
+        feature_m = std::max(feature_m, 0.7 * soft_inside(d, soft * 3.0));
+      }
+      // Mouth bar.
+      {
+        const double d = std::max(sq(x - p.center_x) / sq(p.mouth_w),
+                                  sq(y - p.mouth_y) / sq(p.mouth_h));
+        feature_m = std::max(feature_m, 0.85 * soft_inside(d, soft * 3.0));
+      }
+      const double featured =
+          value * (1.0 - feature_m) + p.feature_dark * feature_m;
+      value = value * (1.0 - face_m) + featured * face_m;
+
+      // Bright nose ridge between the eyes and the mouth.
+      const double nose_top = p.eye_y + 0.03;
+      const double nose_bottom = p.mouth_y - 0.10;
+      if (y > nose_top && y < nose_bottom) {
+        const double d = sq(x - p.center_x) / sq(p.nose_w);
+        value += face_m * 20.0 * soft_inside(d, soft * 3.0);
+      }
+
+      value += noise.normal(0.0, p.noise_sigma);
+      instance.image(xi, yi) =
+          static_cast<std::uint8_t>(std::clamp(value, 0.0, 255.0));
+    }
+  }
+  return instance;
+}
+
+FaceInstance random_training_face(core::Rng& rng) {
+  return render_face(FaceParams::random(rng), 24);
+}
+
+}  // namespace fdet::facegen

@@ -1,0 +1,62 @@
+// Parametric synthetic face renderer.
+//
+// Substitute for the paper's face data (11742 frontal training faces,
+// SCFace mugshots): a grayscale geometric face model whose discriminative
+// structure matches what Haar cascades exploit on real faces — a dark eye
+// band over bright cheeks, a bright nose ridge, a dark mouth bar inside a
+// smooth face oval. Geometry, illumination and noise are randomized per
+// instance; annotated eye centers support the paper's S_eyes metric.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "img/image.h"
+
+namespace fdet::facegen {
+
+/// Normalized face geometry/appearance. All positions and sizes are
+/// fractions of the rendered square, so the same parameters render at any
+/// resolution (24x24 training chips up to in-scene faces of 100+ px).
+struct FaceParams {
+  // Geometry (fractions of the square side).
+  double center_x = 0.5;
+  double center_y = 0.52;
+  double face_rx = 0.38;   ///< face-oval radii
+  double face_ry = 0.46;
+  double eye_y = 0.40;     ///< eye row
+  double eye_dx = 0.17;    ///< eye offset from the center line
+  double eye_r = 0.055;    ///< eye radius
+  double brow_offset = 0.09;  ///< eyebrow height above the eyes
+  double nose_w = 0.07;
+  double mouth_y = 0.74;
+  double mouth_w = 0.22;
+  double mouth_h = 0.035;
+
+  // Appearance (8-bit levels).
+  double skin = 175.0;
+  double feature_dark = 55.0;   ///< eyes/brows/mouth intensity
+  double backdrop = 95.0;       ///< outside the face oval
+  double light_tilt = 0.0;      ///< lateral illumination gradient, +-40
+  double noise_sigma = 6.0;
+
+  /// Draws plausible random parameters.
+  static FaceParams random(core::Rng& rng);
+};
+
+/// A rendered face with its ground-truth eye annotation (pixel coords).
+struct FaceInstance {
+  img::ImageU8 image;
+  double left_eye_x = 0.0;
+  double left_eye_y = 0.0;
+  double right_eye_x = 0.0;
+  double right_eye_y = 0.0;
+};
+
+/// Renders the model at `size` x `size` pixels.
+FaceInstance render_face(const FaceParams& params, int size);
+
+/// Convenience: random face at the 24x24 training resolution.
+FaceInstance random_training_face(core::Rng& rng);
+
+}  // namespace fdet::facegen

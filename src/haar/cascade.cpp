@@ -1,0 +1,130 @@
+#include "haar/cascade.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace fdet::haar {
+
+int Cascade::classifier_count() const {
+  int count = 0;
+  for (const Stage& stage : stages_) {
+    count += static_cast<int>(stage.classifiers.size());
+  }
+  return count;
+}
+
+CascadeResult Cascade::evaluate(const integral::IntegralImage& ii, int wx,
+                                int wy, int max_stages) const {
+  const int limit = (max_stages < 0)
+                        ? stage_count()
+                        : std::min(max_stages, stage_count());
+  CascadeResult result;
+  for (int s = 0; s < limit; ++s) {
+    const Stage& stage = stages_[static_cast<std::size_t>(s)];
+    float score = 0.0f;
+    for (const WeakClassifier& wc : stage.classifiers) {
+      score += wc.vote(wc.feature.response(ii, wx, wy));
+    }
+    result.score = score;
+    if (score < stage.threshold) {
+      return result;  // rejected at stage s; depth stays at s
+    }
+    result.depth = s + 1;
+  }
+  result.accepted = (result.depth == limit);
+  return result;
+}
+
+Cascade Cascade::prefix(int stages) const {
+  FDET_CHECK(stages >= 0 && stages <= stage_count());
+  Cascade out(name_ + "@" + std::to_string(stages));
+  out.stages_.assign(stages_.begin(), stages_.begin() + stages);
+  return out;
+}
+
+void write_cascade(std::ostream& out, const Cascade& cascade) {
+  out << "fdet-cascade 1\n";
+  out << "name " << (cascade.name().empty() ? "unnamed" : cascade.name())
+      << "\n";
+  out << "stages " << cascade.stage_count() << "\n";
+  for (const Stage& stage : cascade.stages()) {
+    out << "stage " << stage.classifiers.size() << " " << stage.threshold
+        << "\n";
+    for (const WeakClassifier& wc : stage.classifiers) {
+      const HaarFeature& f = wc.feature;
+      out << static_cast<int>(f.type) << " " << (f.vertical ? 1 : 0) << " "
+          << static_cast<int>(f.x) << " " << static_cast<int>(f.y) << " "
+          << static_cast<int>(f.cw) << " " << static_cast<int>(f.ch) << " "
+          << wc.threshold << " " << wc.left_vote << " " << wc.right_vote
+          << "\n";
+    }
+  }
+}
+
+Cascade read_cascade(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  FDET_CHECK(magic == "fdet-cascade" && version == 1)
+      << "bad cascade header: '" << magic << " " << version << "'";
+
+  std::string key;
+  std::string name;
+  in >> key >> name;
+  FDET_CHECK(key == "name") << "expected 'name', got '" << key << "'";
+
+  int stage_count = 0;
+  in >> key >> stage_count;
+  FDET_CHECK(key == "stages" && stage_count >= 0 && stage_count < 10000)
+      << "bad stage count";
+
+  Cascade cascade(name);
+  for (int s = 0; s < stage_count; ++s) {
+    std::size_t classifier_count = 0;
+    Stage stage;
+    in >> key >> classifier_count >> stage.threshold;
+    FDET_CHECK(key == "stage" && in.good())
+        << "bad stage record at index " << s;
+    FDET_CHECK(classifier_count < 1000000) << "implausible classifier count";
+    stage.classifiers.reserve(classifier_count);
+    for (std::size_t c = 0; c < classifier_count; ++c) {
+      int type = 0;
+      int vertical = 0;
+      int x = 0;
+      int y = 0;
+      int cw = 0;
+      int ch = 0;
+      WeakClassifier wc;
+      in >> type >> vertical >> x >> y >> cw >> ch >> wc.threshold >>
+          wc.left_vote >> wc.right_vote;
+      FDET_CHECK(in.good()) << "truncated classifier record";
+      FDET_CHECK(type >= 0 && type <= 3) << "bad feature type " << type;
+      wc.feature = HaarFeature{static_cast<HaarType>(type), vertical != 0,
+                               static_cast<std::uint8_t>(x),
+                               static_cast<std::uint8_t>(y),
+                               static_cast<std::uint8_t>(cw),
+                               static_cast<std::uint8_t>(ch)};
+      FDET_CHECK(wc.feature.valid()) << "feature outside window";
+      stage.classifiers.push_back(wc);
+    }
+    cascade.add_stage(std::move(stage));
+  }
+  return cascade;
+}
+
+void save_cascade(const std::string& path, const Cascade& cascade) {
+  std::ofstream out(path);
+  FDET_CHECK(out.good()) << "cannot open " << path;
+  write_cascade(out, cascade);
+  FDET_CHECK(out.good()) << "write failed for " << path;
+}
+
+Cascade load_cascade(const std::string& path) {
+  std::ifstream in(path);
+  FDET_CHECK(in.good()) << "cannot open " << path;
+  return read_cascade(in);
+}
+
+}  // namespace fdet::haar

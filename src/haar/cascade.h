@@ -1,0 +1,85 @@
+// Boosted cascade of classifiers (Viola–Jones attentional cascade).
+//
+// A weak classifier is a regression stump on one Haar-feature response:
+//   h(window) = left_vote  if response < threshold
+//             = right_vote otherwise
+// GentleBoost produces real-valued votes; discrete AdaBoost is the special
+// case left/right = ±alpha. A stage passes when the sum of its votes
+// reaches the stage threshold; the cascade evaluates stages in order and
+// rejects at the first failing stage (the early exit that makes detection
+// fast — and GPU warps divergent).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "haar/feature.h"
+
+namespace fdet::haar {
+
+struct WeakClassifier {
+  HaarFeature feature;
+  float threshold = 0.0f;
+  float left_vote = 0.0f;   ///< emitted when response <  threshold
+  float right_vote = 0.0f;  ///< emitted when response >= threshold
+
+  float vote(std::int64_t response) const {
+    return static_cast<float>(response) < threshold ? left_vote : right_vote;
+  }
+};
+
+struct Stage {
+  std::vector<WeakClassifier> classifiers;
+  float threshold = 0.0f;  ///< stage passes when Σ votes >= threshold
+};
+
+/// Result of evaluating a cascade on one window.
+struct CascadeResult {
+  int depth = 0;     ///< stages passed (== stage count for accepted windows)
+  float score = 0.0f;///< vote sum of the last evaluated stage
+  bool accepted = false;
+};
+
+class Cascade {
+ public:
+  Cascade() = default;
+  explicit Cascade(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  std::vector<Stage>& stages() { return stages_; }
+  void add_stage(Stage stage) { stages_.push_back(std::move(stage)); }
+
+  int stage_count() const { return static_cast<int>(stages_.size()); }
+
+  /// Total weak classifiers across all stages (the paper's headline
+  /// 1446-vs-2913 workload number).
+  int classifier_count() const;
+
+  /// Evaluates the window anchored at (wx, wy); stops at the first failing
+  /// stage. `max_stages` (<= stage_count) truncates the cascade — used by
+  /// the 15/20/25-stage accuracy sweep of Fig. 9.
+  CascadeResult evaluate(const integral::IntegralImage& ii, int wx, int wy,
+                         int max_stages = -1) const;
+
+  /// Truncated copy containing only the first `stages` stages.
+  Cascade prefix(int stages) const;
+
+  bool empty() const { return stages_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+/// Text (de)serialization — a simple line format, stable across versions.
+void write_cascade(std::ostream& out, const Cascade& cascade);
+Cascade read_cascade(std::istream& in);
+void save_cascade(const std::string& path, const Cascade& cascade);
+Cascade load_cascade(const std::string& path);
+
+}  // namespace fdet::haar

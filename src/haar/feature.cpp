@@ -1,0 +1,112 @@
+#include "haar/feature.h"
+
+#include "core/check.h"
+
+namespace fdet::haar {
+
+std::string to_string(HaarType type) {
+  switch (type) {
+    case HaarType::kEdge:
+      return "edge";
+    case HaarType::kLine:
+      return "line";
+    case HaarType::kCenterSurround:
+      return "center-surround";
+    case HaarType::kDiagonal:
+      return "diagonal";
+  }
+  return "unknown";
+}
+
+int HaarFeature::extent_w() const {
+  switch (type) {
+    case HaarType::kEdge:
+      return vertical ? cw : 2 * cw;
+    case HaarType::kLine:
+      return vertical ? cw : 3 * cw;
+    case HaarType::kCenterSurround:
+      return 3 * cw;
+    case HaarType::kDiagonal:
+      return 2 * cw;
+  }
+  return 0;
+}
+
+int HaarFeature::extent_h() const {
+  switch (type) {
+    case HaarType::kEdge:
+      return vertical ? 2 * ch : ch;
+    case HaarType::kLine:
+      return vertical ? 3 * ch : ch;
+    case HaarType::kCenterSurround:
+      return 3 * ch;
+    case HaarType::kDiagonal:
+      return 2 * ch;
+  }
+  return 0;
+}
+
+bool HaarFeature::valid() const {
+  return cw >= 1 && ch >= 1 && x + extent_w() <= kWindowSize &&
+         y + extent_h() <= kWindowSize;
+}
+
+HaarFeature::Decomposition HaarFeature::decompose() const {
+  Decomposition d;
+  const auto rect = [](int rx, int ry, int rw, int rh, int weight) {
+    return RectTerm{static_cast<std::int8_t>(rx), static_cast<std::int8_t>(ry),
+                    static_cast<std::int8_t>(rw), static_cast<std::int8_t>(rh),
+                    static_cast<std::int8_t>(weight)};
+  };
+  switch (type) {
+    case HaarType::kEdge:
+      if (vertical) {
+        d.rects[0] = rect(x, y, cw, ch, +1);
+        d.rects[1] = rect(x, y + ch, cw, ch, -1);
+      } else {
+        d.rects[0] = rect(x, y, cw, ch, +1);
+        d.rects[1] = rect(x + cw, y, cw, ch, -1);
+      }
+      d.count = 2;
+      break;
+    case HaarType::kLine:
+      if (vertical) {
+        d.rects[0] = rect(x, y, cw, ch, +1);
+        d.rects[1] = rect(x, y + ch, cw, ch, -2);
+        d.rects[2] = rect(x, y + 2 * ch, cw, ch, +1);
+      } else {
+        d.rects[0] = rect(x, y, cw, ch, +1);
+        d.rects[1] = rect(x + cw, y, cw, ch, -2);
+        d.rects[2] = rect(x + 2 * cw, y, cw, ch, +1);
+      }
+      d.count = 3;
+      break;
+    case HaarType::kCenterSurround:
+      d.rects[0] = rect(x, y, 3 * cw, 3 * ch, +1);
+      d.rects[1] = rect(x + cw, y + ch, cw, ch, -9);
+      d.count = 2;
+      break;
+    case HaarType::kDiagonal:
+      d.rects[0] = rect(x, y, cw, ch, +1);
+      d.rects[1] = rect(x + cw, y, cw, ch, -1);
+      d.rects[2] = rect(x, y + ch, cw, ch, -1);
+      d.rects[3] = rect(x + cw, y + ch, cw, ch, +1);
+      d.count = 4;
+      break;
+  }
+  return d;
+}
+
+std::int64_t HaarFeature::response(const integral::IntegralImage& ii, int wx,
+                                   int wy) const {
+  const Decomposition d = decompose();
+  std::int64_t acc = 0;
+  for (int i = 0; i < d.count; ++i) {
+    const RectTerm& r = d.rects[i];
+    acc += static_cast<std::int64_t>(r.weight) *
+           ii.sum(wx + r.x, wy + r.y, wx + r.x + r.w, wy + r.y + r.h);
+  }
+  return acc;
+}
+
+}  // namespace fdet::haar

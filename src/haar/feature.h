@@ -1,0 +1,77 @@
+// Haar-like features over a fixed 24x24 detection window.
+//
+// The four families of paper Table I are supported:
+//   Edge           — two side-by-side cells, +1 / -1
+//   Line           — three cells, +1 / -2 / +1
+//   CenterSurround — 3x3-cell box, whole +1 and center -9
+//   Diagonal       — 2x2 checkerboard, +1 / -1 / -1 / +1
+//
+// A feature is parameterized by its anchor (x, y) inside the window, its
+// cell size (cw, ch) and an orientation (edges and lines come in a
+// horizontal and a vertical arrangement). Evaluation decomposes into at
+// most four weighted rectangles, each costing four integral-image lookups
+// (Viola–Jones), which is exactly the access pattern the paper's cascade
+// kernel optimizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "integral/integral.h"
+
+namespace fdet::haar {
+
+/// Side of the square training window (paper Sec. IV: 24x24 faces).
+inline constexpr int kWindowSize = 24;
+
+enum class HaarType : std::uint8_t {
+  kEdge = 0,
+  kLine = 1,
+  kCenterSurround = 2,
+  kDiagonal = 3,
+};
+
+/// Human-readable family name ("edge", "line", ...).
+std::string to_string(HaarType type);
+
+/// One weighted rectangle of a decomposed feature (window coordinates).
+struct RectTerm {
+  std::int8_t x = 0;
+  std::int8_t y = 0;
+  std::int8_t w = 0;
+  std::int8_t h = 0;
+  std::int8_t weight = 0;
+};
+
+struct HaarFeature {
+  HaarType type = HaarType::kEdge;
+  bool vertical = false;  ///< orientation for edge/line; unused otherwise
+  std::uint8_t x = 0;     ///< anchor column within the window
+  std::uint8_t y = 0;     ///< anchor row within the window
+  std::uint8_t cw = 1;    ///< cell width
+  std::uint8_t ch = 1;    ///< cell height
+
+  /// Total extent of the feature in window pixels.
+  int extent_w() const;
+  int extent_h() const;
+
+  /// True when the feature lies entirely inside the window.
+  bool valid() const;
+
+  /// Decomposes into weighted rectangles; `count` entries are meaningful.
+  struct Decomposition {
+    std::array<RectTerm, 4> rects;
+    int count = 0;
+  };
+  Decomposition decompose() const;
+
+  /// Feature response for the window anchored at (wx, wy) in the image:
+  /// Σ weight_i * rect_sum_i. Matches the training-side evaluation.
+  std::int64_t response(const integral::IntegralImage& ii, int wx,
+                        int wy) const;
+
+  bool operator==(const HaarFeature&) const = default;
+};
+
+}  // namespace fdet::haar

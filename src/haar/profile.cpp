@@ -1,0 +1,187 @@
+#include "haar/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace fdet::haar {
+
+std::vector<int> opencv_frontal_profile() {
+  return {9,   16,  27,  32,  52,  53,  62,  72,  83,  91,  99,  115, 127,
+          135, 136, 137, 159, 155, 169, 196, 197, 181, 199, 211, 200};
+}
+
+std::vector<int> scale_profile(std::span<const int> reference,
+                               int target_total) {
+  FDET_CHECK(!reference.empty() && target_total >= static_cast<int>(reference.size()));
+  int reference_total = 0;
+  for (const int n : reference) {
+    reference_total += n;
+  }
+  std::vector<int> scaled(reference.size());
+  int running = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double ratio =
+        static_cast<double>(target_total) / static_cast<double>(reference_total);
+    scaled[i] = std::max(1, static_cast<int>(std::lround(reference[i] * ratio)));
+    running += scaled[i];
+  }
+  // Fix rounding drift on the deepest stages (they are the largest).
+  for (std::size_t i = scaled.size(); running != target_total && i-- > 0;) {
+    const int delta = (running < target_total) ? 1 : -1;
+    if (scaled[i] + delta >= 1) {
+      scaled[i] += delta;
+      running += delta;
+    }
+  }
+  FDET_CHECK(running == target_total) << "profile scaling failed";
+  return scaled;
+}
+
+std::vector<int> compact_profile() {
+  const std::vector<int> reference = opencv_frontal_profile();
+  return scale_profile(reference, 1446);
+}
+
+Cascade build_profile_cascade(const std::string& name,
+                              std::span<const int> stage_sizes,
+                              std::uint64_t seed) {
+  core::Rng rng(seed);
+  Cascade cascade(name);
+  for (const int size : stage_sizes) {
+    FDET_CHECK(size >= 1);
+    Stage stage;
+    stage.classifiers.reserve(static_cast<std::size_t>(size));
+    while (static_cast<int>(stage.classifiers.size()) < size) {
+      HaarFeature f;
+      f.type = static_cast<HaarType>(rng.uniform_int(0, 3));
+      f.vertical = rng.bernoulli(0.5);
+      f.cw = static_cast<std::uint8_t>(rng.uniform_int(1, 8));
+      f.ch = static_cast<std::uint8_t>(rng.uniform_int(1, 8));
+      if (f.extent_w() > kWindowSize || f.extent_h() > kWindowSize) {
+        continue;
+      }
+      f.x = static_cast<std::uint8_t>(
+          rng.uniform_int(0, kWindowSize - f.extent_w()));
+      f.y = static_cast<std::uint8_t>(
+          rng.uniform_int(0, kWindowSize - f.extent_h()));
+      WeakClassifier wc;
+      wc.feature = f;
+      wc.threshold = 0.0f;
+      // Random polarity, unit votes: stage scores become a random walk
+      // whose quantiles the calibration step pins down.
+      const bool flip = rng.bernoulli(0.5);
+      wc.left_vote = flip ? -1.0f : 1.0f;
+      wc.right_vote = flip ? 1.0f : -1.0f;
+      stage.classifiers.push_back(wc);
+    }
+    stage.threshold = -1e30f;  // pass-through until calibrated
+    cascade.add_stage(std::move(stage));
+  }
+  return cascade;
+}
+
+std::vector<double> paper_pass_profile(int stages) {
+  FDET_CHECK(stages >= 1);
+  std::vector<double> pass(static_cast<std::size_t>(stages));
+  // Survivor fractions: 5.48 % after stage 1, 1.48 % after stage 2
+  // (paper Fig. 7), then a geometric tail down to ~3e-6 at stage 25.
+  pass[0] = 0.0548;
+  if (stages > 1) {
+    pass[1] = 0.0148 / 0.0548;
+  }
+  const double tail_ratio =
+      std::pow(3e-6 / 0.0148, 1.0 / std::max(1, stages - 2));
+  for (int s = 2; s < stages; ++s) {
+    pass[static_cast<std::size_t>(s)] = tail_ratio;
+  }
+  return pass;
+}
+
+void calibrate_stage_thresholds(
+    Cascade& cascade,
+    const std::vector<const integral::IntegralImage*>& images,
+    std::span<const double> pass_rates, int window_step) {
+  FDET_CHECK(static_cast<int>(pass_rates.size()) >= cascade.stage_count())
+      << "need one pass rate per stage";
+  FDET_CHECK(window_step >= 1);
+
+  // Gather all candidate windows.
+  struct Window {
+    const integral::IntegralImage* ii;
+    int x;
+    int y;
+  };
+  std::vector<Window> survivors;
+  for (const integral::IntegralImage* ii : images) {
+    FDET_CHECK(ii != nullptr);
+    for (int y = 0; y + kWindowSize <= ii->height(); y += window_step) {
+      for (int x = 0; x + kWindowSize <= ii->width(); x += window_step) {
+        survivors.push_back({ii, x, y});
+      }
+    }
+  }
+  FDET_CHECK(!survivors.empty()) << "no calibration windows";
+
+  std::vector<float> scores;
+  for (int s = 0; s < cascade.stage_count(); ++s) {
+    Stage& stage = cascade.stages()[static_cast<std::size_t>(s)];
+    scores.clear();
+    scores.reserve(survivors.size());
+    for (const Window& w : survivors) {
+      float score = 0.0f;
+      for (const WeakClassifier& wc : stage.classifiers) {
+        score += wc.vote(wc.feature.response(*w.ii, w.x, w.y));
+      }
+      scores.push_back(score);
+    }
+    // Threshold at the (1 - pass) quantile; windows scoring >= it survive.
+    // Scores are discrete (ties are common with small stages), so compare
+    // "include the tied value" vs "exclude it" and keep whichever realized
+    // rate lands closer to the target.
+    std::vector<float> sorted = scores;
+    std::sort(sorted.begin(), sorted.end());
+    const double pass = std::clamp(pass_rates[static_cast<std::size_t>(s)], 0.0, 1.0);
+    const std::size_t cut = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(std::floor((1.0 - pass) * static_cast<double>(sorted.size()))));
+    const float include_value = sorted[cut];
+    const auto first_tied =
+        std::lower_bound(sorted.begin(), sorted.end(), include_value);
+    const auto first_above =
+        std::upper_bound(sorted.begin(), sorted.end(), include_value);
+    const double n = static_cast<double>(sorted.size());
+    const double pass_include =
+        static_cast<double>(sorted.end() - first_tied) / n;
+    const double pass_exclude =
+        static_cast<double>(sorted.end() - first_above) / n;
+    if (std::abs(pass_include - pass) <= std::abs(pass_exclude - pass) ||
+        first_above == sorted.end()) {
+      stage.threshold = include_value;
+    } else {
+      stage.threshold = (include_value + *first_above) / 2.0f;
+    }
+
+    // Retain the survivors for the next stage's quantile.
+    std::vector<Window> next;
+    next.reserve(static_cast<std::size_t>(
+        static_cast<double>(survivors.size()) * pass) + 16);
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      if (scores[i] >= stage.threshold) {
+        next.push_back(survivors[i]);
+      }
+    }
+    if (next.empty()) {
+      // Degenerate calibration set: keep the best-scoring window alive so
+      // deeper stages still see data.
+      const std::size_t best = static_cast<std::size_t>(
+          std::max_element(scores.begin(), scores.end()) - scores.begin());
+      next.push_back(survivors[best]);
+    }
+    survivors = std::move(next);
+  }
+}
+
+}  // namespace fdet::haar

@@ -1,0 +1,54 @@
+// Structural cascade profiles and the synthetic profile-cascade builder.
+//
+// The performance experiments need cascades with exactly the paper's
+// workload shape: the OpenCV frontal feature set (25 stages, 2913 weak
+// classifiers — the per-stage sizes below are those of Lienhart's
+// haarcascade_frontalface_default) and the paper's compact GentleBoost
+// cascade (25 stages, 1446 weak classifiers). build_profile_cascade()
+// constructs a cascade with a given stage-size profile and pseudo-random
+// features; calibrate_stage_thresholds() then pins each stage's threshold
+// to a quantile of real window scores so the rejection profile matches a
+// target (e.g. paper Fig. 7: 94.52 % of windows die in stage 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "haar/cascade.h"
+
+namespace fdet::haar {
+
+/// Per-stage weak-classifier counts of OpenCV's frontal face cascade
+/// (25 stages, Σ = 2913 — the baseline workload in paper Table II).
+std::vector<int> opencv_frontal_profile();
+
+/// The paper's compact cascade: 25 stages, Σ = 1446 weak classifiers,
+/// derived by scaling the OpenCV profile to the paper's total.
+std::vector<int> compact_profile();
+
+/// Scales `reference` so its entries sum to `target_total` (keeps the
+/// growth shape; every stage keeps at least one classifier).
+std::vector<int> scale_profile(std::span<const int> reference,
+                               int target_total);
+
+/// Builds a cascade with `stage_sizes[i]` pseudo-random valid features per
+/// stage, ±1 votes and zero thresholds. Deterministic in `seed`.
+Cascade build_profile_cascade(const std::string& name,
+                              std::span<const int> stage_sizes,
+                              std::uint64_t seed);
+
+/// Conditional per-stage pass rates reproducing the paper's Fig. 7
+/// rejection profile (94.52 % rejected at stage 1, 4 % at stage 2, a
+/// geometric tail thereafter). Size = `stages`.
+std::vector<double> paper_pass_profile(int stages);
+
+/// Pins each stage threshold to the score quantile that passes
+/// `pass_rates[s]` of the windows surviving stages 0..s-1. Windows are
+/// sampled on a `window_step` grid over every provided integral image.
+void calibrate_stage_thresholds(
+    Cascade& cascade,
+    const std::vector<const integral::IntegralImage*>& images,
+    std::span<const double> pass_rates, int window_step = 4);
+
+}  // namespace fdet::haar

@@ -1,0 +1,68 @@
+#include "haar/tilted.h"
+
+#include "core/check.h"
+
+namespace fdet::haar {
+namespace {
+
+/// Per-cell weights of the two families.
+constexpr int kEdgeWeights[2] = {1, -1};
+constexpr int kLineWeights[3] = {1, -2, 1};
+
+}  // namespace
+
+bool TiltedFeature::valid(int window) const {
+  if (cw < 1 || ch < 1) {
+    return false;
+  }
+  const int n = cells();
+  // Consecutive cells step one cell extent down the (+1,+1) diagonal.
+  for (int k = 0; k < n; ++k) {
+    const int ax = x + k * cw;
+    const int ay = y + k * cw;
+    // Solid tilted rect below apex (ax, ay) with legs (cw, ch) spans
+    // columns [ax - ch + 1, ax + cw - 1] and rows [ay + 1, ay + cw + ch].
+    if (ax - ch + 1 < 0 || ax + cw - 1 >= window || ay + cw + ch >= window) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t TiltedFeature::response(
+    const integral::RotatedIntegralImage& rot, int wx, int wy) const {
+  const int n = cells();
+  const int* weights = (type == TiltedType::kEdge) ? kEdgeWeights : kLineWeights;
+  std::int64_t acc = 0;
+  for (int k = 0; k < n; ++k) {
+    acc += static_cast<std::int64_t>(weights[k]) *
+           rot.tilted_sum(wx + x + k * cw, wy + y + k * cw, cw, ch);
+  }
+  return acc;
+}
+
+std::int64_t for_each_tilted(
+    TiltedType type, const std::function<void(const TiltedFeature&)>& sink) {
+  std::int64_t count = 0;
+  TiltedFeature probe;
+  probe.type = type;
+  for (int cw = 1; cw <= TiltedFeature::kTiltedWindow; ++cw) {
+    for (int ch = 1; ch <= TiltedFeature::kTiltedWindow; ++ch) {
+      probe.cw = static_cast<std::uint8_t>(cw);
+      probe.ch = static_cast<std::uint8_t>(ch);
+      for (int y = 0; y < TiltedFeature::kTiltedWindow; ++y) {
+        for (int x = 0; x < TiltedFeature::kTiltedWindow; ++x) {
+          probe.x = static_cast<std::uint8_t>(x);
+          probe.y = static_cast<std::uint8_t>(y);
+          if (probe.valid()) {
+            sink(probe);
+            ++count;
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace fdet::haar

@@ -1,0 +1,49 @@
+// 45°-tilted Haar features (Lienhart & Maydt's extension) on the rotated
+// integral image — the capability paper Sec. III-C points to with
+// "performing rotations of the integral image". Provided as standalone
+// infrastructure: tilted edge/line features with the same cell
+// parameterization as the upright set, evaluated in four RSAT lookups per
+// rectangle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "integral/rotated.h"
+
+namespace fdet::haar {
+
+enum class TiltedType : std::uint8_t {
+  kEdge = 0,  ///< two tilted cells along the down-right diagonal, +1 / -1
+  kLine = 1,  ///< three tilted cells, +1 / -2 / +1
+};
+
+struct TiltedFeature {
+  TiltedType type = TiltedType::kEdge;
+  std::uint8_t x = 0;   ///< apex column of the first cell
+  std::uint8_t y = 0;   ///< apex row of the first cell
+  std::uint8_t cw = 1;  ///< cell extent along the down-right diagonal
+  std::uint8_t ch = 1;  ///< cell extent along the down-left diagonal
+
+  /// Number of cells along the diagonal.
+  int cells() const { return type == TiltedType::kEdge ? 2 : 3; }
+
+  /// True when every cell lies inside a window of the given side anchored
+  /// at (0, 0): cell k has apex (x + k*cw, y + k*cw) and spans
+  /// columns [x+k*cw-ch+1, x+(k+1)*cw-1], rows [y+k*cw+1, y+k*cw+cw+ch].
+  bool valid(int window = kTiltedWindow) const;
+
+  /// Feature response: Σ weight_k * tilted_sum(cell_k). The window anchor
+  /// (wx, wy) shifts every apex.
+  std::int64_t response(const integral::RotatedIntegralImage& rot, int wx,
+                        int wy) const;
+
+  static constexpr int kTiltedWindow = 24;
+};
+
+/// Enumerates all valid tilted features of `type` in the 24x24 window;
+/// returns the count.
+std::int64_t for_each_tilted(TiltedType type,
+                             const std::function<void(const TiltedFeature&)>& sink);
+
+}  // namespace fdet::haar

@@ -1,0 +1,15 @@
+// Host-side rectangle drawing (reference for the vGPU display kernel).
+#pragma once
+
+#include "img/image.h"
+
+namespace fdet::img {
+
+/// Draws the 1-pixel outline of `rect` with `value`, clipping to the image.
+void draw_rect(ImageU8& image, const Rect& rect, std::uint8_t value);
+
+/// Draws an outline of the given thickness (grows inward).
+void draw_rect(ImageU8& image, const Rect& rect, std::uint8_t value,
+               int thickness);
+
+}  // namespace fdet::img

@@ -1,0 +1,72 @@
+#include "img/filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/check.h"
+
+namespace fdet::img {
+namespace {
+
+/// Binomial coefficients row 2r normalized to 1 — the classic Gaussian
+/// approximation with sigma ~ sqrt(r/2).
+std::vector<float> binomial_kernel(int radius) {
+  std::vector<double> row{1.0};
+  for (int i = 0; i < 2 * radius; ++i) {
+    std::vector<double> next(row.size() + 1, 0.0);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      next[j] += row[j] * 0.5;
+      next[j + 1] += row[j] * 0.5;
+    }
+    row = std::move(next);
+  }
+  return {row.begin(), row.end()};
+}
+
+}  // namespace
+
+int antialias_radius(double factor) {
+  if (factor <= 1.0) {
+    return 0;
+  }
+  // One tap of support per halving of resolution, minimum 1.
+  return std::max(1, static_cast<int>(std::lround(factor - 1.0)));
+}
+
+ImageF32 binomial_blur(const ImageF32& input, int radius) {
+  FDET_CHECK(radius >= 0);
+  if (radius == 0) {
+    return input;
+  }
+  const std::vector<float> kernel = binomial_kernel(radius);
+  const int w = input.width();
+  const int h = input.height();
+
+  ImageF32 horizontal(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        const int sx = std::clamp(x + k, 0, w - 1);
+        acc += kernel[static_cast<std::size_t>(k + radius)] * input(sx, y);
+      }
+      horizontal(x, y) = acc;
+    }
+  }
+
+  ImageF32 output(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        const int sy = std::clamp(y + k, 0, h - 1);
+        acc += kernel[static_cast<std::size_t>(k + radius)] * horizontal(x, sy);
+      }
+      output(x, y) = acc;
+    }
+  }
+  return output;
+}
+
+}  // namespace fdet::img

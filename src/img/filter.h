@@ -1,0 +1,22 @@
+// Anti-alias filtering for the scaling stage (paper Sec. III-A: "The
+// filtering stage ... is necessary to avoid aliasing effects produced
+// during the scaling stage").
+//
+// A separable binomial kernel approximates the Gaussian; the radius is
+// chosen from the downscale factor so the cutoff tracks the new Nyquist
+// rate.
+#pragma once
+
+#include "img/image.h"
+
+namespace fdet::img {
+
+/// Applies a separable binomial low-pass of the given radius (kernel width
+/// 2*radius+1; radius 0 = identity). Edge handling is clamp-to-edge.
+ImageF32 binomial_blur(const ImageF32& input, int radius);
+
+/// Radius that suppresses frequencies folded by downscaling with `factor`
+/// (>1 shrinks). Returns 0 when factor <= 1.
+int antialias_radius(double factor);
+
+}  // namespace fdet::img

@@ -1,0 +1,22 @@
+#include "img/image.h"
+
+#include <algorithm>
+
+namespace fdet::img {
+
+std::int64_t intersection_area(const Rect& a, const Rect& b) {
+  const int x0 = std::max(a.x, b.x);
+  const int y0 = std::max(a.y, b.y);
+  const int x1 = std::min(a.right(), b.right());
+  const int y1 = std::min(a.bottom(), b.bottom());
+  if (x1 <= x0 || y1 <= y0) {
+    return 0;
+  }
+  return static_cast<std::int64_t>(x1 - x0) * static_cast<std::int64_t>(y1 - y0);
+}
+
+std::int64_t union_area(const Rect& a, const Rect& b) {
+  return a.area() + b.area() - intersection_area(a, b);
+}
+
+}  // namespace fdet::img

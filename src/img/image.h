@@ -1,0 +1,121 @@
+// Dense row-major single-channel image container.
+//
+// The detection pipeline works on three pixel types: std::uint8_t (decoded
+// luma), float (filtered/scaled planes) and std::int64_t (integral images —
+// wide enough for the second-order sums a squared-integral variant needs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+
+namespace fdet::img {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(int width, int height, T fill_value = T{})
+      : width_(width), height_(height),
+        pixels_(checked_size(width, height), fill_value) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size() const { return pixels_.size(); }
+  bool empty() const { return pixels_.empty(); }
+
+  T& at(int x, int y) {
+    FDET_CHECK(contains(x, y)) << "(" << x << "," << y << ") outside "
+                               << width_ << "x" << height_;
+    return pixels_[index(x, y)];
+  }
+  const T& at(int x, int y) const {
+    FDET_CHECK(contains(x, y)) << "(" << x << "," << y << ") outside "
+                               << width_ << "x" << height_;
+    return pixels_[index(x, y)];
+  }
+
+  /// Unchecked access for hot loops; callers own the bounds reasoning.
+  T& operator()(int x, int y) { return pixels_[index(x, y)]; }
+  const T& operator()(int x, int y) const { return pixels_[index(x, y)]; }
+
+  bool contains(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  std::span<T> row(int y) {
+    FDET_CHECK(y >= 0 && y < height_);
+    return {pixels_.data() + index(0, y), static_cast<std::size_t>(width_)};
+  }
+  std::span<const T> row(int y) const {
+    FDET_CHECK(y >= 0 && y < height_);
+    return {pixels_.data() + index(0, y), static_cast<std::size_t>(width_)};
+  }
+
+  std::span<T> pixels() { return pixels_; }
+  std::span<const T> pixels() const { return pixels_; }
+  T* data() { return pixels_.data(); }
+  const T* data() const { return pixels_.data(); }
+
+  void fill(T value) { pixels_.assign(pixels_.size(), value); }
+
+  /// Element-wise conversion to another pixel type.
+  template <typename U>
+  Image<U> cast() const {
+    Image<U> out(width_, height_);
+    for (std::size_t i = 0; i < pixels_.size(); ++i) {
+      out.pixels()[i] = static_cast<U>(pixels_[i]);
+    }
+    return out;
+  }
+
+  bool operator==(const Image&) const = default;
+
+ private:
+  static std::size_t checked_size(int width, int height) {
+    FDET_CHECK(width > 0 && height > 0)
+        << "image dimensions " << width << "x" << height;
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> pixels_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF32 = Image<float>;
+using ImageI32 = Image<std::int32_t>;
+using ImageI64 = Image<std::int64_t>;
+
+/// Axis-aligned rectangle in pixel coordinates ((x,y) top-left, inclusive-
+/// exclusive extent). Used for detections, ground truth and drawing.
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  std::int64_t area() const {
+    return static_cast<std::int64_t>(w) * static_cast<std::int64_t>(h);
+  }
+  int right() const { return x + w; }
+  int bottom() const { return y + h; }
+  bool operator==(const Rect&) const = default;
+};
+
+/// Intersection area of two rectangles (0 when disjoint).
+std::int64_t intersection_area(const Rect& a, const Rect& b);
+
+/// Union area (inclusion–exclusion).
+std::int64_t union_area(const Rect& a, const Rect& b);
+
+}  // namespace fdet::img

@@ -1,0 +1,44 @@
+#include "img/nv12.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace fdet::img {
+
+Nv12Frame::Nv12Frame(int width, int height)
+    : width_(width), height_(height), luma_(width, height),
+      chroma_(width, height / 2) {
+  FDET_CHECK(width > 0 && height > 0 && width % 2 == 0 && height % 2 == 0)
+      << "NV12 requires even dimensions, got " << width << "x" << height;
+}
+
+Nv12Frame Nv12Frame::from_gray(const ImageU8& gray) {
+  Nv12Frame frame(gray.width(), gray.height());
+  frame.luma_ = gray;
+  frame.chroma_.fill(128);  // neutral chroma
+  return frame;
+}
+
+void Nv12Frame::to_rgb(ImageU8& r, ImageU8& g, ImageU8& b) const {
+  r = ImageU8(width_, height_);
+  g = ImageU8(width_, height_);
+  b = ImageU8(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const float yy = static_cast<float>(luma_(x, y));
+      const int cx = (x / 2) * 2;
+      const float cb = static_cast<float>(chroma_(cx, y / 2)) - 128.0f;
+      const float cr = static_cast<float>(chroma_(cx + 1, y / 2)) - 128.0f;
+      const auto clamp8 = [](float v) {
+        return static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f));
+      };
+      r(x, y) = clamp8(yy + 1.402f * cr);
+      g(x, y) = clamp8(yy - 0.344f * cb - 0.714f * cr);
+      b(x, y) = clamp8(yy + 1.772f * cb);
+    }
+  }
+}
+
+}  // namespace fdet::img

@@ -1,0 +1,47 @@
+// NV12 frame layout — the output format of the (mock) hardware H.264
+// decoder. NV12 stores a full-resolution luma plane followed by a
+// half-resolution interleaved CbCr plane; the detection pipeline consumes
+// only the luma plane (paper Sec. V: "it is enough to consider only the
+// initial array of luminance components").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+
+namespace fdet::img {
+
+class Nv12Frame {
+ public:
+  Nv12Frame() = default;
+
+  /// Allocates a zeroed frame. Dimensions must be even (4:2:0 sampling).
+  Nv12Frame(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Full-resolution luminance plane (the detector's input).
+  const ImageU8& luma() const { return luma_; }
+  ImageU8& luma() { return luma_; }
+
+  /// Interleaved CbCr at half resolution: chroma()(2x, y) = Cb, (2x+1, y) = Cr.
+  const ImageU8& chroma() const { return chroma_; }
+  ImageU8& chroma() { return chroma_; }
+
+  /// Converts a grayscale image (luma = gray, neutral chroma).
+  static Nv12Frame from_gray(const ImageU8& gray);
+
+  /// Expands to an RGB triplet of planes using BT.601 (used by the display
+  /// stage and the examples that write PPM files).
+  void to_rgb(ImageU8& r, ImageU8& g, ImageU8& b) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  ImageU8 luma_;
+  ImageU8 chroma_;
+};
+
+}  // namespace fdet::img

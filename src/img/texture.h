@@ -1,0 +1,47 @@
+// Texture-unit emulation: floating-point addressed fetches with bilinear
+// interpolation and clamp-to-edge addressing, matching the tex2D semantics
+// the paper's scaling stage relies on (Sec. III-A).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/image.h"
+
+namespace fdet::img {
+
+/// Read-only bilinear sampler over a single-channel image.
+template <typename T>
+class BilinearSampler {
+ public:
+  explicit BilinearSampler(const Image<T>& image) : image_(&image) {}
+
+  /// Samples at continuous coordinates (texel centers at integer+0.5, as in
+  /// CUDA's non-normalized texture addressing), clamped to the edge.
+  float sample(float x, float y) const {
+    const Image<T>& im = *image_;
+    // Shift so that (0.5, 0.5) addresses the center of pixel (0, 0).
+    const float fx = x - 0.5f;
+    const float fy = y - 0.5f;
+    const int x0 = static_cast<int>(std::floor(fx));
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float ax = fx - static_cast<float>(x0);
+    const float ay = fy - static_cast<float>(y0);
+
+    const auto texel = [&im](int px, int py) -> float {
+      px = std::clamp(px, 0, im.width() - 1);
+      py = std::clamp(py, 0, im.height() - 1);
+      return static_cast<float>(im(px, py));
+    };
+
+    const float top = texel(x0, y0) * (1.0f - ax) + texel(x0 + 1, y0) * ax;
+    const float bottom =
+        texel(x0, y0 + 1) * (1.0f - ax) + texel(x0 + 1, y0 + 1) * ax;
+    return top * (1.0f - ay) + bottom * ay;
+  }
+
+ private:
+  const Image<T>* image_;
+};
+
+}  // namespace fdet::img

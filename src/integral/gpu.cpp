@@ -1,0 +1,249 @@
+#include "integral/gpu.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/check.h"
+
+namespace fdet::integral {
+namespace {
+
+constexpr int kScanThreads = 256;
+constexpr int kScanTreeSteps = 8;  // ceil(log2(kScanThreads))
+constexpr int kTileDim = 32;
+constexpr int kTileRows = 8;       // threads in y; each handles 4 tile rows
+constexpr int kTileStride = kTileDim + 1;  // +1 padding avoids bank conflicts
+
+/// Deterministic virtual address: the element's byte offset within its
+/// image. Within one warp access slot all lanes touch the same array, so
+/// offsets are sufficient for coalescing analysis — and, unlike host
+/// pointers, they keep simulated timings identical across runs.
+std::uint64_t addr_of(const img::ImageI32& image, int x, int y) {
+  return (static_cast<std::uint64_t>(y) * static_cast<std::uint64_t>(image.width()) +
+          static_cast<std::uint64_t>(x)) *
+         sizeof(std::int32_t);
+}
+
+}  // namespace
+
+vgpu::LaunchCost scan_rows_gpu(const vgpu::DeviceSpec& spec,
+                               const img::ImageI32& input,
+                               img::ImageI32& output) {
+  const int w = input.width();
+  const int h = input.height();
+  FDET_CHECK(output.width() == w && output.height() == h)
+      << "scan output must match input dimensions";
+
+  const int chunk = (w + kScanThreads - 1) / kScanThreads;
+  const int padded = chunk * kScanThreads;
+  const int shared_bytes =
+      static_cast<int>((padded + 2 * kScanThreads) * sizeof(std::int32_t));
+
+  vgpu::KernelConfig config{
+      .name = "scan_rows",
+      .grid = {1, h, 1},
+      .block = {kScanThreads, 1, 1},
+      .shared_bytes = shared_bytes,
+      .regs_per_thread = 20,
+  };
+
+  // Shared layout (identical carve order in every phase): the padded row
+  // buffer, then the two chunk-sum ping-pong buffers.
+  const auto carve = [padded](vgpu::SharedMem& shared) {
+    struct Views {
+      std::span<std::int32_t> row;
+      std::span<std::int32_t> sums_a;
+      std::span<std::int32_t> sums_b;
+    };
+    return Views{shared.array<std::int32_t>(static_cast<std::size_t>(padded)),
+                 shared.array<std::int32_t>(kScanThreads),
+                 shared.array<std::int32_t>(kScanThreads)};
+  };
+
+  std::vector<vgpu::PhaseFn> phases;
+
+  // Phase 1: cooperative coalesced load (lane l reads elements i*T + l).
+  phases.push_back([&, chunk, w](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                                 vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const int row_y = t.block_id.y;
+    for (int i = 0; i < chunk; ++i) {
+      const int idx = i * kScanThreads + t.thread.x;
+      ctx.alu(2);
+      std::int32_t value = 0;
+      if (idx < w) {
+        value = input(idx, row_y);
+        ctx.global_load(addr_of(input, idx, row_y), 4);
+      }
+      views.row[static_cast<std::size_t>(idx)] = value;
+      ctx.shared_access();
+    }
+  });
+
+  // Phase 2: each lane scans its contiguous chunk, depositing the chunk sum.
+  phases.push_back([&, chunk](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                              vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const int base = t.thread.x * chunk;
+    std::int32_t acc = 0;
+    for (int i = 0; i < chunk; ++i) {
+      acc += views.row[static_cast<std::size_t>(base + i)];
+      views.row[static_cast<std::size_t>(base + i)] = acc;
+      ctx.alu(1);
+      ctx.shared_access(2);
+    }
+    views.sums_a[static_cast<std::size_t>(t.thread.x)] = acc;
+    ctx.shared_access();
+  });
+
+  // Phases 3..10: Hillis–Steele inclusive scan over the chunk sums with
+  // ping-pong buffers (a real barrier-separated tree, not a shortcut).
+  for (int step = 0; step < kScanTreeSteps; ++step) {
+    const int offset = 1 << step;
+    const bool src_is_a = (step % 2 == 0);
+    phases.push_back([&, offset, src_is_a](const vgpu::ThreadCoord& t,
+                                           vgpu::LaneCtx& ctx,
+                                           vgpu::SharedMem& shared) {
+      auto views = carve(shared);
+      auto src = src_is_a ? views.sums_a : views.sums_b;
+      auto dst = src_is_a ? views.sums_b : views.sums_a;
+      const int lane = t.thread.x;
+      std::int32_t value = src[static_cast<std::size_t>(lane)];
+      ctx.shared_access();
+      ctx.branch(lane >= offset);
+      if (lane >= offset) {
+        value += src[static_cast<std::size_t>(lane - offset)];
+        ctx.shared_access();
+        ctx.alu(1);
+      }
+      dst[static_cast<std::size_t>(lane)] = value;
+      ctx.shared_access();
+    });
+  }
+  // After 8 steps (last destination: sums_a) the inclusive chunk-sum scan
+  // lives in sums_a.
+  static_assert(kScanTreeSteps % 2 == 0,
+                "final tree buffer assumed to be sums_a");
+
+  // Phase 11: propagate chunk offsets (exclusive: lane l adds scan[l-1]).
+  phases.push_back([&, chunk](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                              vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const int lane = t.thread.x;
+    ctx.branch(lane > 0);
+    if (lane == 0) {
+      return;
+    }
+    const std::int32_t offset = views.sums_a[static_cast<std::size_t>(lane - 1)];
+    ctx.shared_access();
+    const int base = lane * chunk;
+    for (int i = 0; i < chunk; ++i) {
+      views.row[static_cast<std::size_t>(base + i)] += offset;
+      ctx.alu(1);
+      ctx.shared_access(2);
+    }
+  });
+
+  // Phase 12: cooperative coalesced store.
+  phases.push_back([&, chunk, w](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                                 vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const int row_y = t.block_id.y;
+    for (int i = 0; i < chunk; ++i) {
+      const int idx = i * kScanThreads + t.thread.x;
+      ctx.alu(2);
+      if (idx < w) {
+        output(idx, row_y) = views.row[static_cast<std::size_t>(idx)];
+        ctx.shared_access();
+        ctx.global_store(addr_of(output, idx, row_y), 4);
+      }
+    }
+  });
+
+  return execute_kernel(spec, config, std::span<const vgpu::PhaseFn>(phases));
+}
+
+vgpu::LaunchCost transpose_gpu(const vgpu::DeviceSpec& spec,
+                               const img::ImageI32& input,
+                               img::ImageI32& output) {
+  const int w = input.width();
+  const int h = input.height();
+  FDET_CHECK(output.width() == h && output.height() == w)
+      << "transpose output must have swapped dimensions";
+
+  vgpu::KernelConfig config{
+      .name = "transpose",
+      .grid = {(w + kTileDim - 1) / kTileDim, (h + kTileDim - 1) / kTileDim, 1},
+      .block = {kTileDim, kTileRows, 1},
+      .shared_bytes =
+          static_cast<int>(kTileDim * kTileStride * sizeof(std::int32_t)),
+      .regs_per_thread = 16,
+  };
+
+  const int rows_per_thread = kTileDim / kTileRows;
+
+  const auto load_phase = [&](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                              vgpu::SharedMem& shared) {
+    auto tile = shared.array<std::int32_t>(kTileDim * kTileStride);
+    for (int j = 0; j < rows_per_thread; ++j) {
+      const int x = t.block_id.x * kTileDim + t.thread.x;
+      const int y = t.block_id.y * kTileDim + t.thread.y + j * kTileRows;
+      ctx.alu(3);
+      if (x < w && y < h) {
+        tile[static_cast<std::size_t>((t.thread.y + j * kTileRows) * kTileStride +
+                                      t.thread.x)] = input(x, y);
+        ctx.global_load(addr_of(input, x, y), 4);
+        ctx.shared_access();
+      }
+    }
+  };
+
+  const auto store_phase = [&](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                               vgpu::SharedMem& shared) {
+    auto tile = shared.array<std::int32_t>(kTileDim * kTileStride);
+    for (int j = 0; j < rows_per_thread; ++j) {
+      // Destination coordinates: the tile's grid position transposes.
+      const int x = t.block_id.y * kTileDim + t.thread.x;
+      const int y = t.block_id.x * kTileDim + t.thread.y + j * kTileRows;
+      ctx.alu(3);
+      if (x < h && y < w) {
+        output(x, y) = tile[static_cast<std::size_t>(
+            t.thread.x * kTileStride + t.thread.y + j * kTileRows)];
+        ctx.shared_access();
+        ctx.global_store(addr_of(output, x, y), 4);
+      }
+    }
+  };
+
+  return execute_kernel(spec, config, load_phase, store_phase);
+}
+
+GpuIntegralResult integral_gpu(const vgpu::DeviceSpec& spec,
+                               const img::ImageU8& input) {
+  check_integral_range(input);
+  const int w = input.width();
+  const int h = input.height();
+
+  // On the real device the first scan kernel reads the 8-bit luma plane
+  // directly; the cast here only changes the host representation.
+  const img::ImageI32 source = input.cast<std::int32_t>();
+
+  GpuIntegralResult result;
+  img::ImageI32 row_scanned(w, h);
+  result.launches.push_back(scan_rows_gpu(spec, source, row_scanned));
+
+  img::ImageI32 transposed(h, w);
+  result.launches.push_back(transpose_gpu(spec, row_scanned, transposed));
+
+  img::ImageI32 col_scanned(h, w);
+  result.launches.push_back(scan_rows_gpu(spec, transposed, col_scanned));
+
+  img::ImageI32 table(w, h);
+  result.launches.push_back(transpose_gpu(spec, col_scanned, table));
+
+  result.integral = IntegralImage(std::move(table));
+  return result;
+}
+
+}  // namespace fdet::integral

@@ -1,0 +1,48 @@
+// Integral-image computation on the virtual GPU, following the paper's
+// recipe (Sec. III-B): row-wise parallel prefix sum, matrix transposition,
+// a second row-wise prefix sum and a final transposition.
+//
+// The scan kernel is the scan-then-propagate scheme of Sengupta et al.
+// (the paper's ref [18]): one thread block per row — coalesced cooperative
+// load into shared memory, per-lane sequential chunk scan, Hillis–Steele
+// tree over the chunk sums, offset propagation, coalesced store. The
+// transpose kernel is the padded 32x32 shared-memory tile of Ruetsch &
+// Micikevicius (ref [19]).
+#pragma once
+
+#include <vector>
+
+#include "integral/integral.h"
+#include "vgpu/kernel.h"
+
+namespace fdet::integral {
+
+/// Row-wise inclusive prefix sum: out(x, y) = Σ_{i<=x} in(i, y).
+/// One thread block per row. Returns the launch cost for scheduling.
+vgpu::LaunchCost scan_rows_gpu(const vgpu::DeviceSpec& spec,
+                               const img::ImageI32& input,
+                               img::ImageI32& output);
+
+/// Tiled matrix transpose: out(y, x) = in(x, y).
+vgpu::LaunchCost transpose_gpu(const vgpu::DeviceSpec& spec,
+                               const img::ImageI32& input,
+                               img::ImageI32& output);
+
+/// Full integral-image pipeline (scan, transpose, scan, transpose).
+struct GpuIntegralResult {
+  IntegralImage integral;
+  std::vector<vgpu::LaunchCost> launches;  ///< in issue order
+
+  double total_service_cycles() const {
+    double total = 0.0;
+    for (const auto& launch : launches) {
+      total += launch.total_service_cycles;
+    }
+    return total;
+  }
+};
+
+GpuIntegralResult integral_gpu(const vgpu::DeviceSpec& spec,
+                               const img::ImageU8& input);
+
+}  // namespace fdet::integral

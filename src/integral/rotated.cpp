@@ -1,0 +1,354 @@
+#include "integral/rotated.h"
+
+#include <array>
+
+#include "core/check.h"
+
+namespace fdet::integral {
+namespace {
+
+// The cone table is stored on an extended grid: apex columns -1..width
+// (tilted rectangles touching the left/right image edge need corner
+// lookups one column outside), rows 0..height-1.
+constexpr int kPad = 1;
+
+/// One scan line through the image: start + direction + length.
+struct Line {
+  int x0;
+  int y0;
+  int dx;
+  int dy;
+  int length;
+};
+
+/// Down-right diagonals (d = x - y constant), each traversed with
+/// direction (+1, +1).
+std::vector<Line> diagonal_lines(int w, int h) {
+  std::vector<Line> lines;
+  for (int k = 0; k < w + h - 1; ++k) {
+    const int x0 = (k < h) ? 0 : k - h + 1;
+    const int y0 = (k < h) ? h - 1 - k : 0;
+    lines.push_back({x0, y0, 1, 1, std::min(w - x0, h - y0)});
+  }
+  return lines;
+}
+
+/// Anti-diagonals (e = x + y constant), traversed top-right to
+/// bottom-left with direction (-1, +1) — the cone-accumulation order.
+std::vector<Line> antidiagonal_lines(int w, int h) {
+  std::vector<Line> lines;
+  for (int e = 0; e < w + h - 1; ++e) {
+    const int x0 = std::min(e, w - 1);
+    const int y0 = e - x0;
+    lines.push_back({x0, y0, -1, 1, x0 - std::max(0, e - h + 1) + 1});
+  }
+  return lines;
+}
+
+/// Generic per-line inclusive prefix-sum kernel: one thread block per
+/// line, same scan-then-propagate structure as the row-scan kernel of
+/// integral/gpu.cpp. `fetch` reads the line's i-th element; `carries`
+/// (when non-empty) holds a per-line value added to element 0 — the
+/// incoming sum for lines whose logical predecessor lies on another line.
+template <typename Fetch>
+vgpu::LaunchCost scan_lines_gpu(const vgpu::DeviceSpec& spec,
+                                const std::vector<Line>& lines,
+                                const Fetch& fetch,
+                                std::span<const std::int32_t> carries,
+                                img::ImageI32& output,
+                                const std::string& name) {
+  constexpr int kThreads = 256;
+  constexpr int kTreeSteps = 8;
+  int max_length = 1;
+  for (const Line& line : lines) {
+    max_length = std::max(max_length, line.length);
+  }
+  const int chunk = (max_length + kThreads - 1) / kThreads;
+  const int padded = chunk * kThreads;
+
+  vgpu::KernelConfig config{
+      .name = name,
+      .grid = {1, static_cast<int>(lines.size()), 1},
+      .block = {kThreads, 1, 1},
+      .shared_bytes =
+          static_cast<int>((padded + 2 * kThreads) * sizeof(std::int32_t)),
+      .regs_per_thread = 22,
+  };
+
+  const auto carve = [padded](vgpu::SharedMem& shared) {
+    struct Views {
+      std::span<std::int32_t> line;
+      std::span<std::int32_t> sums_a;
+      std::span<std::int32_t> sums_b;
+    };
+    return Views{shared.array<std::int32_t>(static_cast<std::size_t>(padded)),
+                 shared.array<std::int32_t>(kThreads),
+                 shared.array<std::int32_t>(kThreads)};
+  };
+  const auto line_of = [&lines](const vgpu::ThreadCoord& t) -> const Line& {
+    return lines[static_cast<std::size_t>(t.block_id.y)];
+  };
+
+  std::vector<vgpu::PhaseFn> phases;
+  // Load (coalescing is imperfect for diagonal walks — faithfully charged:
+  // each element's address is its true image offset).
+  phases.push_back([&, chunk](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                              vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const Line& line = line_of(t);
+    for (int i = 0; i < chunk; ++i) {
+      const int idx = i * kThreads + t.thread.x;
+      ctx.alu(3);
+      std::int32_t value = 0;
+      if (idx < line.length) {
+        const int x = line.x0 + idx * line.dx;
+        const int y = line.y0 + idx * line.dy;
+        value = fetch(x, y, ctx);
+        if (idx == 0 && !carries.empty()) {
+          value += carries[static_cast<std::size_t>(t.block_id.y)];
+          ctx.constant_load();
+          ctx.alu(1);
+        }
+      }
+      views.line[static_cast<std::size_t>(idx)] = value;
+      ctx.shared_access();
+    }
+  });
+  // Per-lane chunk scan.
+  phases.push_back([&, chunk](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                              vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const int base = t.thread.x * chunk;
+    std::int32_t acc = 0;
+    for (int i = 0; i < chunk; ++i) {
+      acc += views.line[static_cast<std::size_t>(base + i)];
+      views.line[static_cast<std::size_t>(base + i)] = acc;
+      ctx.alu(1);
+      ctx.shared_access(2);
+    }
+    views.sums_a[static_cast<std::size_t>(t.thread.x)] = acc;
+    ctx.shared_access();
+  });
+  // Hillis–Steele tree over chunk sums.
+  for (int step = 0; step < kTreeSteps; ++step) {
+    const int offset = 1 << step;
+    const bool src_is_a = (step % 2 == 0);
+    phases.push_back([carve, offset, src_is_a](const vgpu::ThreadCoord& t,
+                                               vgpu::LaneCtx& ctx,
+                                               vgpu::SharedMem& shared) {
+      auto views = carve(shared);
+      auto src = src_is_a ? views.sums_a : views.sums_b;
+      auto dst = src_is_a ? views.sums_b : views.sums_a;
+      const int lane = t.thread.x;
+      std::int32_t value = src[static_cast<std::size_t>(lane)];
+      ctx.shared_access();
+      ctx.branch(lane >= offset);
+      if (lane >= offset) {
+        value += src[static_cast<std::size_t>(lane - offset)];
+        ctx.shared_access();
+        ctx.alu(1);
+      }
+      dst[static_cast<std::size_t>(lane)] = value;
+      ctx.shared_access();
+    });
+  }
+  // Propagate chunk offsets.
+  phases.push_back([carve, chunk](const vgpu::ThreadCoord& t,
+                                  vgpu::LaneCtx& ctx,
+                                  vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const int lane = t.thread.x;
+    ctx.branch(lane > 0);
+    if (lane == 0) {
+      return;
+    }
+    const std::int32_t offset =
+        views.sums_a[static_cast<std::size_t>(lane - 1)];
+    ctx.shared_access();
+    const int base = lane * chunk;
+    for (int i = 0; i < chunk; ++i) {
+      views.line[static_cast<std::size_t>(base + i)] += offset;
+      ctx.alu(1);
+      ctx.shared_access(2);
+    }
+  });
+  // Store.
+  phases.push_back([&, chunk](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                              vgpu::SharedMem& shared) {
+    auto views = carve(shared);
+    const Line& line = line_of(t);
+    for (int i = 0; i < chunk; ++i) {
+      const int idx = i * kThreads + t.thread.x;
+      ctx.alu(3);
+      if (idx < line.length) {
+        const int x = line.x0 + idx * line.dx;
+        const int y = line.y0 + idx * line.dy;
+        output(x, y) = views.line[static_cast<std::size_t>(idx)];
+        ctx.shared_access();
+        ctx.global_store(
+            (static_cast<std::uint64_t>(y) * output.width() + x) * 4, 4);
+      }
+    }
+  });
+
+  return execute_kernel(spec, config, std::span<const vgpu::PhaseFn>(phases));
+}
+
+}  // namespace
+
+std::int64_t RotatedIntegralImage::rsat(int x, int y) const {
+  if (y < 0) {
+    return 0;  // cone entirely above the image
+  }
+  FDET_CHECK(y < table_.height()) << "rsat row " << y;
+  FDET_CHECK(x >= -kPad && x < table_.width() - kPad)
+      << "rsat column " << x;
+  return table_(x + kPad, y);
+}
+
+std::int64_t RotatedIntegralImage::tilted_sum(int x, int y, int w,
+                                              int h) const {
+  FDET_CHECK(w >= 1 && h >= 1);
+  // Solid 45°-rotated rectangle hanging below the apex (x, y): in diagonal
+  // coordinates d = x'-y', e = x'+y' it is the box
+  //   d in [x-y-2h, x-y-1],  e in [x+y+1, x+y+2w]
+  // (2wh pixels). Four cone lookups, mirroring the upright case.
+  return rsat(x, y) + rsat(x + w - h, y + w + h) - rsat(x + w, y + w) -
+         rsat(x - h, y + h);
+}
+
+RotatedIntegralImage rotated_integral_cpu(const img::ImageU8& input) {
+  const int w = input.width();
+  const int h = input.height();
+  FDET_CHECK(static_cast<std::int64_t>(w) * h * 255 < (std::int64_t{1} << 31))
+      << "image too large for exact int32 rotated integral";
+
+  // Interior: the Lienhart recurrence
+  //   T(x,y) = T(x-1,y-1) + T(x+1,y-1) - T(x,y-2) + I(x,y) + I(x,y-1).
+  // Borders: an apex one column outside the image sees the same pixels as
+  // the in-image apex one row up: T(-1,y) = T(0,y-1), T(w,y) = T(w-1,y-1).
+  img::ImageI32 table(w + 2 * kPad, h);
+  const auto at = [&table](int tx, int y) -> std::int64_t {
+    return y < 0 ? 0 : table(tx, y);
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int tx = x + kPad;
+      std::int64_t value = input(x, y);
+      if (y >= 1) {
+        value += input(x, y - 1);
+      }
+      value += at(tx - 1, y - 1) + at(tx + 1, y - 1) - at(tx, y - 2);
+      table(tx, y) = static_cast<std::int32_t>(value);
+    }
+    table(0, y) = static_cast<std::int32_t>(at(kPad, y - 1));
+    table(w + kPad, y) = static_cast<std::int32_t>(at(w - 1 + kPad, y - 1));
+  }
+  return RotatedIntegralImage(std::move(table));
+}
+
+GpuRotatedResult rotated_integral_gpu(const vgpu::DeviceSpec& spec,
+                                      const img::ImageU8& input) {
+  // Separable construction in diagonal coordinates — the rotated analogue
+  // of the paper's row-scan + transpose scheme:
+  //   stage A (down-right diagonals):  A(x,y) = A(x-1,y-1) + I(x,y)
+  //   stage B (anti-diagonals):        T(x,y) = T(x+1,y-1) + A(x,y) + A(x,y-1)
+  const int w = input.width();
+  const int h = input.height();
+
+  GpuRotatedResult result;
+  img::ImageI32 diag(w, h);
+  result.launches.push_back(scan_lines_gpu(
+      spec, diagonal_lines(w, h),
+      [&input](int x, int y, vgpu::LaneCtx& ctx) -> std::int32_t {
+        ctx.global_load(
+            static_cast<std::uint64_t>(y) * static_cast<std::uint64_t>(
+                                                input.width()) +
+            static_cast<std::uint64_t>(x),
+            1);
+        return input(x, y);
+      },
+      {}, diag, "rotated_scan_diag"));
+
+  // Anti-diagonal lines starting on the right image edge have a logical
+  // predecessor T(w, y0-1) = T(w-1, y0-2) — the head of the line two
+  // anti-diagonals earlier. These carries form two sequential chains
+  // down the right edge; a tiny single-warp kernel resolves them (its
+  // per-element cost is charged; two lanes walk the two parity chains).
+  const std::vector<Line> anti = antidiagonal_lines(w, h);
+  std::vector<std::int32_t> carries(anti.size(), 0);
+  {
+    vgpu::KernelConfig config{
+        .name = "rotated_edge_carry",
+        .grid = {1, 1, 1},
+        .block = {32, 1, 1},
+        .regs_per_thread = 12,
+        .track_branches = true,
+    };
+    result.launches.push_back(execute_kernel(
+        spec, config,
+        [&](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+            vgpu::SharedMem&) {
+          const int lane = t.thread.x;
+          ctx.branch(lane < 2);
+          if (lane >= 2) {
+            return;  // two chains (anti-diagonal parity classes)
+          }
+          // Cone values down the right edge: G(y) = T(w-1, y) satisfies
+          // G(y) = A(w-1,y) + A(w-1,y-1) + G(y-2); the carry of line e is
+          // T(w, e-w) = T(w-1, e-w-1) = G(e-w-1).
+          std::int64_t cone_value = 0;
+          for (int y = lane; y < h; y += 2) {
+            cone_value += diag(w - 1, y);
+            ctx.global_load(
+                (static_cast<std::uint64_t>(y) * diag.width() + w - 1) * 4, 4);
+            if (y >= 1) {
+              cone_value += diag(w - 1, y - 1);
+              ctx.global_load(
+                  (static_cast<std::uint64_t>(y - 1) * diag.width() + w - 1) *
+                      4,
+                  4);
+            }
+            ctx.alu(3);
+            const int e = w + 1 + y;
+            if (e < w + h - 1) {
+              carries[static_cast<std::size_t>(e)] =
+                  static_cast<std::int32_t>(cone_value);
+              ctx.global_store(static_cast<std::uint64_t>(e) * 4, 4);
+            }
+          }
+        }));
+  }
+
+  img::ImageI32 cone(w, h);
+  result.launches.push_back(scan_lines_gpu(
+      spec, anti,
+      [&diag](int x, int y, vgpu::LaneCtx& ctx) -> std::int32_t {
+        std::int32_t value = diag(x, y);
+        ctx.global_load(
+            (static_cast<std::uint64_t>(y) * diag.width() + x) * 4, 4);
+        if (y >= 1) {
+          value += diag(x, y - 1);
+          ctx.global_load(
+              (static_cast<std::uint64_t>(y - 1) * diag.width() + x) * 4, 4);
+          ctx.alu(1);
+        }
+        return value;
+      },
+      carries, cone, "rotated_scan_anti"));
+
+  // Repack into the extended-grid layout (border apexes as in the CPU
+  // path: T(-1,y) = T(0,y-1), T(w,y) = T(w-1,y-1)).
+  img::ImageI32 table(w + 2 * kPad, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      table(x + kPad, y) = cone(x, y);
+    }
+    table(0, y) = (y >= 1) ? cone(0, y - 1) : 0;
+    table(w + kPad, y) = (y >= 1) ? cone(w - 1, y - 1) : 0;
+  }
+  result.integral = RotatedIntegralImage(std::move(table));
+  return result;
+}
+
+}  // namespace fdet::integral

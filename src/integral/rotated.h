@@ -1,0 +1,62 @@
+// Rotated (45°) summed-area tables — the infrastructure behind Lienhart's
+// tilted Haar features. Paper Sec. III-C notes the detector "could also be
+// significantly improved by performing rotations of the integral image";
+// this module provides that substrate plus the tilted rectangle sums, on
+// the CPU and as vGPU kernels.
+//
+// Definition (Lienhart & Maydt): RSAT(x, y) is the sum of pixels inside
+// the 45°-bounded half-strip
+//
+//   S(x, y) = { (x', y') : y' <= y,  x - (y - y') <= x' <= x }
+//
+// i.e. everything on or above row y, bounded right by column x and left
+// by the down-right diagonal through (x - y, 0). It satisfies the exact
+// decomposition  S(x, y) = column(x, <= y)  ⊎  S(x - 1, y - 1), giving a
+// two-pass O(n·m) construction: vertical prefix sums, then a diagonal
+// accumulation. A 45°-rotated rectangle sum then costs four RSAT lookups,
+// mirroring the upright case.
+#pragma once
+
+#include "img/image.h"
+#include "vgpu/kernel.h"
+
+namespace fdet::integral {
+
+class RotatedIntegralImage {
+ public:
+  RotatedIntegralImage() = default;
+  explicit RotatedIntegralImage(img::ImageI32 table)
+      : table_(std::move(table)) {}
+
+  int width() const { return table_.width(); }
+  int height() const { return table_.height(); }
+  const img::ImageI32& table() const { return table_; }
+
+  /// RSAT value with out-of-range coordinates resolving to the correct
+  /// region sum (x clamps right/empty-left, y < 0 is empty).
+  std::int64_t rsat(int x, int y) const;
+
+  /// Sum of the 45°-rotated rectangle anchored at (x, y) — its topmost
+  /// pixel — extending w pixels down-right and h pixels down-left:
+  ///   R = { (x + u - v, y + u + v) : 0 <= u < w, 0 <= v < h }.
+  /// The rectangle must lie inside the image.
+  std::int64_t tilted_sum(int x, int y, int w, int h) const;
+
+ private:
+  img::ImageI32 table_;
+};
+
+/// CPU reference construction.
+RotatedIntegralImage rotated_integral_cpu(const img::ImageU8& input);
+
+/// vGPU construction: a column prefix-sum kernel (one block per column
+/// group) followed by a diagonal accumulation kernel (one thread per
+/// diagonal). Returns the two launch costs for scheduling.
+struct GpuRotatedResult {
+  RotatedIntegralImage integral;
+  std::vector<vgpu::LaunchCost> launches;
+};
+GpuRotatedResult rotated_integral_gpu(const vgpu::DeviceSpec& spec,
+                                      const img::ImageU8& input);
+
+}  // namespace fdet::integral

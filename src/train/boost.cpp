@@ -1,0 +1,391 @@
+#include "train/boost.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
+#include "facegen/background.h"
+#include "haar/enumerate.h"
+#include "train/dataset_matrix.h"
+#include "train/stump.h"
+
+namespace fdet::train {
+namespace {
+
+/// The hypothesis pool, grouped by family as the paper's four parallel
+/// loops require.
+struct FeaturePool {
+  std::vector<haar::HaarFeature> features;        // grouped by type
+  std::array<std::pair<int, int>, 4> type_ranges; // [first, last) per family
+  std::vector<std::vector<DatasetMatrix::Term>> terms;
+};
+
+FeaturePool build_pool(int target_total, std::uint64_t seed) {
+  FDET_CHECK(target_total >= 16);
+  FeaturePool pool;
+  // Split the budget across families proportionally to the full-grid
+  // hypothesis counts (edge-heavy, like Table I).
+  const std::array<haar::HaarType, 4> types = {
+      haar::HaarType::kEdge, haar::HaarType::kLine,
+      haar::HaarType::kCenterSurround, haar::HaarType::kDiagonal};
+  std::array<std::int64_t, 4> full_counts{};
+  std::int64_t full_total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    full_counts[i] = haar::count_features(types[i]);
+    full_total += full_counts[i];
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    const int share = std::max(
+        4, static_cast<int>(target_total * full_counts[i] / full_total));
+    const int first = static_cast<int>(pool.features.size());
+    auto sampled = haar::sample_features(types[i], share, seed);
+    pool.features.insert(pool.features.end(), sampled.begin(), sampled.end());
+    pool.type_ranges[i] = {first, static_cast<int>(pool.features.size())};
+  }
+  pool.terms.reserve(pool.features.size());
+  for (const auto& f : pool.features) {
+    pool.terms.push_back(DatasetMatrix::feature_terms(f));
+  }
+  return pool;
+}
+
+/// Response cache: responses[f][j] = feature f on example j.
+std::vector<std::vector<std::int32_t>> cache_responses(
+    const DatasetMatrix& matrix, const FeaturePool& pool, int threads) {
+  std::vector<std::vector<std::int32_t>> responses(pool.features.size());
+  const int n = static_cast<int>(pool.features.size());
+  if (threads > 0) {
+    omp_set_num_threads(threads);
+  }
+#pragma omp parallel for schedule(static)
+  for (int f = 0; f < n; ++f) {
+    responses[static_cast<std::size_t>(f)].resize(
+        static_cast<std::size_t>(matrix.cols()));
+    matrix.evaluate_terms(pool.terms[static_cast<std::size_t>(f)],
+                          responses[static_cast<std::size_t>(f)]);
+  }
+  return responses;
+}
+
+struct RoundBest {
+  StumpFit fit;
+  int feature = -1;
+};
+
+/// One boosting round: tests every hypothesis (four per-family parallel
+/// loops, as in paper Fig. 4) and returns the global best stump.
+RoundBest best_stump_round(const FeaturePool& pool,
+                           const std::vector<std::vector<std::int32_t>>& responses,
+                           std::span<const float> targets,
+                           std::span<const double> weights,
+                           BoostAlgorithm algorithm, int bins, int threads) {
+  RoundBest global;
+  global.fit.loss = std::numeric_limits<double>::infinity();
+  if (threads > 0) {
+    omp_set_num_threads(threads);
+  }
+
+  for (const auto& [first, last] : pool.type_ranges) {
+    RoundBest family;
+    family.fit.loss = std::numeric_limits<double>::infinity();
+#pragma omp parallel
+    {
+      RoundBest local;
+      local.fit.loss = std::numeric_limits<double>::infinity();
+#pragma omp for schedule(static) nowait
+      for (int f = first; f < last; ++f) {
+        const auto& r = responses[static_cast<std::size_t>(f)];
+        const StumpFit fit =
+            (algorithm == BoostAlgorithm::kGentleBoost)
+                ? fit_gentle_stump(r, targets, weights, bins)
+                : fit_discrete_stump(r, targets, weights, bins);
+        if (fit.valid &&
+            (fit.loss < local.fit.loss ||
+             (fit.loss == local.fit.loss && f < local.feature))) {
+          local.fit = fit;
+          local.feature = f;
+        }
+      }
+#pragma omp critical
+      {
+        if (local.feature >= 0 &&
+            (local.fit.loss < family.fit.loss ||
+             (local.fit.loss == family.fit.loss &&
+              local.feature < family.feature))) {
+          family = local;
+        }
+      }
+    }
+    if (family.feature >= 0 &&
+        (family.fit.loss < global.fit.loss ||
+         (family.fit.loss == global.fit.loss &&
+          family.feature < global.feature))) {
+      global = family;
+    }
+  }
+  return global;
+}
+
+/// Mines negatives: background windows that the cascade-so-far still
+/// accepts (the paper's bootstrapping routine). When the cascade has
+/// become too selective for the sampling budget, the shortfall is filled
+/// with the *hardest* rejected windows seen (deepest cascade penetration,
+/// then highest final score) — deep stages keep training against
+/// adversarial material instead of trivially-rejectable noise.
+std::vector<img::ImageU8> mine_negatives(
+    const facegen::TrainingSet& set, const haar::Cascade& cascade_so_far,
+    int want, core::Rng& rng) {
+  std::vector<img::ImageU8> mined;
+  mined.reserve(static_cast<std::size_t>(want));
+
+  struct Rejected {
+    img::ImageU8 window;
+    int depth;
+    float score;
+  };
+  std::vector<Rejected> rejected;
+
+  const int max_attempts = want * 200;
+  for (int attempt = 0; attempt < max_attempts &&
+                        static_cast<int>(mined.size()) < want;
+       ++attempt) {
+    const auto& bg = set.backgrounds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(set.backgrounds.size()) - 1))];
+    img::ImageU8 window = facegen::random_patch(bg, haar::kWindowSize, rng);
+    if (cascade_so_far.empty()) {
+      mined.push_back(std::move(window));
+      continue;
+    }
+    const auto ii = integral::integral_cpu(window);
+    const haar::CascadeResult result = cascade_so_far.evaluate(ii, 0, 0);
+    if (result.accepted) {
+      mined.push_back(std::move(window));
+    } else {
+      rejected.push_back({std::move(window), result.depth, result.score});
+    }
+  }
+
+  if (static_cast<int>(mined.size()) < want) {
+    const auto shortfall = static_cast<std::size_t>(
+        want - static_cast<int>(mined.size()));
+    std::partial_sort(rejected.begin(),
+                      rejected.begin() +
+                          std::min(shortfall, rejected.size()),
+                      rejected.end(), [](const Rejected& a, const Rejected& b) {
+                        return a.depth != b.depth ? a.depth > b.depth
+                                                  : a.score > b.score;
+                      });
+    for (std::size_t i = 0; i < rejected.size() &&
+                            static_cast<int>(mined.size()) < want;
+         ++i) {
+      mined.push_back(std::move(rejected[i].window));
+    }
+  }
+  while (static_cast<int>(mined.size()) < want) {
+    const auto& bg = set.backgrounds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(set.backgrounds.size()) - 1))];
+    mined.push_back(facegen::random_patch(bg, haar::kWindowSize, rng));
+  }
+  return mined;
+}
+
+}  // namespace
+
+TrainResult train_cascade(const facegen::TrainingSet& set,
+                          const TrainOptions& options,
+                          const std::string& name) {
+  FDET_CHECK(!options.stage_sizes.empty());
+  FDET_CHECK(!set.faces.empty() && !set.backgrounds.empty());
+  core::Stopwatch total_watch;
+
+  const FeaturePool pool = build_pool(options.feature_pool, options.seed);
+  core::Rng rng(core::hash_combine(options.seed, 0xb005));
+
+  TrainResult result;
+  result.cascade = haar::Cascade(name);
+
+  const int pos = static_cast<int>(set.faces.size());
+
+  for (const int stage_size : options.stage_sizes) {
+    core::Stopwatch stage_watch;
+    StageStats stats;
+    stats.classifiers = stage_size;
+
+    // Assemble this stage's example set: all faces + bootstrapped negatives.
+    const std::vector<img::ImageU8> negatives = mine_negatives(
+        set, result.cascade, options.negatives_per_stage, rng);
+    stats.negatives_mined = static_cast<int>(negatives.size());
+    const int neg = static_cast<int>(negatives.size());
+    const int n = pos + neg;
+
+    DatasetMatrix matrix(n);
+    for (const auto& face : set.faces) {
+      matrix.add_window(face.image);
+    }
+    for (const auto& window : negatives) {
+      matrix.add_window(window);
+    }
+    const auto responses = cache_responses(matrix, pool, options.threads);
+
+    std::vector<float> targets(static_cast<std::size_t>(n));
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      targets[static_cast<std::size_t>(i)] = (i < pos) ? 1.0f : -1.0f;
+      weights[static_cast<std::size_t>(i)] =
+          (i < pos) ? 0.5 / pos : 0.5 / neg;
+    }
+
+    haar::Stage stage;
+    std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
+
+    for (int round = 0; round < stage_size; ++round) {
+      const RoundBest best =
+          best_stump_round(pool, responses, targets, weights,
+                           options.algorithm, options.histogram_bins,
+                           options.threads);
+      FDET_CHECK(best.feature >= 0)
+          << "no splittable hypothesis in round " << round;
+
+      haar::WeakClassifier wc;
+      wc.feature = pool.features[static_cast<std::size_t>(best.feature)];
+      wc.threshold = best.fit.threshold;
+      if (options.algorithm == BoostAlgorithm::kGentleBoost) {
+        wc.left_vote = best.fit.left_vote;
+        wc.right_vote = best.fit.right_vote;
+      } else {
+        // Discrete AdaBoost: vote ±alpha with alpha from the weighted error.
+        const double eps = std::clamp(best.fit.loss, 1e-10, 1.0 - 1e-10);
+        const auto alpha =
+            static_cast<float>(0.5 * std::log((1.0 - eps) / eps));
+        wc.left_vote = best.fit.left_vote * alpha;
+        wc.right_vote = best.fit.right_vote * alpha;
+      }
+
+      // Update weights and running stage scores.
+      const auto& r = responses[static_cast<std::size_t>(best.feature)];
+      double weight_sum = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const float h = wc.vote(r[static_cast<std::size_t>(i)]);
+        scores[static_cast<std::size_t>(i)] += h;
+        weights[static_cast<std::size_t>(i)] *=
+            std::exp(-static_cast<double>(targets[static_cast<std::size_t>(i)]) * h);
+        weight_sum += weights[static_cast<std::size_t>(i)];
+      }
+      FDET_CHECK(weight_sum > 0.0);
+      for (double& w : weights) {
+        w /= weight_sum;
+      }
+      stage.classifiers.push_back(wc);
+    }
+
+    // Stage threshold: keep at least stage_hit_target of the faces, and do
+    // not reject more than (1 - stage_fp_floor) of this stage's negatives
+    // (the Viola–Jones stage-tuning heuristic) — whichever threshold is
+    // lower wins, so the hit target always holds.
+    std::vector<double> pos_scores(scores.begin(), scores.begin() + pos);
+    std::sort(pos_scores.begin(), pos_scores.end());
+    const auto hit_cut = static_cast<std::size_t>(std::floor(
+        (1.0 - options.stage_hit_target) * static_cast<double>(pos)));
+    double threshold =
+        pos_scores[std::min(hit_cut, pos_scores.size() - 1)] - 1e-6;
+    if (neg > 0 && options.stage_fp_floor > 0.0) {
+      // Stump scores are heavily tied (a handful of distinct vote sums),
+      // so a plain quantile can land inside a tie block and keep far more
+      // negatives than intended. Scan the distinct score values and pick
+      // the threshold whose realized pass fraction is closest to the
+      // floor.
+      std::vector<double> neg_scores(scores.begin() + pos, scores.end());
+      std::sort(neg_scores.begin(), neg_scores.end());
+      double fp_threshold = neg_scores.front();
+      double best_gap = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < neg_scores.size();) {
+        const double value = neg_scores[i];
+        const double pass_fraction =
+            static_cast<double>(neg_scores.size() - i) /
+            static_cast<double>(neg_scores.size());
+        const double gap = std::abs(pass_fraction - options.stage_fp_floor);
+        if (gap < best_gap) {
+          best_gap = gap;
+          fp_threshold = value;
+        }
+        while (i < neg_scores.size() && neg_scores[i] == value) {
+          ++i;
+        }
+      }
+      threshold = std::min(threshold, fp_threshold);
+    }
+    stage.threshold = static_cast<float>(threshold);
+
+    int hits = 0;
+    int false_accepts = 0;
+    for (int i = 0; i < n; ++i) {
+      const bool pass = scores[static_cast<std::size_t>(i)] >= stage.threshold;
+      if (i < pos) {
+        hits += pass;
+      } else {
+        false_accepts += pass;
+      }
+    }
+    stats.hit_rate = static_cast<double>(hits) / pos;
+    stats.false_positive_rate =
+        neg > 0 ? static_cast<double>(false_accepts) / neg : 0.0;
+    stats.seconds = stage_watch.elapsed_seconds();
+
+    result.cascade.add_stage(std::move(stage));
+    result.stages.push_back(stats);
+  }
+
+  result.total_seconds = total_watch.elapsed_seconds();
+  return result;
+}
+
+double boosting_iteration_seconds(const facegen::TrainingSet& set,
+                                  int feature_pool, int threads,
+                                  std::uint64_t seed) {
+  const FeaturePool pool = build_pool(feature_pool, seed);
+  const int pos = static_cast<int>(set.faces.size());
+  core::Rng rng(core::hash_combine(seed, 0x17e2));
+
+  DatasetMatrix matrix(pos * 2);
+  for (const auto& face : set.faces) {
+    matrix.add_window(face.image);
+  }
+  for (int i = 0; i < pos; ++i) {
+    const auto& bg = set.backgrounds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(set.backgrounds.size()) - 1))];
+    matrix.add_window(facegen::random_patch(bg, haar::kWindowSize, rng));
+  }
+  const int n = matrix.cols();
+  std::vector<float> targets(static_cast<std::size_t>(n));
+  std::vector<double> weights(static_cast<std::size_t>(n), 1.0 / n);
+  for (int i = 0; i < n; ++i) {
+    targets[static_cast<std::size_t>(i)] = (i < pos) ? 1.0f : -1.0f;
+  }
+
+  // The measured unit: evaluate every hypothesis on every example and fit
+  // its stump (response evaluation + regression, as in paper Fig. 4).
+  core::Stopwatch watch;
+  if (threads > 0) {
+    omp_set_num_threads(threads);
+  }
+  const int total = static_cast<int>(pool.features.size());
+  std::vector<double> losses(static_cast<std::size_t>(total), 0.0);
+#pragma omp parallel
+  {
+    std::vector<std::int32_t> eval(static_cast<std::size_t>(n));
+#pragma omp for schedule(static)
+    for (int f = 0; f < total; ++f) {
+      matrix.evaluate_terms(pool.terms[static_cast<std::size_t>(f)], eval);
+      const StumpFit fit = fit_gentle_stump(eval, targets, weights);
+      losses[static_cast<std::size_t>(f)] = fit.valid ? fit.loss : 1e30;
+    }
+  }
+  return watch.elapsed_seconds();
+}
+
+}  // namespace fdet::train

@@ -1,0 +1,77 @@
+#include "train/pretrained.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/rng.h"
+#include "core/stopwatch.h"
+#include "haar/profile.h"
+#include "train/boost.h"
+
+namespace fdet::train {
+
+std::string PretrainedOptions::digest() const {
+  std::uint64_t h = core::hash_combine(
+      seed, static_cast<std::uint64_t>(facegen::kFacegenVersion));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(kTrainerVersion));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(faces));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(backgrounds));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(feature_pool));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(negatives_per_stage));
+  h = core::hash_combine(
+      h, static_cast<std::uint64_t>(stage_hit_target * 1e6));
+  std::ostringstream out;
+  out << std::hex << h;
+  return out.str();
+}
+
+CascadePair get_or_train_cascades(const std::string& cache_dir,
+                                  const PretrainedOptions& options) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cache_dir);
+  const std::string tag = options.digest();
+  const std::string ours_path =
+      (fs::path(cache_dir) / ("ours-" + tag + ".cascade")).string();
+  const std::string baseline_path =
+      (fs::path(cache_dir) / ("opencv-like-" + tag + ".cascade")).string();
+
+  if (fs::exists(ours_path) && fs::exists(baseline_path)) {
+    return {haar::load_cascade(ours_path), haar::load_cascade(baseline_path)};
+  }
+
+  std::fprintf(stderr,
+               "[fdet] training cascade pair (cache miss, key %s) — this "
+               "runs once and is cached\n",
+               tag.c_str());
+  const facegen::TrainingSet set = facegen::build_training_set(
+      options.faces, options.backgrounds, 96, options.seed);
+
+  const auto train_one = [&](const char* name, BoostAlgorithm algorithm,
+                             std::vector<int> stage_sizes) {
+    TrainOptions topt;
+    topt.stage_sizes = std::move(stage_sizes);
+    topt.algorithm = algorithm;
+    topt.feature_pool = options.feature_pool;
+    topt.negatives_per_stage = options.negatives_per_stage;
+    topt.stage_hit_target = options.stage_hit_target;
+    topt.seed = options.seed;
+    core::Stopwatch watch;
+    TrainResult result = train_cascade(set, topt, name);
+    std::fprintf(stderr, "[fdet] trained %s: %d stages, %d classifiers in %.1fs\n",
+                 name, result.cascade.stage_count(),
+                 result.cascade.classifier_count(), watch.elapsed_seconds());
+    return std::move(result.cascade);
+  };
+
+  CascadePair pair;
+  pair.ours = train_one("ours-gentleboost", BoostAlgorithm::kGentleBoost,
+                        haar::compact_profile());
+  pair.opencv_like = train_one("opencv-like-adaboost", BoostAlgorithm::kAdaBoost,
+                               haar::opencv_frontal_profile());
+  haar::save_cascade(ours_path, pair.ours);
+  haar::save_cascade(baseline_path, pair.opencv_like);
+  return pair;
+}
+
+}  // namespace fdet::train

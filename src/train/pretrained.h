@@ -1,0 +1,40 @@
+// Disk-cached trained cascade pair.
+//
+// Several benches and examples need the two cascades of the paper's
+// evaluation: "ours" (GentleBoost, 25 stages, 1446 weak classifiers) and
+// the OpenCV-style baseline (discrete AdaBoost, 25 stages, 2913 weak
+// classifiers). Training them takes minutes, so the first call trains and
+// serializes both into a cache directory; later calls load the files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "haar/cascade.h"
+
+namespace fdet::train {
+
+struct PretrainedOptions {
+  int faces = 2000;            ///< positive training chips
+  int backgrounds = 250;       ///< background images (96x96)
+  int feature_pool = 1500;
+  int negatives_per_stage = 1200;
+  double stage_hit_target = 0.995;
+  std::uint64_t seed = 2012;   ///< vintage of the paper
+
+  /// Digest used to key the cache files.
+  std::string digest() const;
+};
+
+struct CascadePair {
+  haar::Cascade ours;         ///< GentleBoost, compact_profile()
+  haar::Cascade opencv_like;  ///< AdaBoost, opencv_frontal_profile()
+};
+
+/// Loads the pair from `cache_dir`, training and saving on a cache miss.
+/// Creates the directory when needed. Prints one progress line per stage
+/// to stderr when training (it is minutes-long by design).
+CascadePair get_or_train_cascades(const std::string& cache_dir,
+                                  const PretrainedOptions& options = {});
+
+}  // namespace fdet::train

@@ -1,0 +1,51 @@
+#include "train/smp_model.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace fdet::train {
+
+double SmpPlatform::iteration_seconds(int threads) const {
+  FDET_CHECK(threads >= 1);
+  const int hw_threads = physical_cores * smt_ways;
+  const int used = std::min(threads, hw_threads);
+  const int real = std::min(used, physical_cores);
+  const int smt_extra = used - real;
+  // Throughput in "core equivalents": full cores plus the marginal yield
+  // of SMT siblings, clipped by the shared memory-bandwidth ceiling.
+  const double throughput =
+      std::min(static_cast<double>(real) + smt_yield * smt_extra,
+               bandwidth_speedup_cap);
+  return single_thread_seconds *
+         (serial_fraction + (1.0 - serial_fraction) / throughput);
+}
+
+double SmpPlatform::speedup(int threads) const {
+  return iteration_seconds(1) / iteration_seconds(threads);
+}
+
+SmpPlatform dual_xeon_e5472() {
+  SmpPlatform p;
+  p.name = "Dual Intel Xeon E5472";
+  p.physical_cores = 8;  // two quad-core sockets
+  p.smt_ways = 1;
+  p.single_thread_seconds = 350.0;  // paper Fig. 8, 1 thread
+  p.serial_fraction = 0.10;
+  p.bandwidth_speedup_cap = 4.85;   // FSB-era shared bus saturates early
+  return p;
+}
+
+SmpPlatform core_i7_2600k() {
+  SmpPlatform p;
+  p.name = "Intel Core i7-2600K";
+  p.physical_cores = 4;
+  p.smt_ways = 2;
+  p.smt_yield = 0.25;
+  p.single_thread_seconds = 175.0;  // ~2x faster than the Xeon per thread
+  p.serial_fraction = 0.10;
+  p.bandwidth_speedup_cap = 4.85;
+  return p;
+}
+
+}  // namespace fdet::train

@@ -1,0 +1,149 @@
+#include "train/stump.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/check.h"
+
+namespace fdet::train {
+namespace {
+
+struct Histogram {
+  std::int32_t min = 0;
+  std::int32_t max = 0;
+  double width = 1.0;
+  int bins = 0;
+
+  int bin_of(std::int32_t response) const {
+    const int b = static_cast<int>((response - min) / width);
+    return std::clamp(b, 0, bins - 1);
+  }
+
+  /// Threshold separating bins [0..b] from (b..]: the lower edge of b+1.
+  float threshold_after(int b) const {
+    return static_cast<float>(min + (b + 1) * width);
+  }
+};
+
+bool make_histogram(std::span<const std::int32_t> responses, int bins,
+                    Histogram& hist) {
+  FDET_CHECK(!responses.empty() && bins >= 2);
+  const auto [lo, hi] = std::minmax_element(responses.begin(), responses.end());
+  if (*lo == *hi) {
+    return false;  // constant response: no split possible
+  }
+  hist.min = *lo;
+  hist.max = *hi;
+  hist.bins = bins;
+  hist.width = (static_cast<double>(*hi) - *lo + 1.0) / bins;
+  return true;
+}
+
+}  // namespace
+
+StumpFit fit_gentle_stump(std::span<const std::int32_t> responses,
+                          std::span<const float> targets,
+                          std::span<const double> weights, int bins) {
+  FDET_CHECK(responses.size() == targets.size() &&
+             responses.size() == weights.size());
+  StumpFit fit;
+  Histogram hist;
+  if (!make_histogram(responses, bins, hist)) {
+    return fit;
+  }
+
+  std::vector<double> sw(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> swz(static_cast<std::size_t>(bins), 0.0);
+  double total_w = 0.0;
+  double total_wz = 0.0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const int b = hist.bin_of(responses[i]);
+    sw[static_cast<std::size_t>(b)] += weights[i];
+    swz[static_cast<std::size_t>(b)] += weights[i] * targets[i];
+    total_w += weights[i];
+    total_wz += weights[i] * targets[i];
+  }
+  if (total_w <= 0.0) {
+    return fit;
+  }
+
+  // Weighted squared error to ±1 targets: Σw z² - Σ_L(wz)²/Σ_L w - ... ;
+  // z² = 1 so the constant term is total_w.
+  double best = std::numeric_limits<double>::infinity();
+  double left_w = 0.0;
+  double left_wz = 0.0;
+  for (int b = 0; b + 1 < bins; ++b) {
+    left_w += sw[static_cast<std::size_t>(b)];
+    left_wz += swz[static_cast<std::size_t>(b)];
+    const double right_w = total_w - left_w;
+    const double right_wz = total_wz - left_wz;
+    if (left_w <= 0.0 || right_w <= 0.0) {
+      continue;
+    }
+    const double loss =
+        total_w - left_wz * left_wz / left_w - right_wz * right_wz / right_w;
+    if (loss < best) {
+      best = loss;
+      fit.threshold = hist.threshold_after(b);
+      fit.left_vote = static_cast<float>(left_wz / left_w);
+      fit.right_vote = static_cast<float>(right_wz / right_w);
+      fit.loss = loss;
+      fit.valid = true;
+    }
+  }
+  return fit;
+}
+
+StumpFit fit_discrete_stump(std::span<const std::int32_t> responses,
+                            std::span<const float> targets,
+                            std::span<const double> weights, int bins) {
+  FDET_CHECK(responses.size() == targets.size() &&
+             responses.size() == weights.size());
+  StumpFit fit;
+  Histogram hist;
+  if (!make_histogram(responses, bins, hist)) {
+    return fit;
+  }
+
+  std::vector<double> swp(static_cast<std::size_t>(bins), 0.0);  // z = +1
+  std::vector<double> swn(static_cast<std::size_t>(bins), 0.0);  // z = -1
+  double total_p = 0.0;
+  double total_n = 0.0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const int b = hist.bin_of(responses[i]);
+    if (targets[i] > 0.0f) {
+      swp[static_cast<std::size_t>(b)] += weights[i];
+      total_p += weights[i];
+    } else {
+      swn[static_cast<std::size_t>(b)] += weights[i];
+      total_n += weights[i];
+    }
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  double left_p = 0.0;
+  double left_n = 0.0;
+  for (int b = 0; b + 1 < bins; ++b) {
+    left_p += swp[static_cast<std::size_t>(b)];
+    left_n += swn[static_cast<std::size_t>(b)];
+    // Polarity A: left = -1, right = +1 -> errors: positives on the left,
+    // negatives on the right.
+    const double err_a = left_p + (total_n - left_n);
+    // Polarity B: the mirror.
+    const double err_b = left_n + (total_p - left_p);
+    const double err = std::min(err_a, err_b);
+    if (err < best) {
+      best = err;
+      fit.threshold = hist.threshold_after(b);
+      const bool pol_a = err_a <= err_b;
+      fit.left_vote = pol_a ? -1.0f : 1.0f;
+      fit.right_vote = pol_a ? 1.0f : -1.0f;
+      fit.loss = err;
+      fit.valid = true;
+    }
+  }
+  return fit;
+}
+
+}  // namespace fdet::train

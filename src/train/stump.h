@@ -1,0 +1,41 @@
+// Weak-learner fitting: decision stumps on Haar-feature responses.
+//
+// Threshold search runs on a fixed-width histogram of the response range
+// (the standard trick that keeps per-hypothesis cost O(N + bins) instead
+// of O(N log N) re-sorting): a single pass bins the weighted statistics,
+// prefix scans pick the best split.
+//
+// Two flavors, matching the paper's training study:
+//  * GentleBoost regression stump (paper Sec. IV) — fits h(x) = a / b
+//    minimizing the weighted squared error to the ±1 targets;
+//  * discrete AdaBoost stump (the classic Viola–Jones weak learner used
+//    for the OpenCV-style baseline) — ±1 votes, minimizes weighted error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fdet::train {
+
+struct StumpFit {
+  float threshold = 0.0f;  ///< responses < threshold go left
+  float left_vote = 0.0f;
+  float right_vote = 0.0f;
+  double loss = 0.0;       ///< weighted squared error (gentle) or
+                           ///< weighted misclassification (discrete)
+  bool valid = false;      ///< false when the responses are degenerate
+};
+
+/// Fits a GentleBoost regression stump. `targets` are ±1 labels, `weights`
+/// a normalized distribution (need not sum to exactly 1).
+StumpFit fit_gentle_stump(std::span<const std::int32_t> responses,
+                          std::span<const float> targets,
+                          std::span<const double> weights, int bins = 64);
+
+/// Fits a discrete AdaBoost stump with ±1 votes (polarity folded into the
+/// left/right votes). loss = weighted error ε of the best split.
+StumpFit fit_discrete_stump(std::span<const std::int32_t> responses,
+                            std::span<const float> targets,
+                            std::span<const double> weights, int bins = 64);
+
+}  // namespace fdet::train

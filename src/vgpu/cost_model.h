@@ -1,0 +1,43 @@
+// Per-operation virtual cycle costs for the GPU timing model.
+//
+// The model splits lane cost into an *issue* component (cycles the SM's
+// issue logic and ALUs are busy) and a *stall* component (memory latency
+// that resident warps can hide). Constants are order-of-magnitude Fermi
+// (GF100) values; EXPERIMENTS.md documents the calibration against the
+// paper's GTX470 numbers. Absolute times are "virtual milliseconds" —
+// ratios and orderings are the reproduced quantities.
+#pragma once
+
+namespace fdet::vgpu {
+
+struct CostModel {
+  // Issue costs (cycles per warp instruction, charged per lane and reduced
+  // warp-wide by max).
+  double alu = 1.0;          ///< int/fp add, sub, compare, bitwise
+  double fma = 1.0;          ///< fused multiply-add / mul
+  double sfu = 8.0;          ///< transcendental / divide
+  double shared_access = 2.0;///< conflict-free shared-memory access
+  double constant_access = 1.0;  ///< broadcast constant-cache hit
+  double constant_serialized = 16.0;  ///< divergent-address constant access
+  double texture_fetch = 4.0;///< texture sample issue (bilinear)
+  double branch = 1.0;       ///< branch instruction issue
+  double sync = 4.0;         ///< __syncthreads per warp
+
+  // Global memory: each 128-byte transaction occupies the memory pipeline.
+  double global_transaction_issue = 4.0;
+  double global_latency = 400.0;  ///< stall cycles per transaction, hideable
+
+  /// Fraction of memory latency hidden per additional resident warp; with
+  /// w resident warps the visible stall is stall / (1 + hiding * (w - 1)).
+  double latency_hiding_per_warp = 3.0;
+
+  /// Sustained warp instructions per cycle of one SM. Fermi GF100 dual
+  /// issues from two warp schedulers onto 2x16-lane pipelines, and the
+  /// lane accounting above is deliberately generous (it counts C-level
+  /// operations, not fused machine instructions), so the calibrated value
+  /// is > 1. Divides the issue component of warp cost; stalls are not
+  /// affected. Calibrated against paper Table II (see EXPERIMENTS.md).
+  double ipc = 4.0;
+};
+
+}  // namespace fdet::vgpu

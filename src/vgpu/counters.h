@@ -1,0 +1,71 @@
+// Profiler-style performance counters aggregated over a kernel launch.
+// These mirror the statistics the paper reads from the CUDA compute
+// profiler: branch efficiency (ratio of non-divergent to total warp
+// branches), DRAM read throughput, and SIMD lane utilization.
+#pragma once
+
+#include <cstdint>
+
+namespace fdet::vgpu {
+
+struct PerfCounters {
+  std::uint64_t threads = 0;
+  std::uint64_t warps = 0;
+
+  std::uint64_t warp_branches = 0;      ///< branch instructions, warp level
+  std::uint64_t divergent_branches = 0; ///< warp branches with mixed outcome
+
+  std::uint64_t global_read_bytes = 0;
+  std::uint64_t global_write_bytes = 0;
+  std::uint64_t global_transactions = 0; ///< 128-byte coalesced segments
+
+  std::uint64_t alu_ops = 0;
+  std::uint64_t fma_ops = 0;
+  std::uint64_t sfu_ops = 0;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t constant_accesses = 0;
+  std::uint64_t texture_fetches = 0;
+
+  double lane_issue_cycles = 0.0;  ///< sum of per-lane useful issue cycles
+  double warp_issue_cycles = 0.0;  ///< sum of per-warp (max-lane) cycles
+
+  /// Fraction of warp branches with a uniform outcome (paper: 98.9 %).
+  double branch_efficiency() const {
+    return warp_branches == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(divergent_branches) / warp_branches;
+  }
+
+  /// Average fraction of lanes doing useful work while their warp executes.
+  double simd_efficiency() const {
+    return warp_issue_cycles == 0.0
+               ? 1.0
+               : lane_issue_cycles / (warp_issue_cycles * 32.0);
+  }
+
+  /// DRAM read throughput in bytes/second for a given kernel duration.
+  double dram_read_throughput(double seconds) const {
+    return seconds == 0.0 ? 0.0 : global_read_bytes / seconds;
+  }
+
+  PerfCounters& operator+=(const PerfCounters& other) {
+    threads += other.threads;
+    warps += other.warps;
+    warp_branches += other.warp_branches;
+    divergent_branches += other.divergent_branches;
+    global_read_bytes += other.global_read_bytes;
+    global_write_bytes += other.global_write_bytes;
+    global_transactions += other.global_transactions;
+    alu_ops += other.alu_ops;
+    fma_ops += other.fma_ops;
+    sfu_ops += other.sfu_ops;
+    shared_accesses += other.shared_accesses;
+    constant_accesses += other.constant_accesses;
+    texture_fetches += other.texture_fetches;
+    lane_issue_cycles += other.lane_issue_cycles;
+    warp_issue_cycles += other.warp_issue_cycles;
+    return *this;
+  }
+};
+
+}  // namespace fdet::vgpu

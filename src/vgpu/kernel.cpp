@@ -1,0 +1,222 @@
+#include "vgpu/kernel.h"
+
+#include <algorithm>
+#include <array>
+
+#include "core/check.h"
+
+namespace fdet::vgpu {
+namespace {
+
+constexpr int kWarpSize = 32;
+constexpr std::uint64_t kSegmentBytes = 128;  // Fermi coalescing granularity
+
+/// Scratch for one warp's aggregation, reused across warps to avoid
+/// allocation in the hot loop (Per.14/Per.15).
+struct WarpScratch {
+  std::array<LaneCtx, kWarpSize> lanes;
+  std::array<std::uint64_t, kWarpSize> segments;  // dedup buffer per slot
+};
+
+struct WarpCost {
+  double issue = 0.0;
+  double stall = 0.0;
+};
+
+/// Reduces the lanes of one warp (lanes[0..active)) into cost + counters.
+WarpCost aggregate_warp(const CostModel& cost, const KernelConfig& config,
+                        WarpScratch& scratch, int active,
+                        PerfCounters& counters) {
+  WarpCost warp;
+  double max_lane_issue = 0.0;
+  std::size_t max_global_ops = 0;
+  std::size_t max_branch_trace = 0;
+  std::uint32_t max_untracked = 0;
+
+  const double const_cost =
+      config.constant_broadcast ? cost.constant_access : cost.constant_serialized;
+
+  for (int l = 0; l < active; ++l) {
+    const LaneCtx& lane = scratch.lanes[l];
+    double issue = lane.alu_count() * cost.alu + lane.fma_count() * cost.fma +
+                   lane.sfu_count() * cost.sfu +
+                   lane.shared_count() * cost.shared_access +
+                   lane.constant_count() * const_cost +
+                   lane.texture_count() * cost.texture_fetch;
+    const std::size_t branches =
+        lane.branch_trace().size() + lane.untracked_branches();
+    issue += static_cast<double>(branches) * cost.branch;
+
+    counters.alu_ops += lane.alu_count();
+    counters.fma_ops += lane.fma_count();
+    counters.sfu_ops += lane.sfu_count();
+    counters.shared_accesses += lane.shared_count();
+    counters.constant_accesses += lane.constant_count();
+    counters.texture_fetches += lane.texture_count();
+    counters.lane_issue_cycles += issue;
+
+    max_lane_issue = std::max(max_lane_issue, issue);
+    max_global_ops = std::max(max_global_ops, lane.global_ops().size());
+    max_branch_trace = std::max(max_branch_trace, lane.branch_trace().size());
+    max_untracked = std::max(max_untracked, lane.untracked_branches());
+
+    for (const auto& op : lane.global_ops()) {
+      if (op.store) {
+        counters.global_write_bytes += op.bytes;
+      } else {
+        counters.global_read_bytes += op.bytes;
+      }
+    }
+  }
+  warp.issue = max_lane_issue;
+
+  // Coalescing: align global accesses by slot index across lanes; lanes of
+  // a warp issue their k-th access together, and distinct 128-byte segments
+  // become separate transactions.
+  for (std::size_t slot = 0; slot < max_global_ops; ++slot) {
+    int distinct = 0;
+    for (int l = 0; l < active; ++l) {
+      const auto& ops = scratch.lanes[l].global_ops();
+      if (slot >= ops.size()) {
+        continue;
+      }
+      const std::uint64_t seg = ops[slot].addr / kSegmentBytes;
+      bool seen = false;
+      for (int s = 0; s < distinct; ++s) {
+        if (scratch.segments[static_cast<std::size_t>(s)] == seg) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        scratch.segments[static_cast<std::size_t>(distinct++)] = seg;
+      }
+    }
+    counters.global_transactions += static_cast<std::uint64_t>(distinct);
+    warp.issue += distinct * cost.global_transaction_issue;
+    warp.stall += cost.global_latency;  // one dependent wait per slot
+  }
+
+  // Divergence: a warp branch is divergent when participating lanes
+  // disagree on the outcome at the same trace position.
+  for (std::size_t k = 0; k < max_branch_trace; ++k) {
+    bool saw_taken = false;
+    bool saw_not_taken = false;
+    for (int l = 0; l < active; ++l) {
+      const auto& trace = scratch.lanes[l].branch_trace();
+      if (k >= trace.size()) {
+        continue;
+      }
+      (trace[k] != 0 ? saw_taken : saw_not_taken) = true;
+    }
+    ++counters.warp_branches;
+    if (saw_taken && saw_not_taken) {
+      ++counters.divergent_branches;
+    }
+  }
+  // Untracked branches are uniform by construction (kernels with regular
+  // control flow); count them at warp level without divergence.
+  counters.warp_branches += max_untracked;
+
+  counters.warp_issue_cycles += warp.issue;
+  return warp;
+}
+
+}  // namespace
+
+LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
+                          std::span<const PhaseFn> phases) {
+  FDET_CHECK(!phases.empty()) << "kernel '" << config.name << "' has no phases";
+  FDET_CHECK(config.grid.count() > 0 && config.block.count() > 0)
+      << "kernel '" << config.name << "' has an empty launch";
+  const int threads_per_block = static_cast<int>(config.block.count());
+  FDET_CHECK(threads_per_block <= spec.max_threads_per_block)
+      << "kernel '" << config.name << "': " << threads_per_block
+      << " threads per block";
+
+  LaunchCost result;
+  result.config = config;
+  result.occupancy = compute_occupancy(spec, threads_per_block,
+                                       config.shared_bytes,
+                                       config.regs_per_thread);
+  FDET_CHECK(result.occupancy.blocks_per_sm > 0)
+      << "kernel '" << config.name << "' cannot be resident on an SM";
+
+  const std::int64_t num_blocks = config.grid.count();
+  result.block_service_cycles.resize(static_cast<std::size_t>(num_blocks));
+
+  const int warps_per_block =
+      (threads_per_block + kWarpSize - 1) / kWarpSize;
+  // Latency hiding pool: every resident warp beyond the first helps cover
+  // memory stalls.
+  const double hiding =
+      1.0 + spec.cost.latency_hiding_per_warp *
+                std::max(0, result.occupancy.resident_warps - 1);
+
+  WarpScratch scratch;
+  SharedMem shared;
+
+  ThreadCoord coord;
+  coord.grid = config.grid;
+  coord.block = config.block;
+
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    coord.block_id.x = static_cast<int>(b % config.grid.x);
+    coord.block_id.y = static_cast<int>((b / config.grid.x) % config.grid.y);
+    coord.block_id.z = static_cast<int>(b / (static_cast<std::int64_t>(config.grid.x) * config.grid.y));
+
+    shared.reset(static_cast<std::size_t>(config.shared_bytes));
+    double block_issue = 0.0;
+    double block_stall = 0.0;
+
+    for (std::size_t phase = 0; phase < phases.size(); ++phase) {
+      for (int w = 0; w < warps_per_block; ++w) {
+        const int first_thread = w * kWarpSize;
+        const int active =
+            std::min(kWarpSize, threads_per_block - first_thread);
+        for (int l = 0; l < active; ++l) {
+          const int t = first_thread + l;
+          coord.thread.x = t % config.block.x;
+          coord.thread.y = (t / config.block.x) % config.block.y;
+          coord.thread.z = t / (config.block.x * config.block.y);
+          LaneCtx& lane = scratch.lanes[static_cast<std::size_t>(l)];
+          lane.reset();
+          lane.set_track_branches(config.track_branches);
+          shared.rewind();
+          phases[phase](coord, lane, shared);
+        }
+        const WarpCost warp = aggregate_warp(spec.cost, config, scratch,
+                                             active, result.counters);
+        block_issue += warp.issue;
+        block_stall += warp.stall;
+      }
+      if (phase + 1 < phases.size()) {
+        block_issue += warps_per_block * spec.cost.sync;  // __syncthreads
+      }
+    }
+
+    const double service = block_issue / spec.cost.ipc + block_stall / hiding;
+    result.block_service_cycles[static_cast<std::size_t>(b)] = service;
+    result.total_service_cycles += service;
+  }
+
+  result.counters.threads =
+      static_cast<std::uint64_t>(num_blocks) * threads_per_block;
+  result.counters.warps = static_cast<std::uint64_t>(num_blocks) *
+                          warps_per_block * phases.size();
+  return result;
+}
+
+LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
+                          PhaseFn phase) {
+  const std::array<PhaseFn, 1> phases{std::move(phase)};
+  return execute_kernel(spec, config, std::span<const PhaseFn>(phases));
+}
+
+LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
+                          PhaseFn phase1, PhaseFn phase2) {
+  const std::array<PhaseFn, 2> phases{std::move(phase1), std::move(phase2)};
+  return execute_kernel(spec, config, std::span<const PhaseFn>(phases));
+}
+
+}  // namespace fdet::vgpu

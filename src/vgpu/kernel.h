@@ -1,0 +1,73 @@
+// Kernel launch description and the functional executor.
+//
+// A kernel is a sequence of *phases*: per-thread functors separated by
+// implicit block-wide barriers (the moral equivalent of writing CUDA code
+// with __syncthreads between cooperative stages). The executor runs every
+// thread of every block on the host — producing the kernel's real output —
+// while reducing per-lane operation counts into warp, block and launch
+// costs:
+//
+//   lane issue cycles  = Σ op_count × cost                     (per lane)
+//   warp issue cycles  = max over its 32 lanes (SIMD lockstep) +
+//                        coalesced global transactions
+//   block issue cycles = Σ over warps (single-issue SM frontend)
+//   block service      = issue + stalls / latency-hiding(occupancy)
+//
+// The scheduler (scheduler.h) later places block service times onto SMs to
+// obtain virtual timestamps; nothing here depends on wall-clock time.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vgpu/counters.h"
+#include "vgpu/device.h"
+#include "vgpu/dim.h"
+#include "vgpu/lane.h"
+#include "vgpu/shared_mem.h"
+
+namespace fdet::vgpu {
+
+struct KernelConfig {
+  std::string name;
+  Dim3 grid;
+  Dim3 block;
+  int shared_bytes = 0;       ///< static __shared__ footprint per block
+  int regs_per_thread = 24;   ///< occupancy input; sm_20-era default
+  bool track_branches = false;///< enable per-lane branch traces (divergence)
+  bool constant_broadcast = true;  ///< false = serialized constant accesses
+};
+
+/// Per-thread phase body. Runs the thread's real computation and reports
+/// costed operations through LaneCtx. SharedMem::array views are stable
+/// across lanes and phases of one block.
+using PhaseFn = std::function<void(const ThreadCoord&, LaneCtx&, SharedMem&)>;
+
+/// Cost of one executed kernel launch, ready for scheduling.
+struct LaunchCost {
+  KernelConfig config;
+  Occupancy occupancy;
+  std::vector<double> block_service_cycles;  ///< indexed by flat block id
+  PerfCounters counters;
+  double total_service_cycles = 0.0;
+
+  std::int64_t block_count() const {
+    return static_cast<std::int64_t>(block_service_cycles.size());
+  }
+};
+
+/// Executes every thread of the launch functionally and returns its cost.
+/// Throws core::CheckError on invalid configuration (block too large,
+/// shared memory exceeding the SM, zero occupancy).
+LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
+                          std::span<const PhaseFn> phases);
+
+/// Convenience overloads for the common one- and two-phase kernels.
+LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
+                          PhaseFn phase);
+LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
+                          PhaseFn phase1, PhaseFn phase2);
+
+}  // namespace fdet::vgpu

@@ -1,0 +1,59 @@
+// Block-local scratch standing in for CUDA __shared__ memory.
+//
+// A kernel declares its static shared footprint in KernelConfig (which also
+// feeds the occupancy calculation) and carves typed arrays out of the block's
+// buffer inside each phase. The buffer lives for the whole block — values
+// written in phase k are visible in phase k+1, with the inter-phase barrier
+// supplied by the executor (the functional equivalent of __syncthreads).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+
+namespace fdet::vgpu {
+
+class SharedMem {
+ public:
+  /// Reinitializes for a new block with `bytes` of zeroed storage.
+  void reset(std::size_t bytes) {
+    buffer_.assign(bytes, std::byte{0});
+    cursor_ = 0;
+  }
+
+  /// Carves the next `count` elements of T out of the buffer. Layout is
+  /// allocation-order, so every thread (and every phase) performing the
+  /// same sequence of array() calls sees the same arrays — call it with
+  /// identical arguments from all lanes, as CUDA's static __shared__
+  /// declarations do. The cursor rewinds automatically when the carve
+  /// sequence restarts (detected by offset 0 request pattern via rewind()).
+  template <typename T>
+  std::span<T> array(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    const std::size_t aligned = align(cursor_, alignof(T));
+    FDET_CHECK(aligned + bytes <= buffer_.size())
+        << "shared memory overflow: need " << aligned + bytes << " have "
+        << buffer_.size();
+    cursor_ = aligned + bytes;
+    return {reinterpret_cast<T*>(buffer_.data() + aligned), count};
+  }
+
+  /// Restarts the carve sequence; the executor calls this before every lane
+  /// so each lane's array() calls resolve to the same storage.
+  void rewind() { cursor_ = 0; }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+ private:
+  static std::size_t align(std::size_t offset, std::size_t alignment) {
+    return (offset + alignment - 1) & ~(alignment - 1);
+  }
+
+  std::vector<std::byte> buffer_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fdet::vgpu

@@ -1,0 +1,40 @@
+// Mock hardware H.264 decoder.
+//
+// Stand-in for the NVCUVID fixed-function path of paper Sec. III-A/V: the
+// "decoder" synthesizes the frame (our equivalent of bitstream decode),
+// emits NV12 — downstream stages consume only the luma plane, exactly as
+// the paper does — and reports a decode latency from the paper's measured
+// envelope (8–10 ms per 1080p frame, scaling with pixel count). Because
+// decode runs on dedicated silicon concurrently with the CUDA kernels,
+// the pipeline overlaps it with detection when computing throughput.
+#pragma once
+
+#include "img/nv12.h"
+#include "video/trailer.h"
+
+namespace fdet::video {
+
+struct DecodedFrame {
+  int index = 0;
+  img::Nv12Frame frame;
+  double decode_ms = 0.0;        ///< modeled fixed-function decode latency
+  std::vector<FaceGt> ground_truth;
+};
+
+class MockH264Decoder {
+ public:
+  explicit MockH264Decoder(const SyntheticTrailer& trailer);
+
+  /// Decodes frame `index` (any order; the decoder is stateless).
+  DecodedFrame decode(int index) const;
+
+  /// Modeled decode latency for a frame of the trailer's resolution.
+  double decode_latency_ms(int index) const;
+
+  int frame_count() const { return trailer_->spec().frames; }
+
+ private:
+  const SyntheticTrailer* trailer_;
+};
+
+}  // namespace fdet::video

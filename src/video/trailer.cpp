@@ -1,0 +1,184 @@
+#include "video/trailer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "facegen/background.h"
+
+namespace fdet::video {
+
+std::vector<TrailerSpec> table2_trailers(int frames_per_trailer, int width,
+                                         int height) {
+  // Face densities tuned so that per-trailer detection cost orders like
+  // paper Table II (drama/comedy ensembles like "50/50" carry more and
+  // larger faces than action-heavy cuts like "American Reunion").
+  const std::vector<std::pair<std::string, double>> presets = {
+      {"21 Jump Street", 1.6},
+      {"50/50", 4.2},
+      {"American Reunion", 1.0},
+      {"Bad Teacher", 3.6},
+      {"Friends With Kids", 3.2},
+      {"One For The Money", 1.7},
+      {"The Dictator", 3.3},
+      {"Tim & Eric's Billion Dollar Movie", 3.8},
+      {"Unicorn City", 2.0},
+      {"What To Expect When You're Expecting", 1.4},
+  };
+  std::vector<TrailerSpec> specs;
+  std::uint64_t seed = 5050;
+  for (const auto& [title, density] : presets) {
+    TrailerSpec spec;
+    spec.title = title;
+    spec.width = width;
+    spec.height = height;
+    spec.frames = frames_per_trailer;
+    spec.face_density = density;
+    spec.seed = seed;
+    seed = core::hash_combine(seed, 0x7ea11e5);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+SyntheticTrailer::SyntheticTrailer(TrailerSpec spec) : spec_(std::move(spec)) {
+  FDET_CHECK(spec_.width >= 48 && spec_.height >= 48);
+  FDET_CHECK(spec_.frames >= 1 && spec_.shot_frames >= 1);
+  FDET_CHECK(spec_.face_density >= 0.0);
+
+  core::Rng rng(core::hash_combine(spec_.seed, 0x5e07));
+  int next_track = 0;
+  const int max_face = std::clamp(spec_.height / 3, 36, 320);
+  for (int first = 0; first < spec_.frames; first += spec_.shot_frames) {
+    Shot shot;
+    shot.first_frame = first;
+    shot.frames = std::min(spec_.shot_frames, spec_.frames - first);
+    shot.background_seed = rng();
+
+    // Face count per shot: density scaled by +-60 % shot-to-shot jitter
+    // (zero density means a face-free trailer).
+    const int count = static_cast<int>(
+        std::lround(spec_.face_density * rng.uniform(0.4, 1.6)));
+    for (int i = 0; i < count; ++i) {
+      Track track;
+      track.id = next_track++;
+      // Log-uniform sizes: many small faces, occasional large ones.
+      const double t = rng.uniform();
+      track.size = static_cast<int>(
+          36.0 * std::pow(static_cast<double>(max_face) / 36.0, t * t));
+      track.size = std::clamp(track.size, 36, max_face);
+      track.x0 = rng.uniform(0.0, std::max(1.0, double(spec_.width - track.size)));
+      track.y0 = rng.uniform(0.0, std::max(1.0, double(spec_.height - track.size)));
+      track.vx = rng.uniform(-2.0, 2.0);
+      track.vy = rng.uniform(-1.0, 1.0);
+      track.wobble_amp = rng.uniform(0.0, 4.0);
+      track.wobble_freq = rng.uniform(0.02, 0.12);
+      track.params = facegen::FaceParams::random(rng);
+      shot.tracks.push_back(track);
+    }
+    shots_.push_back(std::move(shot));
+  }
+  background_cache_.resize(shots_.size());
+  face_cache_.resize(static_cast<std::size_t>(next_track));
+  face_instance_cache_.resize(static_cast<std::size_t>(next_track));
+}
+
+int SyntheticTrailer::shot_of(int frame) const {
+  FDET_CHECK(frame >= 0 && frame < spec_.frames)
+      << "frame " << frame << " of " << spec_.frames;
+  return frame / spec_.shot_frames;
+}
+
+std::pair<double, double> SyntheticTrailer::track_position(const Track& track,
+                                                           int frame_in_shot) {
+  const double t = static_cast<double>(frame_in_shot);
+  const double x =
+      track.x0 + track.vx * t +
+      track.wobble_amp * std::sin(2.0 * 3.14159265 * track.wobble_freq * t);
+  const double y = track.y0 + track.vy * t;
+  return {x, y};
+}
+
+const img::ImageU8& SyntheticTrailer::background_of(int shot) const {
+  auto& cached = background_cache_[static_cast<std::size_t>(shot)];
+  if (cached.empty()) {
+    core::Rng rng(shots_[static_cast<std::size_t>(shot)].background_seed);
+    // Movie shots: every texture family except full-frame static noise
+    // (kNoise stays in the training negative pool, but a whole frame of it
+    // is not plausible trailer content).
+    // Clutter ("crowd") shots are deliberately rarer: they carry face-like
+    // distractors and cost accordingly, like the paper's busy scenes.
+    static constexpr facegen::BackgroundStyle kShotStyles[] = {
+        facegen::BackgroundStyle::kGradient, facegen::BackgroundStyle::kBlobs,
+        facegen::BackgroundStyle::kStripes, facegen::BackgroundStyle::kBlocks,
+        facegen::BackgroundStyle::kGradient, facegen::BackgroundStyle::kBlobs,
+        facegen::BackgroundStyle::kBlocks,  facegen::BackgroundStyle::kClutter,
+    };
+    const auto style = kShotStyles[rng.uniform_int(0, 7)];
+    cached = facegen::render_background(style, spec_.width, spec_.height, rng);
+  }
+  return cached;
+}
+
+const img::ImageU8& SyntheticTrailer::face_image_of(const Track& track) const {
+  auto& cached = face_cache_[static_cast<std::size_t>(track.id)];
+  if (cached.empty()) {
+    face_instance_cache_[static_cast<std::size_t>(track.id)] =
+        facegen::render_face(track.params, track.size);
+    cached = face_instance_cache_[static_cast<std::size_t>(track.id)].image;
+  }
+  return cached;
+}
+
+img::ImageU8 SyntheticTrailer::render_luma(int index) const {
+  const int shot_index = shot_of(index);
+  const Shot& shot = shots_[static_cast<std::size_t>(shot_index)];
+  img::ImageU8 frame = background_of(shot_index);
+
+  const int offset = index - shot.first_frame;
+  for (const Track& track : shot.tracks) {
+    const img::ImageU8& face = face_image_of(track);
+    auto [fx, fy] = track_position(track, offset);
+    const int x0 = std::clamp(static_cast<int>(std::lround(fx)), 0,
+                              spec_.width - track.size);
+    const int y0 = std::clamp(static_cast<int>(std::lround(fy)), 0,
+                              spec_.height - track.size);
+    for (int y = 0; y < track.size; ++y) {
+      for (int x = 0; x < track.size; ++x) {
+        frame(x0 + x, y0 + y) = face(x, y);
+      }
+    }
+  }
+  return frame;
+}
+
+std::vector<FaceGt> SyntheticTrailer::ground_truth(int index) const {
+  const int shot_index = shot_of(index);
+  const Shot& shot = shots_[static_cast<std::size_t>(shot_index)];
+  const int offset = index - shot.first_frame;
+
+  std::vector<FaceGt> gt;
+  gt.reserve(shot.tracks.size());
+  for (const Track& track : shot.tracks) {
+    (void)face_image_of(track);  // ensure the instance cache is filled
+    const facegen::FaceInstance& instance =
+        face_instance_cache_[static_cast<std::size_t>(track.id)];
+    auto [fx, fy] = track_position(track, offset);
+    const int x0 = std::clamp(static_cast<int>(std::lround(fx)), 0,
+                              spec_.width - track.size);
+    const int y0 = std::clamp(static_cast<int>(std::lround(fy)), 0,
+                              spec_.height - track.size);
+    FaceGt face;
+    face.box = img::Rect{x0, y0, track.size, track.size};
+    face.left_eye_x = x0 + instance.left_eye_x;
+    face.left_eye_y = y0 + instance.left_eye_y;
+    face.right_eye_x = x0 + instance.right_eye_x;
+    face.right_eye_y = y0 + instance.right_eye_y;
+    face.track_id = track.id;
+    gt.push_back(face);
+  }
+  return gt;
+}
+
+}  // namespace fdet::video

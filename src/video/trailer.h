@@ -1,0 +1,97 @@
+// Synthetic movie trailers — the benchmark workload substitute for the
+// paper's ten 1080p iTunes trailers (Sec. V).
+//
+// A trailer is a sequence of shots (scene cuts every ~3 s); each shot has
+// a procedural background and a set of face tracks with fixed appearance
+// and linear+sinusoidal motion. Face count varies per shot around the
+// preset's density, which is what drives the per-frame latency variability
+// of paper Fig. 5 and the trailer-to-trailer spread of Table II. Every
+// frame carries exact ground truth (face boxes and eye centers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "facegen/face.h"
+#include "img/image.h"
+
+namespace fdet::video {
+
+struct TrailerSpec {
+  std::string title;
+  int width = 1920;
+  int height = 1080;
+  int frames = 240;        ///< ~10 s at 24 fps; full trailers are ~4000
+  double fps = 24.0;
+  int shot_frames = 72;    ///< frames per shot (3 s)
+  double face_density = 2.5;  ///< mean simultaneous faces per shot
+  std::uint64_t seed = 1;
+};
+
+/// The ten Table II trailer presets. Densities are chosen so the relative
+/// per-trailer detection-cost ordering matches the paper's table (more
+/// faces -> deeper cascade work -> higher latency).
+std::vector<TrailerSpec> table2_trailers(int frames_per_trailer = 240,
+                                         int width = 1920, int height = 1080);
+
+/// Ground-truth face instance in one frame.
+struct FaceGt {
+  img::Rect box;
+  double left_eye_x = 0.0;
+  double left_eye_y = 0.0;
+  double right_eye_x = 0.0;
+  double right_eye_y = 0.0;
+  int track_id = 0;
+};
+
+class SyntheticTrailer {
+ public:
+  explicit SyntheticTrailer(TrailerSpec spec);
+
+  const TrailerSpec& spec() const { return spec_; }
+
+  /// Renders the luminance plane of frame `index` (deterministic).
+  img::ImageU8 render_luma(int index) const;
+
+  /// Ground truth for frame `index` (faces fully inside the frame).
+  std::vector<FaceGt> ground_truth(int index) const;
+
+  int shot_of(int frame) const;
+  int shot_count() const { return static_cast<int>(shots_.size()); }
+
+ private:
+  struct Track {
+    int id = 0;
+    int size = 48;            ///< face side in pixels
+    double x0 = 0.0, y0 = 0.0;///< top-left at shot start
+    double vx = 0.0, vy = 0.0;///< pixels per frame
+    double wobble_amp = 0.0;
+    double wobble_freq = 0.0;
+    facegen::FaceParams params;
+  };
+  struct Shot {
+    int first_frame = 0;
+    int frames = 0;
+    std::uint64_t background_seed = 0;
+    std::vector<Track> tracks;
+  };
+
+  /// Track top-left position at a frame offset within its shot.
+  static std::pair<double, double> track_position(const Track& track,
+                                                  int frame_in_shot);
+
+  const img::ImageU8& background_of(int shot) const;
+  const img::ImageU8& face_image_of(const Track& track) const;
+
+  TrailerSpec spec_;
+  std::vector<Shot> shots_;
+
+  // Render caches (backgrounds per shot, face chips per track). Rendering
+  // is logically const; caches are not thread-safe by design.
+  mutable std::vector<img::ImageU8> background_cache_;
+  mutable std::vector<img::ImageU8> face_cache_;
+  mutable std::vector<facegen::FaceInstance> face_instance_cache_;
+};
+
+}  // namespace fdet::video

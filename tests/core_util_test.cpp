@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include "core/check.h"
+#include "core/cli.h"
+#include "core/stopwatch.h"
+#include "core/table.h"
+#include "core/thread_pool.h"
+
+namespace fdet::core {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(FDET_CHECK(1 + 1 == 2) << "never evaluated");
+}
+
+TEST(Check, FailingConditionThrowsWithMessage) {
+  try {
+    FDET_CHECK(false) << "context " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 0) {
+                            throw std::runtime_error("boom");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t0 = sw.elapsed_seconds();
+  const double t1 = sw.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
+}
+
+TEST(Cli, ParsesTypedFlagsInBothForms) {
+  Cli cli("test");
+  int frames = 8;
+  double scale = 1.25;
+  bool verbose = false;
+  std::string name = "default";
+  cli.flag("frames", frames, "");
+  cli.flag("scale", scale, "");
+  cli.flag("verbose", verbose, "");
+  cli.flag("name", name, "");
+
+  const char* argv[] = {"test", "--frames=16", "--scale", "2.5",
+                        "--verbose", "--name=abc"};
+  ASSERT_TRUE(cli.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(frames, 16);
+  EXPECT_DOUBLE_EQ(scale, 2.5);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "abc");
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli("test");
+  const char* argv[] = {"test", "--nope=1"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, RejectsMalformedValue) {
+  Cli cli("test");
+  int frames = 8;
+  cli.flag("frames", frames, "");
+  const char* argv[] = {"test", "--frames=abc"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, IgnoresBenchmarkFlags) {
+  Cli cli("test");
+  const char* argv[] = {"test", "--benchmark_filter=all"};
+  EXPECT_TRUE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1.00"});
+  table.add_row({"b", "22.50"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22.50"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumFormatsFixedDigits) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace fdet::core

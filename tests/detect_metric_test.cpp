@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/detection.h"
+#include "detect/grouping.h"
+
+namespace fdet::detect {
+namespace {
+
+TEST(Ssquare, IdenticalBoxesScoreOne) {
+  const img::Rect r{10, 10, 20, 20};
+  EXPECT_DOUBLE_EQ(s_square(r, r), 1.0);
+}
+
+TEST(Ssquare, DisjointBoxesScoreZero) {
+  EXPECT_DOUBLE_EQ(s_square({0, 0, 5, 5}, {50, 50, 5, 5}), 0.0);
+}
+
+TEST(Ssquare, HalfOverlapIsOneThird) {
+  // Two 10x10 boxes overlapping in a 5x10 strip: 50 / (200-50) = 1/3.
+  EXPECT_NEAR(s_square({0, 0, 10, 10}, {5, 0, 10, 10}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Seyes, IdenticalEyesScoreZero) {
+  const Detection d{{10, 10, 48, 48}, 0.0f, 1, 0};
+  EXPECT_DOUBLE_EQ(s_eyes(d.predicted_eyes(), d.predicted_eyes()), 0.0);
+}
+
+TEST(Seyes, ScalesWithNormalizedDistance) {
+  // Shift a detection by its inter-eye distance: both eyes move by d, so
+  // the score is (d + d) / d = 2.
+  const Detection a{{0, 0, 100, 100}, 0.0f, 1, 0};
+  const EyePair ea = a.predicted_eyes();
+  const double d = ea.inter_eye_distance();
+  Detection b = a;
+  b.box.x += static_cast<int>(d);
+  EXPECT_NEAR(s_eyes(ea, b.predicted_eyes()), 2.0, 0.05);
+}
+
+TEST(Seyes, UsesSmallerEyeDistanceAsDenominator) {
+  const Detection small{{0, 0, 50, 50}, 0.0f, 1, 0};
+  const Detection large{{0, 0, 200, 200}, 0.0f, 1, 0};
+  const double s = s_eyes(small.predicted_eyes(), large.predicted_eyes());
+  // Denominator is the small face's eye distance (0.34*50 = 17).
+  const double dle = std::hypot(
+      small.predicted_eyes().left_x - large.predicted_eyes().left_x,
+      small.predicted_eyes().left_y - large.predicted_eyes().left_y);
+  const double dre = std::hypot(
+      small.predicted_eyes().right_x - large.predicted_eyes().right_x,
+      small.predicted_eyes().right_y - large.predicted_eyes().right_y);
+  EXPECT_NEAR(s, (dle + dre) / (0.34 * 50), 1e-9);
+}
+
+TEST(PredictedEyes, FollowCanonicalGeometry) {
+  const Detection d{{100, 200, 48, 48}, 0.0f, 1, 0};
+  const EyePair eyes = d.predicted_eyes();
+  EXPECT_NEAR(eyes.left_x, 100 + (0.5 - kCanonicalEyeDx) * 48, 1e-9);
+  EXPECT_NEAR(eyes.right_x, 100 + (0.5 + kCanonicalEyeDx) * 48, 1e-9);
+  EXPECT_NEAR(eyes.left_y, 200 + kCanonicalEyeY * 48, 1e-9);
+}
+
+TEST(Grouping, MergesNearbyWindowsIntoOne) {
+  std::vector<Detection> raw;
+  for (int d = 0; d < 5; ++d) {
+    raw.push_back({{100 + d, 100 - d, 48, 48}, static_cast<float>(d), 1, 2});
+  }
+  const auto grouped = group_detections(raw);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].neighbors, 5);
+  EXPECT_FLOAT_EQ(grouped[0].score, 4.0f);  // max member score
+  EXPECT_NEAR(grouped[0].box.x, 102, 1);
+  EXPECT_EQ(grouped[0].box.w, 48);
+}
+
+TEST(Grouping, KeepsDistantFacesSeparate) {
+  std::vector<Detection> raw{{{0, 0, 48, 48}, 0.0f, 1, 0},
+                             {{300, 300, 48, 48}, 0.0f, 1, 0}};
+  EXPECT_EQ(group_detections(raw).size(), 2u);
+}
+
+TEST(Grouping, DifferentScalesOfSameFaceMerge) {
+  // A 48 and a 60 px window centred on the same face.
+  std::vector<Detection> raw{{{100, 100, 48, 48}, 1.0f, 1, 2},
+                             {{94, 94, 60, 60}, 2.0f, 1, 3}};
+  const auto grouped = group_detections(raw);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].neighbors, 2);
+  EXPECT_EQ(grouped[0].scale_index, 3);
+}
+
+TEST(Grouping, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(group_detections({}).empty());
+}
+
+TEST(Grouping, TransitiveChainsCollapse) {
+  // a~b and b~c but a!~c directly (s_eyes(a, c) = 8/16.32 ≈ 0.98 > 0.5):
+  // union-find must still merge all three.
+  std::vector<Detection> raw{{{100, 100, 48, 48}, 0.0f, 1, 0},
+                             {{104, 100, 48, 48}, 0.0f, 1, 0},
+                             {{108, 100, 48, 48}, 0.0f, 1, 0}};
+  const auto grouped = group_detections(raw);
+  EXPECT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].neighbors, 3);
+}
+
+}  // namespace
+}  // namespace fdet::detect

@@ -1,0 +1,125 @@
+#include "detect/soft_cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "facegen/dataset.h"
+#include "integral/integral.h"
+#include "train/boost.h"
+
+namespace fdet::detect {
+namespace {
+
+struct SoftFixture {
+  haar::Cascade staged;
+  std::vector<integral::IntegralImage> face_iis;
+  std::vector<const integral::IntegralImage*> face_ptrs;
+};
+
+const SoftFixture& fixture() {
+  static const SoftFixture fx = [] {
+    SoftFixture f;
+    const auto set = facegen::build_training_set(200, 35, 64, 555);
+    train::TrainOptions options;
+    options.stage_sizes = {6, 10, 14};
+    options.feature_pool = 300;
+    options.negatives_per_stage = 250;
+    options.stage_hit_target = 0.99;
+    options.seed = 3;
+    f.staged = train::train_cascade(set, options, "soft-base").cascade;
+    core::Rng rng(777);
+    for (int i = 0; i < 150; ++i) {
+      const auto face = facegen::random_training_face(rng);
+      f.face_iis.push_back(integral::integral_cpu(face.image));
+    }
+    for (const auto& ii : f.face_iis) {
+      f.face_ptrs.push_back(&ii);
+    }
+    return f;
+  }();
+  return fx;
+}
+
+TEST(SoftCascade, FlattensEveryWeakClassifierInOrder) {
+  const auto soft = build_soft_cascade(fixture().staged, fixture().face_ptrs);
+  EXPECT_EQ(soft.classifier_count(), fixture().staged.classifier_count());
+  // Order preserved: first entry equals the staged cascade's first stump.
+  const auto& first_staged = fixture().staged.stages()[0].classifiers[0];
+  EXPECT_EQ(soft.entries[0].classifier.feature, first_staged.feature);
+}
+
+TEST(SoftCascade, CalibrationFacesMostlySurvive) {
+  const SoftCascadeOptions options{.hit_target = 0.95};
+  const auto soft =
+      build_soft_cascade(fixture().staged, fixture().face_ptrs, options);
+  int accepted = 0;
+  for (const auto* ii : fixture().face_ptrs) {
+    accepted += soft.evaluate(*ii, 0, 0).accepted;
+  }
+  // At least the protected quantile survives (thresholds are exactly their
+  // running minima minus a margin).
+  EXPECT_GE(accepted,
+            static_cast<int>(0.95 * fixture().face_ptrs.size()) - 1);
+}
+
+TEST(SoftCascade, RejectionThresholdsAreFiniteAfterCalibration) {
+  const auto soft = build_soft_cascade(fixture().staged, fixture().face_ptrs);
+  for (const auto& entry : soft.entries) {
+    EXPECT_TRUE(std::isfinite(entry.rejection_threshold));
+  }
+}
+
+TEST(SoftCascade, EarlyExitNeverAcceptsWhatFinalGateRejects) {
+  const auto soft = build_soft_cascade(fixture().staged, fixture().face_ptrs);
+  core::Rng rng(31);
+  for (int i = 0; i < 60; ++i) {
+    const auto bg = facegen::render_background(24, 24, rng);
+    const auto ii = integral::integral_cpu(bg);
+    const auto result = soft.evaluate(ii, 0, 0);
+    if (result.accepted) {
+      // Accepted by the soft cascade => its full score clears the staged
+      // cascade's final stage threshold (enforced at build time).
+      EXPECT_GE(result.score,
+                fixture().staged.stages().back().threshold - 1e-4f);
+    }
+  }
+}
+
+TEST(SoftCascade, ReducesAverageEvaluationDepthOnBackgrounds) {
+  const auto soft = build_soft_cascade(fixture().staged, fixture().face_ptrs);
+  core::Rng rng(41);
+  const auto scene = facegen::render_background(160, 120, rng);
+  const auto ii = integral::integral_cpu(scene);
+  const double soft_depth = average_depth(soft, ii, 2);
+  const double staged_depth = average_depth(fixture().staged, ii, 2);
+  EXPECT_LT(soft_depth, staged_depth);
+  EXPECT_GE(soft_depth, 1.0);
+}
+
+TEST(SoftCascade, DepthIsBoundedByClassifierCount) {
+  const auto soft = build_soft_cascade(fixture().staged, fixture().face_ptrs);
+  core::Rng rng(43);
+  const auto scene = facegen::render_background(64, 64, rng);
+  const auto ii = integral::integral_cpu(scene);
+  for (int y = 0; y + haar::kWindowSize <= 64; y += 8) {
+    for (int x = 0; x + haar::kWindowSize <= 64; x += 8) {
+      const auto r = soft.evaluate(ii, x, y);
+      EXPECT_GE(r.depth, 1);
+      EXPECT_LE(r.depth, soft.classifier_count());
+      EXPECT_EQ(r.accepted, r.depth == soft.classifier_count() &&
+                                r.score >= soft.entries.back().rejection_threshold);
+    }
+  }
+}
+
+TEST(SoftCascade, RejectsDegenerateInputs) {
+  EXPECT_THROW(build_soft_cascade(haar::Cascade("empty"),
+                                  fixture().face_ptrs),
+               core::CheckError);
+  EXPECT_THROW(build_soft_cascade(fixture().staged, {}), core::CheckError);
+}
+
+}  // namespace
+}  // namespace fdet::detect

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "facegen/background.h"
+#include "facegen/dataset.h"
+#include "facegen/face.h"
+#include "haar/feature.h"
+#include "integral/integral.h"
+
+namespace fdet::facegen {
+namespace {
+
+double region_mean(const img::ImageU8& im, int x0, int y0, int x1, int y1) {
+  double acc = 0.0;
+  int n = 0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      acc += im(x, y);
+      ++n;
+    }
+  }
+  return acc / std::max(1, n);
+}
+
+TEST(Face, RenderIsDeterministicForSameParams) {
+  core::Rng rng(1);
+  const FaceParams p = FaceParams::random(rng);
+  const FaceInstance a = render_face(p, 24);
+  const FaceInstance b = render_face(p, 24);
+  EXPECT_EQ(a.image, b.image);
+}
+
+TEST(Face, EyesAreDarkerThanCheeks) {
+  core::Rng rng(2);
+  int ok = 0;
+  constexpr int kTrials = 50;
+  for (int i = 0; i < kTrials; ++i) {
+    const FaceInstance face = render_face(FaceParams::random(rng), 48);
+    const int ex = static_cast<int>(face.left_eye_x);
+    const int ey = static_cast<int>(face.left_eye_y);
+    const double eye = region_mean(face.image, ex - 2, ey - 2, ex + 3, ey + 3);
+    // Cheek: below the eye by ~20 % of the face.
+    const double cheek =
+        region_mean(face.image, ex - 2, ey + 8, ex + 3, ey + 13);
+    ok += (eye < cheek - 10.0);
+  }
+  EXPECT_GE(ok, kTrials * 8 / 10);  // robustly darker despite noise
+}
+
+TEST(Face, EyeAnnotationsAreSymmetricAndInsideImage) {
+  core::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const FaceInstance face = render_face(FaceParams::random(rng), 36);
+    EXPECT_GT(face.right_eye_x, face.left_eye_x);
+    EXPECT_NEAR(face.left_eye_y, face.right_eye_y, 1e-9);
+    for (const double v : {face.left_eye_x, face.left_eye_y, face.right_eye_x,
+                           face.right_eye_y}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 36.0);
+    }
+  }
+}
+
+TEST(Face, ScalesToArbitraryResolutions) {
+  core::Rng rng(4);
+  const FaceParams p = FaceParams::random(rng);
+  for (const int size : {8, 24, 64, 128}) {
+    const FaceInstance face = render_face(p, size);
+    EXPECT_EQ(face.image.width(), size);
+    EXPECT_EQ(face.image.height(), size);
+    // Eye positions scale linearly with the render size.
+    EXPECT_NEAR(face.left_eye_x / size, (p.center_x - p.eye_dx), 1e-9);
+  }
+  EXPECT_THROW(render_face(p, 4), core::CheckError);
+}
+
+TEST(Face, HaarEyeBandFeatureSeparatesFacesFromBackgrounds) {
+  // The core premise of the substitution: a Haar feature contrasting the
+  // eye band against the cheeks responds differently on faces than on
+  // background patches, for the same geometric reason as on real faces.
+  core::Rng rng(5);
+  const haar::HaarFeature eye_band{haar::HaarType::kEdge, true, 4, 7, 16, 5};
+  ASSERT_TRUE(eye_band.valid());
+
+  std::vector<double> face_responses;
+  std::vector<double> bg_responses;
+  for (int i = 0; i < 60; ++i) {
+    const FaceInstance face = random_training_face(rng);
+    face_responses.push_back(static_cast<double>(
+        eye_band.response(integral::integral_cpu(face.image), 0, 0)));
+    const img::ImageU8 bg = render_background(24, 24, rng);
+    bg_responses.push_back(static_cast<double>(
+        eye_band.response(integral::integral_cpu(bg), 0, 0)));
+  }
+  const auto mean = [](const std::vector<double>& v) {
+    double acc = 0.0;
+    for (const double x : v) {
+      acc += x;
+    }
+    return acc / static_cast<double>(v.size());
+  };
+  const auto stddev = [&](const std::vector<double>& v) {
+    const double m = mean(v);
+    double acc = 0.0;
+    for (const double x : v) {
+      acc += (x - m) * (x - m);
+    }
+    return std::sqrt(acc / static_cast<double>(v.size()));
+  };
+  // Separation of at least one pooled standard deviation.
+  const double gap = std::abs(mean(face_responses) - mean(bg_responses));
+  const double pooled = (stddev(face_responses) + stddev(bg_responses)) / 2.0;
+  EXPECT_GT(gap, pooled);
+}
+
+TEST(Background, AllStylesRenderInRange) {
+  core::Rng rng(6);
+  for (int s = 0; s < kBackgroundStyleCount; ++s) {
+    const img::ImageU8 bg =
+        render_background(static_cast<BackgroundStyle>(s), 40, 30, rng);
+    EXPECT_EQ(bg.width(), 40);
+    EXPECT_EQ(bg.height(), 30);
+    // Not constant: some texture present.
+    int min = 255;
+    int max = 0;
+    for (const auto p : bg.pixels()) {
+      min = std::min<int>(min, p);
+      max = std::max<int>(max, p);
+    }
+    EXPECT_GT(max - min, 5) << "style " << s;
+  }
+}
+
+TEST(Background, RandomPatchStaysInBounds) {
+  core::Rng rng(7);
+  const img::ImageU8 source = render_background(50, 50, rng);
+  for (int i = 0; i < 20; ++i) {
+    const img::ImageU8 patch = random_patch(source, 24, rng);
+    EXPECT_EQ(patch.width(), 24);
+    EXPECT_EQ(patch.height(), 24);
+  }
+  EXPECT_THROW(random_patch(source, 51, rng), core::CheckError);
+}
+
+TEST(Dataset, TrainingSetHasRequestedShape) {
+  const TrainingSet set = build_training_set(30, 10, 64, 42);
+  EXPECT_EQ(set.faces.size(), 30u);
+  EXPECT_EQ(set.backgrounds.size(), 10u);
+  for (const auto& face : set.faces) {
+    EXPECT_EQ(face.image.width(), 24);
+    EXPECT_EQ(face.image.height(), 24);
+  }
+  for (const auto& bg : set.backgrounds) {
+    EXPECT_EQ(bg.width(), 64);
+  }
+}
+
+TEST(Dataset, TrainingSetIsDeterministic) {
+  const TrainingSet a = build_training_set(5, 3, 48, 9);
+  const TrainingSet b = build_training_set(5, 3, 48, 9);
+  for (std::size_t i = 0; i < a.faces.size(); ++i) {
+    EXPECT_EQ(a.faces[i].image, b.faces[i].image);
+  }
+  for (std::size_t i = 0; i < a.backgrounds.size(); ++i) {
+    EXPECT_EQ(a.backgrounds[i], b.backgrounds[i]);
+  }
+}
+
+TEST(Dataset, MugshotFaceBoxContainsEyes) {
+  const MugshotBenchmark bench = build_mugshot_benchmark(12, 4, 96, 11);
+  EXPECT_EQ(bench.mugshots.size(), 12u);
+  EXPECT_EQ(bench.backgrounds.size(), 4u);
+  for (const Mugshot& shot : bench.mugshots) {
+    EXPECT_GE(shot.left_eye_x, shot.face.x);
+    EXPECT_LE(shot.right_eye_x, shot.face.right());
+    EXPECT_GE(shot.left_eye_y, shot.face.y);
+    EXPECT_LE(shot.left_eye_y, shot.face.bottom());
+    EXPECT_GE(shot.face.x, 0);
+    EXPECT_LE(shot.face.right(), shot.image.width());
+    EXPECT_GE(shot.face.w, 24);
+  }
+}
+
+}  // namespace
+}  // namespace fdet::facegen

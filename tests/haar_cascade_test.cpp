@@ -1,0 +1,142 @@
+#include "haar/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/rng.h"
+#include "haar/profile.h"
+
+namespace fdet::haar {
+namespace {
+
+integral::IntegralImage make_ii(std::uint64_t seed, int w = 64, int h = 64) {
+  core::Rng rng(seed);
+  img::ImageU8 im(w, h);
+  for (auto& p : im.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return integral::integral_cpu(im);
+}
+
+Cascade two_stage_cascade() {
+  Cascade cascade("test");
+  // Stage 1: single always-pass stump (votes 1/1, threshold 0.5).
+  {
+    Stage s;
+    WeakClassifier wc;
+    wc.feature = {HaarType::kEdge, false, 0, 0, 4, 4};
+    wc.left_vote = 1.0f;
+    wc.right_vote = 1.0f;
+    s.classifiers.push_back(wc);
+    s.threshold = 0.5f;
+    cascade.add_stage(std::move(s));
+  }
+  // Stage 2: never passes (votes -1/-1, threshold 0).
+  {
+    Stage s;
+    WeakClassifier wc;
+    wc.feature = {HaarType::kEdge, false, 0, 0, 4, 4};
+    wc.left_vote = -1.0f;
+    wc.right_vote = -1.0f;
+    s.classifiers.push_back(wc);
+    s.threshold = 0.0f;
+    cascade.add_stage(std::move(s));
+  }
+  return cascade;
+}
+
+TEST(Cascade, EarlyExitStopsAtFailingStage) {
+  const auto ii = make_ii(1);
+  const Cascade cascade = two_stage_cascade();
+  const CascadeResult r = cascade.evaluate(ii, 0, 0);
+  EXPECT_EQ(r.depth, 1);   // passed stage 1, failed stage 2
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(Cascade, MaxStagesTruncatesEvaluation) {
+  const auto ii = make_ii(1);
+  const Cascade cascade = two_stage_cascade();
+  const CascadeResult r = cascade.evaluate(ii, 0, 0, 1);
+  EXPECT_EQ(r.depth, 1);
+  EXPECT_TRUE(r.accepted);  // the truncated cascade accepts
+}
+
+TEST(Cascade, PrefixKeepsLeadingStages) {
+  const Cascade cascade = two_stage_cascade();
+  const Cascade one = cascade.prefix(1);
+  EXPECT_EQ(one.stage_count(), 1);
+  const auto ii = make_ii(2);
+  EXPECT_TRUE(one.evaluate(ii, 0, 0).accepted);
+  EXPECT_EQ(cascade.prefix(0).stage_count(), 0);
+  EXPECT_THROW(cascade.prefix(3), core::CheckError);
+}
+
+TEST(Cascade, VoteUsesThresholdAndPolarity) {
+  WeakClassifier wc;
+  wc.threshold = 100.0f;
+  wc.left_vote = -0.5f;
+  wc.right_vote = 0.75f;
+  EXPECT_FLOAT_EQ(wc.vote(99), -0.5f);
+  EXPECT_FLOAT_EQ(wc.vote(100), 0.75f);
+  EXPECT_FLOAT_EQ(wc.vote(5000), 0.75f);
+}
+
+TEST(Cascade, ClassifierCountSumsStages) {
+  const auto profile = opencv_frontal_profile();
+  const Cascade cascade = build_profile_cascade("opencv-like", profile, 1);
+  EXPECT_EQ(cascade.stage_count(), 25);
+  EXPECT_EQ(cascade.classifier_count(), 2913);
+}
+
+TEST(Cascade, SerializationRoundTrips) {
+  const Cascade original =
+      build_profile_cascade("roundtrip", std::vector<int>{3, 5, 2}, 99);
+  std::stringstream buffer;
+  write_cascade(buffer, original);
+  const Cascade loaded = read_cascade(buffer);
+
+  EXPECT_EQ(loaded.name(), "roundtrip");
+  ASSERT_EQ(loaded.stage_count(), original.stage_count());
+  for (int s = 0; s < original.stage_count(); ++s) {
+    const Stage& a = original.stages()[static_cast<std::size_t>(s)];
+    const Stage& b = loaded.stages()[static_cast<std::size_t>(s)];
+    ASSERT_EQ(a.classifiers.size(), b.classifiers.size());
+    EXPECT_FLOAT_EQ(a.threshold, b.threshold);
+    for (std::size_t c = 0; c < a.classifiers.size(); ++c) {
+      EXPECT_EQ(a.classifiers[c].feature, b.classifiers[c].feature);
+      EXPECT_FLOAT_EQ(a.classifiers[c].threshold, b.classifiers[c].threshold);
+      EXPECT_FLOAT_EQ(a.classifiers[c].left_vote, b.classifiers[c].left_vote);
+      EXPECT_FLOAT_EQ(a.classifiers[c].right_vote, b.classifiers[c].right_vote);
+    }
+  }
+
+  // Same windows produce identical evaluations.
+  const auto ii = make_ii(5);
+  for (int x = 0; x < 30; x += 7) {
+    const auto ra = original.evaluate(ii, x, x);
+    const auto rb = loaded.evaluate(ii, x, x);
+    EXPECT_EQ(ra.depth, rb.depth);
+    EXPECT_EQ(ra.accepted, rb.accepted);
+  }
+}
+
+TEST(Cascade, ReadRejectsCorruptHeaders) {
+  std::stringstream bad1("not-a-cascade 1\n");
+  EXPECT_THROW(read_cascade(bad1), core::CheckError);
+  std::stringstream bad2("fdet-cascade 2\n");
+  EXPECT_THROW(read_cascade(bad2), core::CheckError);
+  std::stringstream truncated("fdet-cascade 1\nname x\nstages 1\nstage 5 0.0\n1 0 0 0");
+  EXPECT_THROW(read_cascade(truncated), core::CheckError);
+}
+
+TEST(Cascade, EmptyCascadeAcceptsEverything) {
+  const Cascade empty("empty");
+  const auto ii = make_ii(3);
+  const CascadeResult r = empty.evaluate(ii, 0, 0);
+  EXPECT_EQ(r.depth, 0);
+  EXPECT_TRUE(r.accepted);
+}
+
+}  // namespace
+}  // namespace fdet::haar

@@ -1,0 +1,178 @@
+#include "haar/feature.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "haar/enumerate.h"
+
+namespace fdet::haar {
+namespace {
+
+img::ImageU8 random_window(std::uint64_t seed) {
+  core::Rng rng(seed);
+  img::ImageU8 im(kWindowSize, kWindowSize);
+  for (auto& p : im.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return im;
+}
+
+std::int64_t brute_response(const img::ImageU8& im, const HaarFeature& f) {
+  const auto d = f.decompose();
+  std::int64_t acc = 0;
+  for (int i = 0; i < d.count; ++i) {
+    const RectTerm& r = d.rects[static_cast<std::size_t>(i)];
+    for (int y = r.y; y < r.y + r.h; ++y) {
+      for (int x = r.x; x < r.x + r.w; ++x) {
+        acc += static_cast<std::int64_t>(r.weight) * im(x, y);
+      }
+    }
+  }
+  return acc;
+}
+
+TEST(HaarFeature, DecompositionWeightsSumToZero) {
+  // Zero total weight <=> zero response on constant images, for every
+  // feature in the full enumeration of every family.
+  for (const HaarType type :
+       {HaarType::kEdge, HaarType::kLine, HaarType::kCenterSurround,
+        HaarType::kDiagonal}) {
+    for_each_feature(type, EnumerationGrid{.cell_step = 3}, [](const HaarFeature& f) {
+      const auto d = f.decompose();
+      std::int64_t weighted_area = 0;
+      for (int i = 0; i < d.count; ++i) {
+        const RectTerm& r = d.rects[static_cast<std::size_t>(i)];
+        weighted_area += static_cast<std::int64_t>(r.weight) * r.w * r.h;
+      }
+      ASSERT_EQ(weighted_area, 0) << to_string(f.type) << " at ("
+                                  << static_cast<int>(f.x) << ","
+                                  << static_cast<int>(f.y) << ")";
+    });
+  }
+}
+
+TEST(HaarFeature, ZeroResponseOnConstantImage) {
+  img::ImageU8 flat(kWindowSize, kWindowSize);
+  flat.fill(137);
+  const auto ii = integral::integral_cpu(flat);
+  const HaarFeature features[] = {
+      {HaarType::kEdge, false, 2, 3, 4, 5},
+      {HaarType::kEdge, true, 1, 1, 6, 7},
+      {HaarType::kLine, false, 0, 0, 8, 10},
+      {HaarType::kLine, true, 5, 0, 3, 8},
+      {HaarType::kCenterSurround, false, 3, 3, 5, 5},
+      {HaarType::kDiagonal, false, 4, 4, 9, 9},
+  };
+  for (const auto& f : features) {
+    ASSERT_TRUE(f.valid());
+    EXPECT_EQ(f.response(ii, 0, 0), 0) << to_string(f.type);
+  }
+}
+
+TEST(HaarFeature, ResponseMatchesBruteForce) {
+  const img::ImageU8 window = random_window(11);
+  const auto ii = integral::integral_cpu(window);
+  core::Rng rng(12);
+  for (int trial = 0; trial < 500; ++trial) {
+    HaarFeature f;
+    f.type = static_cast<HaarType>(rng.uniform_int(0, 3));
+    f.vertical = rng.bernoulli(0.5);
+    f.cw = static_cast<std::uint8_t>(rng.uniform_int(1, 8));
+    f.ch = static_cast<std::uint8_t>(rng.uniform_int(1, 8));
+    if (f.extent_w() > kWindowSize || f.extent_h() > kWindowSize) {
+      continue;
+    }
+    f.x = static_cast<std::uint8_t>(
+        rng.uniform_int(0, kWindowSize - f.extent_w()));
+    f.y = static_cast<std::uint8_t>(
+        rng.uniform_int(0, kWindowSize - f.extent_h()));
+    ASSERT_EQ(f.response(ii, 0, 0), brute_response(window, f))
+        << to_string(f.type);
+  }
+}
+
+TEST(HaarFeature, ResponseAtOffsetUsesShiftedWindow) {
+  // Embed the window in a larger image and verify that (wx, wy) anchors it.
+  core::Rng rng(13);
+  img::ImageU8 big(60, 50);
+  for (auto& p : big.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const auto ii = integral::integral_cpu(big);
+
+  img::ImageU8 crop(kWindowSize, kWindowSize);
+  const int wx = 17;
+  const int wy = 9;
+  for (int y = 0; y < kWindowSize; ++y) {
+    for (int x = 0; x < kWindowSize; ++x) {
+      crop(x, y) = big(wx + x, wy + y);
+    }
+  }
+  const HaarFeature f{HaarType::kLine, false, 2, 4, 5, 6};
+  EXPECT_EQ(f.response(ii, wx, wy), brute_response(crop, f));
+}
+
+TEST(HaarFeature, ValidityDetectsOverflowingExtents) {
+  EXPECT_TRUE((HaarFeature{HaarType::kEdge, false, 0, 0, 12, 24}).valid());
+  EXPECT_FALSE((HaarFeature{HaarType::kEdge, false, 1, 0, 12, 24}).valid());
+  EXPECT_TRUE((HaarFeature{HaarType::kCenterSurround, false, 0, 0, 8, 8}).valid());
+  EXPECT_FALSE(
+      (HaarFeature{HaarType::kCenterSurround, false, 1, 0, 8, 8}).valid());
+  EXPECT_FALSE((HaarFeature{HaarType::kEdge, false, 0, 0, 0, 1}).valid());
+}
+
+TEST(HaarFeature, ExtentsFollowOrientation) {
+  const HaarFeature horizontal{HaarType::kLine, false, 0, 0, 4, 6};
+  EXPECT_EQ(horizontal.extent_w(), 12);
+  EXPECT_EQ(horizontal.extent_h(), 6);
+  const HaarFeature vertical{HaarType::kLine, true, 0, 0, 4, 6};
+  EXPECT_EQ(vertical.extent_w(), 4);
+  EXPECT_EQ(vertical.extent_h(), 18);
+}
+
+TEST(HaarFeature, EdgeRespondsToStepPattern) {
+  // Left half bright, right half dark: a horizontal edge feature spanning
+  // the boundary must respond strongly positive.
+  img::ImageU8 step(kWindowSize, kWindowSize);
+  for (int y = 0; y < kWindowSize; ++y) {
+    for (int x = 0; x < kWindowSize; ++x) {
+      step(x, y) = (x < 12) ? 200 : 20;
+    }
+  }
+  const auto ii = integral::integral_cpu(step);
+  const HaarFeature f{HaarType::kEdge, false, 4, 4, 8, 16};  // spans x=4..20
+  EXPECT_GT(f.response(ii, 0, 0), 0);
+  // The mirrored pattern flips the sign.
+  img::ImageU8 mirrored(kWindowSize, kWindowSize);
+  for (int y = 0; y < kWindowSize; ++y) {
+    for (int x = 0; x < kWindowSize; ++x) {
+      mirrored(x, y) = (x < 12) ? 20 : 200;
+    }
+  }
+  const auto ii2 = integral::integral_cpu(mirrored);
+  EXPECT_LT(f.response(ii2, 0, 0), 0);
+}
+
+TEST(HaarFeature, CenterSurroundRespondsToBlob) {
+  img::ImageU8 blob(kWindowSize, kWindowSize);
+  blob.fill(200);
+  for (int y = 9; y < 15; ++y) {
+    for (int x = 9; x < 15; ++x) {
+      blob(x, y) = 10;  // dark center
+    }
+  }
+  const auto ii = integral::integral_cpu(blob);
+  const HaarFeature f{HaarType::kCenterSurround, false, 3, 3, 6, 6};
+  // Whole(+1) is bright, center(-9) is dark: response strongly positive.
+  EXPECT_GT(f.response(ii, 0, 0), 0);
+}
+
+TEST(ToString, CoversAllFamilies) {
+  EXPECT_EQ(to_string(HaarType::kEdge), "edge");
+  EXPECT_EQ(to_string(HaarType::kLine), "line");
+  EXPECT_EQ(to_string(HaarType::kCenterSurround), "center-surround");
+  EXPECT_EQ(to_string(HaarType::kDiagonal), "diagonal");
+}
+
+}  // namespace
+}  // namespace fdet::haar

@@ -1,0 +1,125 @@
+#include "haar/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.h"
+
+namespace fdet::haar {
+namespace {
+
+TEST(Profile, OpencvProfileMatchesPaperTotals) {
+  const auto profile = opencv_frontal_profile();
+  EXPECT_EQ(profile.size(), 25u);
+  EXPECT_EQ(std::accumulate(profile.begin(), profile.end(), 0), 2913);
+  EXPECT_EQ(profile.front(), 9);  // tiny first stage: the early-exit filter
+}
+
+TEST(Profile, CompactProfileMatchesPaperTotals) {
+  const auto profile = compact_profile();
+  EXPECT_EQ(profile.size(), 25u);
+  EXPECT_EQ(std::accumulate(profile.begin(), profile.end(), 0), 1446);
+  // Shape preserved: stages grow with depth, first stage is small.
+  EXPECT_LE(profile.front(), 6);
+  EXPECT_GT(profile.back(), profile.front());
+}
+
+TEST(Profile, ScaleProfilePreservesTotalExactly) {
+  const std::vector<int> reference{10, 20, 30, 40};
+  for (const int target : {4, 37, 50, 100, 333}) {
+    const auto scaled = scale_profile(reference, target);
+    EXPECT_EQ(std::accumulate(scaled.begin(), scaled.end(), 0), target);
+    for (const int n : scaled) {
+      EXPECT_GE(n, 1);
+    }
+  }
+}
+
+TEST(Profile, BuildIsDeterministicPerSeed) {
+  const std::vector<int> sizes{3, 4};
+  const Cascade a = build_profile_cascade("a", sizes, 42);
+  const Cascade b = build_profile_cascade("b", sizes, 42);
+  for (int s = 0; s < 2; ++s) {
+    for (std::size_t c = 0; c < a.stages()[static_cast<std::size_t>(s)].classifiers.size(); ++c) {
+      EXPECT_EQ(a.stages()[static_cast<std::size_t>(s)].classifiers[c].feature,
+                b.stages()[static_cast<std::size_t>(s)].classifiers[c].feature);
+    }
+  }
+}
+
+TEST(Profile, PaperPassProfileReproducesFig7Head) {
+  const auto pass = paper_pass_profile(25);
+  ASSERT_EQ(pass.size(), 25u);
+  EXPECT_NEAR(pass[0], 0.0548, 1e-6);          // 94.52 % rejected at stage 1
+  EXPECT_NEAR(pass[0] * pass[1], 0.0148, 1e-4);// 4 % of all rejected at stage 2
+  for (std::size_t s = 2; s < pass.size(); ++s) {
+    EXPECT_GT(pass[s], 0.0);
+    EXPECT_LT(pass[s], 1.0);
+  }
+}
+
+TEST(Profile, CalibrationPinsStageOnePassRate) {
+  core::Rng rng(17);
+  img::ImageU8 scene(200, 160);
+  for (auto& p : scene.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const auto ii = integral::integral_cpu(scene);
+
+  // ±1-vote stumps quantize scores, so use a wide stage for granularity.
+  Cascade cascade =
+      build_profile_cascade("calib", std::vector<int>{40, 8, 8}, 31);
+  const std::vector<double> pass_rates{0.10, 0.5, 0.5};
+  calibrate_stage_thresholds(cascade, {&ii}, pass_rates, 2);
+
+  // Measure the realized stage-1 pass rate on the same grid.
+  int total = 0;
+  int passed = 0;
+  for (int y = 0; y + kWindowSize <= ii.height(); y += 2) {
+    for (int x = 0; x + kWindowSize <= ii.width(); x += 2) {
+      ++total;
+      passed += (cascade.evaluate(ii, x, y, 1).depth >= 1);
+    }
+  }
+  const double rate = static_cast<double>(passed) / total;
+  EXPECT_NEAR(rate, 0.10, 0.05);
+}
+
+TEST(Profile, CalibrationProducesMonotoneSurvival) {
+  core::Rng rng(18);
+  img::ImageU8 scene(180, 140);
+  for (auto& p : scene.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const auto ii = integral::integral_cpu(scene);
+  Cascade cascade =
+      build_profile_cascade("mono", std::vector<int>{6, 6, 6, 6}, 77);
+  calibrate_stage_thresholds(cascade, {&ii},
+                             std::vector<double>{0.3, 0.5, 0.5, 0.5}, 3);
+
+  int prev = std::numeric_limits<int>::max();
+  for (int depth = 1; depth <= 4; ++depth) {
+    int survivors = 0;
+    for (int y = 0; y + kWindowSize <= ii.height(); y += 3) {
+      for (int x = 0; x + kWindowSize <= ii.width(); x += 3) {
+        survivors += (cascade.evaluate(ii, x, y, depth).depth >= depth);
+      }
+    }
+    EXPECT_LE(survivors, prev);
+    prev = survivors;
+  }
+}
+
+TEST(Profile, CalibrationRejectsBadArity) {
+  Cascade cascade = build_profile_cascade("bad", std::vector<int>{2, 2}, 1);
+  core::Rng rng(1);
+  img::ImageU8 scene(64, 64);
+  const auto ii = integral::integral_cpu(scene);
+  EXPECT_THROW(calibrate_stage_thresholds(cascade, {&ii},
+                                          std::vector<double>{0.5}, 4),
+               core::CheckError);
+}
+
+}  // namespace
+}  // namespace fdet::haar

@@ -1,0 +1,133 @@
+#include "haar/tilted.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fdet::haar {
+namespace {
+
+img::ImageU8 random_window(std::uint64_t seed, int side = 24) {
+  core::Rng rng(seed);
+  img::ImageU8 im(side, side);
+  for (auto& p : im.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return im;
+}
+
+/// Oracle: cell sum via per-pixel membership in diagonal coordinates.
+std::int64_t brute_cell(const img::ImageU8& im, int ax, int ay, int w, int h) {
+  std::int64_t acc = 0;
+  for (int yp = 0; yp < im.height(); ++yp) {
+    for (int xp = 0; xp < im.width(); ++xp) {
+      const int d = xp - yp;
+      const int e = xp + yp;
+      if (d >= ax - ay - 2 * h && d <= ax - ay - 1 && e >= ax + ay + 1 &&
+          e <= ax + ay + 2 * w) {
+        acc += im(xp, yp);
+      }
+    }
+  }
+  return acc;
+}
+
+TEST(TiltedFeature, ZeroResponseOnConstantImages) {
+  img::ImageU8 flat(24, 24);
+  flat.fill(113);
+  const auto rot = integral::rotated_integral_cpu(flat);
+  int checked = 0;
+  for_each_tilted(TiltedType::kEdge, [&](const TiltedFeature& f) {
+    if (checked++ % 97 == 0) {  // sample the enumeration
+      ASSERT_EQ(f.response(rot, 0, 0), 0);
+    }
+  });
+  for_each_tilted(TiltedType::kLine, [&](const TiltedFeature& f) {
+    if (checked++ % 97 == 0) {
+      ASSERT_EQ(f.response(rot, 0, 0), 0);
+    }
+  });
+  EXPECT_GT(checked, 100);
+}
+
+TEST(TiltedFeature, ResponseMatchesBruteForce) {
+  const img::ImageU8 im = random_window(5);
+  const auto rot = integral::rotated_integral_cpu(im);
+  core::Rng rng(6);
+  int checked = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    TiltedFeature f;
+    f.type = rng.bernoulli(0.5) ? TiltedType::kEdge : TiltedType::kLine;
+    f.cw = static_cast<std::uint8_t>(rng.uniform_int(1, 5));
+    f.ch = static_cast<std::uint8_t>(rng.uniform_int(1, 5));
+    f.x = static_cast<std::uint8_t>(rng.uniform_int(0, 23));
+    f.y = static_cast<std::uint8_t>(rng.uniform_int(0, 23));
+    if (!f.valid()) {
+      continue;
+    }
+    const int n = f.cells();
+    const int weights[3] = {1, n == 2 ? -1 : -2, 1};
+    std::int64_t expected = 0;
+    for (int k = 0; k < n; ++k) {
+      expected += static_cast<std::int64_t>(weights[k]) *
+                  brute_cell(im, f.x + k * f.cw, f.y + k * f.cw, f.cw, f.ch);
+    }
+    ASSERT_EQ(f.response(rot, 0, 0), expected);
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(TiltedFeature, RespondsToDiagonalStructure) {
+  // Consecutive cells of a tilted edge differ along the e = x + y
+  // direction, so a bright down-LEFT diagonal stripe (constant e band)
+  // covers them asymmetrically and produces a strong response.
+  img::ImageU8 im(24, 24);
+  im.fill(40);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 24; ++x) {
+      if (std::abs((x + y) - 16) <= 2) {
+        im(x, y) = 220;  // stripe along e = 16
+      }
+    }
+  }
+  const auto rot = integral::rotated_integral_cpu(im);
+  // Cell 1: e in [14, 25] (on the stripe); cell 2: e in [20, 31] (mostly
+  // off it).
+  const TiltedFeature f{TiltedType::kEdge, 10, 3, 3, 3};
+  ASSERT_TRUE(f.valid());
+  EXPECT_NE(f.response(rot, 0, 0), 0);
+}
+
+TEST(TiltedFeature, EnumerationCountsAreStableAndPlausible) {
+  const std::int64_t edges = for_each_tilted(TiltedType::kEdge,
+                                             [](const TiltedFeature&) {});
+  const std::int64_t lines = for_each_tilted(TiltedType::kLine,
+                                             [](const TiltedFeature&) {});
+  EXPECT_GT(edges, 1000);
+  EXPECT_GT(lines, 500);
+  EXPECT_GT(edges, lines);  // three cells fit less often than two
+}
+
+TEST(TiltedFeature, ValidityRejectsOutOfWindowCells) {
+  EXPECT_FALSE((TiltedFeature{TiltedType::kEdge, 0, 0, 1, 2}).valid());  // left
+  EXPECT_FALSE((TiltedFeature{TiltedType::kEdge, 23, 0, 1, 1}).valid()); // right
+  EXPECT_FALSE((TiltedFeature{TiltedType::kEdge, 5, 22, 1, 1}).valid()); // bottom
+  EXPECT_TRUE((TiltedFeature{TiltedType::kEdge, 5, 5, 2, 2}).valid());
+  EXPECT_FALSE((TiltedFeature{TiltedType::kEdge, 5, 5, 0, 2}).valid());
+}
+
+TEST(TiltedFeature, WindowAnchorShiftsTheFeature) {
+  const img::ImageU8 big = random_window(9, 48);
+  const auto rot = integral::rotated_integral_cpu(big);
+  const TiltedFeature f{TiltedType::kEdge, 8, 4, 2, 2};
+  ASSERT_TRUE(f.valid());
+  // Response at anchor (wx, wy) equals the cell sums shifted by the
+  // anchor; cell k's apex is (x + k*cw, y + k*cw).
+  const std::int64_t direct = brute_cell(big, 8 + 10, 4 + 6, 2, 2) -
+                              brute_cell(big, 10 + 10, 6 + 6, 2, 2);
+  EXPECT_EQ(f.response(rot, 10, 6), direct);
+}
+
+}  // namespace
+}  // namespace fdet::haar

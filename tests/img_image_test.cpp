@@ -1,0 +1,96 @@
+#include "img/image.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace fdet::img {
+namespace {
+
+TEST(Image, ConstructsZeroed) {
+  ImageU8 im(4, 3);
+  EXPECT_EQ(im.width(), 4);
+  EXPECT_EQ(im.height(), 3);
+  EXPECT_EQ(im.size(), 12u);
+  for (const auto p : im.pixels()) {
+    EXPECT_EQ(p, 0);
+  }
+}
+
+TEST(Image, RejectsEmptyDimensions) {
+  EXPECT_THROW(ImageU8(0, 3), core::CheckError);
+  EXPECT_THROW(ImageU8(3, -1), core::CheckError);
+}
+
+TEST(Image, AtChecksBounds) {
+  ImageU8 im(4, 3);
+  EXPECT_NO_THROW(im.at(3, 2));
+  EXPECT_THROW(im.at(4, 0), core::CheckError);
+  EXPECT_THROW(im.at(0, 3), core::CheckError);
+  EXPECT_THROW(im.at(-1, 0), core::CheckError);
+}
+
+TEST(Image, RowMajorLayout) {
+  ImageU8 im(3, 2);
+  im(0, 0) = 1;
+  im(2, 0) = 3;
+  im(0, 1) = 4;
+  EXPECT_EQ(im.pixels()[0], 1);
+  EXPECT_EQ(im.pixels()[2], 3);
+  EXPECT_EQ(im.pixels()[3], 4);
+  EXPECT_EQ(im.row(1)[0], 4);
+}
+
+TEST(Image, CastConvertsElementwise) {
+  ImageU8 im(2, 2);
+  im(0, 0) = 200;
+  im(1, 1) = 17;
+  const ImageF32 f = im.cast<float>();
+  EXPECT_FLOAT_EQ(f(0, 0), 200.0f);
+  EXPECT_FLOAT_EQ(f(1, 1), 17.0f);
+}
+
+TEST(Image, FillSetsEveryPixel) {
+  ImageU8 im(5, 5);
+  im.fill(42);
+  for (const auto p : im.pixels()) {
+    EXPECT_EQ(p, 42);
+  }
+}
+
+TEST(Rect, AreaAndEdges) {
+  const Rect r{2, 3, 10, 20};
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_EQ(r.right(), 12);
+  EXPECT_EQ(r.bottom(), 23);
+}
+
+TEST(Rect, IntersectionOfOverlapping) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 10, 10};
+  EXPECT_EQ(intersection_area(a, b), 25);
+  EXPECT_EQ(union_area(a, b), 175);
+}
+
+TEST(Rect, IntersectionOfDisjointIsZero) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{10, 10, 4, 4};
+  EXPECT_EQ(intersection_area(a, b), 0);
+  EXPECT_EQ(union_area(a, b), 32);
+}
+
+TEST(Rect, IntersectionOfNestedIsInner) {
+  const Rect outer{0, 0, 100, 100};
+  const Rect inner{10, 10, 5, 5};
+  EXPECT_EQ(intersection_area(outer, inner), 25);
+  EXPECT_EQ(union_area(outer, inner), 10000);
+}
+
+TEST(Rect, TouchingEdgesDoNotIntersect) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{5, 0, 5, 5};
+  EXPECT_EQ(intersection_area(a, b), 0);
+}
+
+}  // namespace
+}  // namespace fdet::img

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/rng.h"
+#include "img/draw.h"
+#include "img/filter.h"
+#include "img/io.h"
+#include "img/nv12.h"
+#include "img/pyramid.h"
+#include "img/texture.h"
+
+namespace fdet::img {
+namespace {
+
+TEST(Sampler, ReproducesTexelCenters) {
+  ImageF32 im(3, 3);
+  im(1, 1) = 10.0f;
+  const BilinearSampler<float> sampler(im);
+  EXPECT_FLOAT_EQ(sampler.sample(1.5f, 1.5f), 10.0f);
+  EXPECT_FLOAT_EQ(sampler.sample(0.5f, 0.5f), 0.0f);
+}
+
+TEST(Sampler, InterpolatesLinearly) {
+  ImageF32 im(2, 1);
+  im(0, 0) = 0.0f;
+  im(1, 0) = 100.0f;
+  const BilinearSampler<float> sampler(im);
+  EXPECT_NEAR(sampler.sample(1.0f, 0.5f), 50.0f, 1e-4);
+  EXPECT_NEAR(sampler.sample(0.75f, 0.5f), 25.0f, 1e-4);
+}
+
+TEST(Sampler, ClampsAtEdges) {
+  ImageF32 im(2, 2);
+  im(0, 0) = 4.0f;
+  const BilinearSampler<float> sampler(im);
+  EXPECT_FLOAT_EQ(sampler.sample(-5.0f, -5.0f), 4.0f);
+}
+
+TEST(Sampler, ReproducesExactLinearRamp) {
+  // A bilinear sampler must reproduce an affine image exactly (interior).
+  ImageF32 im(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      im(x, y) = static_cast<float>(2 * x + 3 * y);
+    }
+  }
+  const BilinearSampler<float> sampler(im);
+  for (float y = 1.0f; y < 7.0f; y += 0.37f) {
+    for (float x = 1.0f; x < 7.0f; x += 0.41f) {
+      const float expected = 2.0f * (x - 0.5f) + 3.0f * (y - 0.5f);
+      EXPECT_NEAR(sampler.sample(x, y), expected, 1e-3);
+    }
+  }
+}
+
+TEST(Filter, RadiusZeroIsIdentity) {
+  ImageF32 im(4, 4);
+  im(2, 2) = 9.0f;
+  const ImageF32 out = binomial_blur(im, 0);
+  EXPECT_EQ(out, im);
+}
+
+TEST(Filter, PreservesConstantImages) {
+  ImageF32 im(6, 6);
+  im.fill(3.5f);
+  const ImageF32 out = binomial_blur(im, 2);
+  for (const float p : out.pixels()) {
+    EXPECT_NEAR(p, 3.5f, 1e-5);
+  }
+}
+
+TEST(Filter, PreservesTotalMassOnImpulse) {
+  // Away from borders the kernel is normalized: the impulse response sums
+  // to 1.
+  ImageF32 im(11, 11);
+  im(5, 5) = 1.0f;
+  const ImageF32 out = binomial_blur(im, 2);
+  float total = 0.0f;
+  for (const float p : out.pixels()) {
+    EXPECT_GE(p, 0.0f);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5);
+  // Center keeps the highest response.
+  EXPECT_GT(out(5, 5), out(4, 5));
+}
+
+TEST(Filter, ReducesHighFrequencyEnergy) {
+  core::Rng rng(99);
+  ImageF32 im(32, 32);
+  for (auto& p : im.pixels()) {
+    p = static_cast<float>(rng.uniform(0.0, 255.0));
+  }
+  const ImageF32 out = binomial_blur(im, 2);
+  // Variance of neighbour differences must drop substantially.
+  const auto roughness = [](const ImageF32& image) {
+    double acc = 0.0;
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 1; x < image.width(); ++x) {
+        const double d = image(x, y) - image(x - 1, y);
+        acc += d * d;
+      }
+    }
+    return acc;
+  };
+  EXPECT_LT(roughness(out), roughness(im) * 0.3);
+}
+
+TEST(Filter, AntialiasRadiusGrowsWithFactor) {
+  EXPECT_EQ(antialias_radius(1.0), 0);
+  EXPECT_EQ(antialias_radius(0.5), 0);
+  EXPECT_GE(antialias_radius(1.25), 1);
+  EXPECT_GT(antialias_radius(4.0), antialias_radius(2.0));
+}
+
+TEST(Pyramid, PlanStopsAtWindowSize) {
+  const PyramidPlan plan = plan_pyramid(1920, 1080, 1.25, 24);
+  ASSERT_FALSE(plan.levels.empty());
+  EXPECT_EQ(plan.levels.front().width, 1920);
+  EXPECT_EQ(plan.levels.front().height, 1080);
+  for (const auto& level : plan.levels) {
+    EXPECT_GE(level.width, 24);
+    EXPECT_GE(level.height, 24);
+  }
+  // The next level after the last must violate the minimum.
+  const auto& last = plan.levels.back();
+  EXPECT_LT(std::min(last.width, last.height) / 1.25, 24.0 * 1.25);
+}
+
+TEST(Pyramid, FactorsFormGeometricSequence) {
+  const PyramidPlan plan = plan_pyramid(1000, 1000, 1.5, 24);
+  for (std::size_t i = 1; i < plan.levels.size(); ++i) {
+    EXPECT_NEAR(plan.levels[i].factor / plan.levels[i - 1].factor, 1.5, 1e-9);
+  }
+}
+
+TEST(Pyramid, Of1080pHasPaperLikeLevelCount) {
+  // With a 1.25 step and 24px window, 1080p yields ~17 levels; the paper's
+  // Fig. 7 shows rejection rates across a comparable number of scales.
+  const PyramidPlan plan = plan_pyramid(1920, 1080, 1.25, 24);
+  EXPECT_GE(plan.levels.size(), 12u);
+  EXPECT_LE(plan.levels.size(), 20u);
+}
+
+TEST(Pyramid, BuildProducesPlannedDimensions) {
+  ImageU8 frame(100, 80);
+  frame.fill(128);
+  const PyramidPlan plan = plan_pyramid(100, 80, 1.6, 24);
+  const auto levels = build_pyramid_cpu(frame, plan);
+  ASSERT_EQ(levels.size(), plan.levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    EXPECT_EQ(levels[i].width(), plan.levels[i].width);
+    EXPECT_EQ(levels[i].height(), plan.levels[i].height);
+  }
+}
+
+TEST(Pyramid, DownscalePreservesMeanBrightness) {
+  core::Rng rng(5);
+  ImageU8 frame(128, 128);
+  for (auto& p : frame.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const PyramidPlan plan = plan_pyramid(128, 128, 2.0, 24);
+  const auto levels = build_pyramid_cpu(frame, plan);
+  double mean0 = 0.0;
+  for (const float p : levels[0].pixels()) {
+    mean0 += p;
+  }
+  mean0 /= static_cast<double>(levels[0].size());
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    double mean = 0.0;
+    for (const float p : levels[i].pixels()) {
+      mean += p;
+    }
+    mean /= static_cast<double>(levels[i].size());
+    EXPECT_NEAR(mean, mean0, 4.0) << "level " << i;
+  }
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  ImageF32 im(10, 10);
+  im(3, 4) = 7.0f;
+  const ImageF32 out = resize_bilinear(im, 10, 10);
+  EXPECT_NEAR(out(3, 4), 7.0f, 1e-4);
+}
+
+TEST(Nv12, RoundTripsGray) {
+  ImageU8 gray(16, 16);
+  gray(3, 3) = 200;
+  const Nv12Frame frame = Nv12Frame::from_gray(gray);
+  EXPECT_EQ(frame.luma()(3, 3), 200);
+  ImageU8 r, g, b;
+  frame.to_rgb(r, g, b);
+  // Neutral chroma: RGB equals luma.
+  EXPECT_NEAR(r(3, 3), 200, 1);
+  EXPECT_NEAR(g(3, 3), 200, 1);
+  EXPECT_NEAR(b(3, 3), 200, 1);
+}
+
+TEST(Nv12, RejectsOddDimensions) {
+  EXPECT_THROW(Nv12Frame(15, 16), core::CheckError);
+  EXPECT_THROW(Nv12Frame(16, 15), core::CheckError);
+}
+
+TEST(Io, PgmRoundTrip) {
+  core::Rng rng(3);
+  ImageU8 im(20, 10);
+  for (auto& p : im.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fdet_io_test.pgm").string();
+  write_pgm(path, im);
+  const ImageU8 back = read_pgm(path);
+  EXPECT_EQ(back, im);
+  std::remove(path.c_str());
+}
+
+TEST(Io, PpmWritesExpectedSize) {
+  ImageU8 plane(8, 4);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fdet_io_test.ppm").string();
+  write_ppm(path, plane, plane, plane);
+  EXPECT_GT(std::filesystem::file_size(path), 8u * 4 * 3);
+  std::remove(path.c_str());
+}
+
+TEST(Draw, OutlinesRectangleAndClips) {
+  ImageU8 im(10, 10);
+  draw_rect(im, Rect{-2, -2, 6, 6}, 255);
+  // Interior untouched, border drawn where inside the image.
+  EXPECT_EQ(im(3, 0), 255);  // top edge (clipped row 0? rect row -2 clipped)
+  EXPECT_EQ(im(3, 3), 255);  // bottom edge at y=3
+  EXPECT_EQ(im(2, 2), 0);    // interior
+}
+
+TEST(Draw, ThicknessGrowsInward) {
+  ImageU8 im(20, 20);
+  draw_rect(im, Rect{2, 2, 10, 10}, 200, 2);
+  EXPECT_EQ(im(2, 2), 200);
+  EXPECT_EQ(im(3, 3), 200);
+  EXPECT_EQ(im(4, 4), 0);
+}
+
+}  // namespace
+}  // namespace fdet::img

@@ -1,0 +1,153 @@
+#include "integral/rotated.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fdet::integral {
+namespace {
+
+img::ImageU8 random_image(int w, int h, std::uint64_t seed) {
+  core::Rng rng(seed);
+  img::ImageU8 im(w, h);
+  for (auto& p : im.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return im;
+}
+
+/// Oracle: cone sum by definition — pixels with y' <= y, |x'-x| <= y-y'.
+std::int64_t brute_cone(const img::ImageU8& im, int x, int y) {
+  std::int64_t acc = 0;
+  for (int yp = 0; yp < im.height() && yp <= y; ++yp) {
+    for (int xp = 0; xp < im.width(); ++xp) {
+      if (std::abs(xp - x) <= y - yp) {
+        acc += im(xp, yp);
+      }
+    }
+  }
+  return acc;
+}
+
+/// Oracle: solid tilted rectangle below apex (x, y) — in diagonal
+/// coordinates d = x'-y', e = x'+y':
+///   d in [x-y-2h, x-y-1], e in [x+y+1, x+y+2w].
+std::int64_t brute_tilted(const img::ImageU8& im, int x, int y, int w, int h) {
+  std::int64_t acc = 0;
+  std::int64_t pixels = 0;
+  for (int yp = 0; yp < im.height(); ++yp) {
+    for (int xp = 0; xp < im.width(); ++xp) {
+      const int d = xp - yp;
+      const int e = xp + yp;
+      if (d >= x - y - 2 * h && d <= x - y - 1 && e >= x + y + 1 &&
+          e <= x + y + 2 * w) {
+        acc += im(xp, yp);
+        ++pixels;
+      }
+    }
+  }
+  EXPECT_EQ(pixels, 2 * w * h) << "tilted rect clipped by the image";
+  return acc;
+}
+
+TEST(RotatedIntegral, ConeMatchesBruteForceEverywhere) {
+  const img::ImageU8 im = random_image(13, 11, 1);
+  const RotatedIntegralImage rot = rotated_integral_cpu(im);
+  for (int y = 0; y < 11; ++y) {
+    for (int x = -1; x <= 13; ++x) {
+      ASSERT_EQ(rot.rsat(x, y), brute_cone(im, x, y))
+          << "apex (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(RotatedIntegral, ConstantImageConesHaveClosedForm) {
+  img::ImageU8 im(9, 9);
+  im.fill(1);
+  const RotatedIntegralImage rot = rotated_integral_cpu(im);
+  // Interior cone of height k has 1+3+...+(2k+1) = (k+1)^2 pixels.
+  EXPECT_EQ(rot.rsat(4, 0), 1);
+  EXPECT_EQ(rot.rsat(4, 1), 4);
+  EXPECT_EQ(rot.rsat(4, 2), 9);
+}
+
+TEST(RotatedIntegral, TiltedSumMatchesBruteForce) {
+  const img::ImageU8 im = random_image(40, 36, 3);
+  const RotatedIntegralImage rot = rotated_integral_cpu(im);
+  core::Rng rng(4);
+  int checked = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    const int w = rng.uniform_int(1, 6);
+    const int h = rng.uniform_int(1, 6);
+    const int x = rng.uniform_int(0, 39);
+    const int y = rng.uniform_int(0, 35);
+    // Keep the rect fully inside the image.
+    if (x - h + 1 < 0 || x + w - 1 >= 40 || y + w + h >= 36) {
+      continue;
+    }
+    ASSERT_EQ(rot.tilted_sum(x, y, w, h), brute_tilted(im, x, y, w, h))
+        << "apex (" << x << "," << y << ") w=" << w << " h=" << h;
+    ++checked;
+  }
+  EXPECT_GT(checked, 200);
+}
+
+TEST(RotatedIntegral, TiltedSumOfUniformImageIsAreaTimesLevel) {
+  img::ImageU8 im(30, 30);
+  im.fill(7);
+  const RotatedIntegralImage rot = rotated_integral_cpu(im);
+  // 2*w*h pixels in a solid tilted rect.
+  EXPECT_EQ(rot.tilted_sum(14, 2, 3, 4), 7 * 2 * 3 * 4);
+  EXPECT_EQ(rot.tilted_sum(10, 0, 1, 1), 7 * 2);
+}
+
+TEST(RotatedIntegral, RejectsBadArguments) {
+  const img::ImageU8 im = random_image(10, 10, 5);
+  const RotatedIntegralImage rot = rotated_integral_cpu(im);
+  EXPECT_THROW(rot.rsat(-2, 3), core::CheckError);
+  EXPECT_THROW(rot.rsat(11, 3), core::CheckError);
+  EXPECT_THROW(rot.rsat(3, 10), core::CheckError);
+  EXPECT_EQ(rot.rsat(3, -1), 0);  // above the image: empty cone
+  EXPECT_THROW(rot.tilted_sum(5, 2, 0, 1), core::CheckError);
+}
+
+class RotatedGpuParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RotatedGpuParam, GpuMatchesCpuConstruction) {
+  const auto [w, h] = GetParam();
+  const vgpu::DeviceSpec spec;
+  const img::ImageU8 im = random_image(w, h, 7);
+  const RotatedIntegralImage cpu = rotated_integral_cpu(im);
+  const GpuRotatedResult gpu = rotated_integral_gpu(spec, im);
+  ASSERT_EQ(gpu.integral.table().width(), cpu.table().width());
+  ASSERT_EQ(gpu.integral.table().height(), cpu.table().height());
+  for (int y = 0; y < h; ++y) {
+    for (int x = -1; x <= w; ++x) {
+      ASSERT_EQ(gpu.integral.rsat(x, y), cpu.rsat(x, y))
+          << "(" << x << "," << y << ") size " << w << "x" << h;
+    }
+  }
+  EXPECT_EQ(gpu.launches.size(), 3u);  // diag scan, edge carry, anti scan
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RotatedGpuParam,
+    ::testing::Values(std::pair{8, 8}, std::pair{13, 9}, std::pair{9, 13},
+                      std::pair{64, 48}, std::pair{100, 7},
+                      std::pair{257, 130}));
+
+TEST(RotatedIntegralGpu, LaunchCostsArePositive) {
+  const vgpu::DeviceSpec spec;
+  const img::ImageU8 im = random_image(96, 64, 9);
+  const GpuRotatedResult gpu = rotated_integral_gpu(spec, im);
+  for (const auto& launch : gpu.launches) {
+    EXPECT_GT(launch.total_service_cycles, 0.0);
+  }
+  // Diagonal walks cannot coalesce like row scans: more transactions per
+  // element than the upright scan (sanity check of the charged pattern).
+  EXPECT_GT(gpu.launches[0].counters.global_transactions,
+            static_cast<std::uint64_t>(96 * 64 / 128));
+}
+
+}  // namespace
+}  // namespace fdet::integral

@@ -1,0 +1,219 @@
+#include "integral/integral.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "integral/cpu_model.h"
+#include "integral/gpu.h"
+
+namespace fdet::integral {
+namespace {
+
+img::ImageU8 random_image(int w, int h, std::uint64_t seed) {
+  core::Rng rng(seed);
+  img::ImageU8 im(w, h);
+  for (auto& p : im.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return im;
+}
+
+std::int64_t brute_sum(const img::ImageU8& im, int x0, int y0, int x1, int y1) {
+  std::int64_t acc = 0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      acc += im(x, y);
+    }
+  }
+  return acc;
+}
+
+TEST(IntegralNaive, MatchesBruteForceRectangles) {
+  const img::ImageU8 im = random_image(17, 13, 1);
+  const IntegralImage ii = integral_naive(im);
+  core::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int x0 = rng.uniform_int(0, 16);
+    const int x1 = rng.uniform_int(x0, 17);
+    const int y0 = rng.uniform_int(0, 12);
+    const int y1 = rng.uniform_int(y0, 13);
+    EXPECT_EQ(ii.sum(x0, y0, x1, y1), brute_sum(im, x0, y0, x1, y1));
+  }
+}
+
+TEST(IntegralNaive, FullImageSumAndEmptyRect) {
+  const img::ImageU8 im = random_image(9, 9, 3);
+  const IntegralImage ii = integral_naive(im);
+  EXPECT_EQ(ii.sum(0, 0, 9, 9), brute_sum(im, 0, 0, 9, 9));
+  EXPECT_EQ(ii.sum(4, 4, 4, 4), 0);
+  EXPECT_EQ(ii.sum(0, 3, 9, 3), 0);
+}
+
+TEST(IntegralCpu, MatchesNaiveOnRandomImages) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const int w = 5 + static_cast<int>(seed) * 13;
+    const int h = 7 + static_cast<int>(seed) * 9;
+    const img::ImageU8 im = random_image(w, h, seed);
+    EXPECT_EQ(integral_cpu(im).table(), integral_naive(im).table())
+        << "seed " << seed;
+  }
+}
+
+TEST(IntegralCpu, HandlesSinglePixelAndSingleRow) {
+  img::ImageU8 one(1, 1);
+  one(0, 0) = 77;
+  EXPECT_EQ(integral_cpu(one).sum(0, 0, 1, 1), 77);
+
+  img::ImageU8 row(5, 1);
+  for (int x = 0; x < 5; ++x) {
+    row(x, 0) = static_cast<std::uint8_t>(x + 1);
+  }
+  const IntegralImage ii = integral_cpu(row);
+  EXPECT_EQ(ii.sum(0, 0, 5, 1), 15);
+  EXPECT_EQ(ii.sum(2, 0, 4, 1), 3 + 4);
+}
+
+TEST(IntegralRange, RejectsOversizedImages) {
+  // 4000 x 4000 x 255 overflows int32.
+  img::ImageU8 big(4000, 4000);
+  EXPECT_THROW(check_integral_range(big), core::CheckError);
+  img::ImageU8 hd(1920, 1080);
+  EXPECT_NO_THROW(check_integral_range(hd));
+}
+
+TEST(RectSumApi, MatchesCoordinateApi) {
+  const img::ImageU8 im = random_image(12, 12, 4);
+  const IntegralImage ii = integral_naive(im);
+  const img::Rect r{2, 3, 5, 4};
+  EXPECT_EQ(ii.sum(r), ii.sum(2, 3, 7, 7));
+}
+
+class GpuScanParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuScanParam, MatchesSerialPrefixSumAtAnyWidth) {
+  const int w = GetParam();
+  const int h = 3;
+  const vgpu::DeviceSpec spec;
+  core::Rng rng(static_cast<std::uint64_t>(w));
+  img::ImageI32 in(w, h);
+  for (auto& p : in.pixels()) {
+    p = rng.uniform_int(-50, 50);
+  }
+  img::ImageI32 out(w, h);
+  scan_rows_gpu(spec, in, out);
+  for (int y = 0; y < h; ++y) {
+    std::int32_t acc = 0;
+    for (int x = 0; x < w; ++x) {
+      acc += in(x, y);
+      ASSERT_EQ(out(x, y), acc) << "x=" << x << " y=" << y << " w=" << w;
+    }
+  }
+}
+
+// Widths around the 256-thread / chunking boundaries.
+INSTANTIATE_TEST_SUITE_P(Widths, GpuScanParam,
+                         ::testing::Values(1, 7, 255, 256, 257, 511, 512, 513,
+                                           1000, 1920));
+
+class GpuTransposeParam
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GpuTransposeParam, TransposesExactly) {
+  const auto [w, h] = GetParam();
+  const vgpu::DeviceSpec spec;
+  core::Rng rng(7);
+  img::ImageI32 in(w, h);
+  for (auto& p : in.pixels()) {
+    p = rng.uniform_int(-1000, 1000);
+  }
+  img::ImageI32 out(h, w);
+  transpose_gpu(spec, in, out);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      ASSERT_EQ(out(y, x), in(x, y));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GpuTransposeParam,
+    ::testing::Values(std::pair{1, 1}, std::pair{32, 32}, std::pair{33, 31},
+                      std::pair{64, 48}, std::pair{100, 7}, std::pair{7, 100},
+                      std::pair{129, 65}));
+
+TEST(GpuTranspose, DoubleTransposeIsIdentity) {
+  const vgpu::DeviceSpec spec;
+  const img::ImageU8 src = random_image(75, 43, 9);
+  const img::ImageI32 in = src.cast<std::int32_t>();
+  img::ImageI32 once(43, 75);
+  img::ImageI32 twice(75, 43);
+  transpose_gpu(spec, in, once);
+  transpose_gpu(spec, once, twice);
+  EXPECT_EQ(twice, in);
+}
+
+TEST(GpuIntegral, MatchesNaiveOnRandomImages) {
+  const vgpu::DeviceSpec spec;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const int w = 30 + static_cast<int>(seed) * 41;
+    const int h = 25 + static_cast<int>(seed) * 17;
+    const img::ImageU8 im = random_image(w, h, seed + 100);
+    const GpuIntegralResult gpu = integral_gpu(spec, im);
+    EXPECT_EQ(gpu.integral.table(), integral_naive(im).table())
+        << "seed " << seed;
+    EXPECT_EQ(gpu.launches.size(), 4u);
+    EXPECT_GT(gpu.total_service_cycles(), 0.0);
+  }
+}
+
+TEST(GpuIntegral, ScanIsCoalesced) {
+  const vgpu::DeviceSpec spec;
+  img::ImageI32 in(1024, 4, 1);
+  img::ImageI32 out(1024, 4);
+  const vgpu::LaunchCost cost = scan_rows_gpu(spec, in, out);
+  // Cooperative loads: 32 lanes touch 32 consecutive int32 = one 128-byte
+  // transaction per warp access slot (two when the row base is unaligned).
+  // 1024 elements / 32 lanes = 32 slots per warp, 8 warps, 4 rows,
+  // load+store. An uncoalesced kernel would need ~8192 transactions.
+  // load+store x (chunk=4 slots/warp) x 8 warps/block x 4 row-blocks:
+  const std::uint64_t ideal = 2ull * 4 * 8 * 4;
+  EXPECT_LE(cost.counters.global_transactions, 2 * ideal);
+  EXPECT_GE(cost.counters.global_transactions, ideal);
+}
+
+TEST(GpuIntegral, TransposeWritesEveryElementOnce) {
+  const vgpu::DeviceSpec spec;
+  img::ImageI32 in(96, 64, 5);
+  img::ImageI32 out(64, 96);
+  const vgpu::LaunchCost cost = transpose_gpu(spec, in, out);
+  EXPECT_EQ(cost.counters.global_read_bytes, 96ull * 64 * 4);
+  EXPECT_EQ(cost.counters.global_write_bytes, 96ull * 64 * 4);
+}
+
+TEST(GpuIntegral, LargerImagesCostMoreCycles) {
+  const vgpu::DeviceSpec spec;
+  const img::ImageU8 small = random_image(128, 128, 1);
+  const img::ImageU8 large = random_image(512, 512, 1);
+  const double small_cycles = integral_gpu(spec, small).total_service_cycles();
+  const double large_cycles = integral_gpu(spec, large).total_service_cycles();
+  EXPECT_GT(large_cycles, small_cycles * 4.0);
+}
+
+TEST(CpuModel, HasCacheAndDramRegimes) {
+  const CpuModel model;
+  // Per-pixel cost jumps once the working set spills out of cache.
+  const double small = model.integral_ms(256, 256) / (256.0 * 256.0);
+  const double large = model.integral_ms(1920, 1080) / (1920.0 * 1080.0);
+  EXPECT_LT(small, large);
+}
+
+TEST(CpuModel, HdFrameCostIsMilliseconds) {
+  const CpuModel model;
+  const double ms = model.integral_ms(1920, 1080);
+  EXPECT_GT(ms, 0.5);
+  EXPECT_LT(ms, 30.0);
+}
+
+}  // namespace
+}  // namespace fdet::integral

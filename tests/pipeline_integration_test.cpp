@@ -1,0 +1,156 @@
+// Cross-module integration tests: trailer -> decoder -> pipeline -> eval,
+// exercising the same paths the benchmark binaries use, at small scale.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "detect/pipeline.h"
+#include "eval/accuracy.h"
+#include "facegen/dataset.h"
+#include "train/boost.h"
+#include "video/decoder.h"
+
+namespace fdet {
+namespace {
+
+/// Small but real cascade shared by the integration tests.
+const haar::Cascade& integration_cascade() {
+  static const haar::Cascade cascade = [] {
+    const auto set = facegen::build_training_set(250, 40, 64, 31337);
+    train::TrainOptions options;
+    options.stage_sizes = {6, 10, 14, 18, 22};
+    options.feature_pool = 400;
+    options.negatives_per_stage = 300;
+    options.stage_hit_target = 0.99;
+    options.seed = 13;
+    return train::train_cascade(set, options, "integration").cascade;
+  }();
+  return cascade;
+}
+
+TEST(Integration, TrailerFramesFlowThroughTheFullPipeline) {
+  video::TrailerSpec spec;
+  spec.title = "integration";
+  spec.width = 320;
+  spec.height = 240;
+  spec.frames = 4;
+  spec.shot_frames = 4;
+  spec.face_density = 2.0;
+  spec.seed = 5;
+  const video::SyntheticTrailer trailer(spec);
+  const video::MockH264Decoder decoder(trailer);
+
+  const vgpu::DeviceSpec device;
+  const detect::Pipeline pipeline(device, integration_cascade(), {});
+
+  int frames_with_gt = 0;
+  int frames_recovered = 0;
+  for (int f = 0; f < 4; ++f) {
+    const video::DecodedFrame frame = decoder.decode(f);
+    const detect::FrameResult result = pipeline.process(frame.frame.luma());
+    EXPECT_GT(result.detect_ms, 0.0);
+    EXPECT_FALSE(result.scales.empty());
+    if (frame.ground_truth.empty()) {
+      continue;
+    }
+    ++frames_with_gt;
+    for (const auto& gt : frame.ground_truth) {
+      bool hit = false;
+      for (const auto& det : result.detections) {
+        hit |= detect::s_square(det.box, gt.box) > 0.25;
+      }
+      if (hit) {
+        ++frames_recovered;
+        break;
+      }
+    }
+  }
+  if (frames_with_gt > 0) {
+    EXPECT_GT(frames_recovered, 0)
+        << "no ground-truth face recovered in any frame";
+  }
+}
+
+TEST(Integration, MugshotBenchmarkProducesSaneRocInput) {
+  const vgpu::DeviceSpec device;
+  const detect::Pipeline pipeline(device, integration_cascade(), {});
+  const auto bench = facegen::build_mugshot_benchmark(10, 5, 96, 777);
+  const eval::BenchmarkRun run = eval::run_mugshot_benchmark(pipeline, bench);
+
+  EXPECT_EQ(run.total_faces, 10);
+  int matched = 0;
+  for (const auto& s : run.scored) {
+    matched += s.matched;
+  }
+  EXPECT_LE(matched, 10);  // at most one match per ground-truth face
+  if (!run.scored.empty()) {
+    const auto curve = eval::roc_curve(run.scored, run.total_faces);
+    EXPECT_FALSE(curve.empty());
+    EXPECT_LE(curve.back().true_positive_rate, 1.0);
+  }
+}
+
+TEST(Integration, DeeperPrefixesNeverIncreaseAcceptedWindows) {
+  // Acceptance at depth d+1 is a subset of acceptance at depth d, so the
+  // raw accepted-window count is monotone in the prefix length. (Grouped
+  // detection counts are NOT monotone — thinning acceptance can split one
+  // blob into several clusters — which is why this asserts on raw
+  // windows.)
+  const vgpu::DeviceSpec device;
+  const auto bench = facegen::build_mugshot_benchmark(4, 3, 96, 4242);
+
+  std::size_t prev_raw = std::numeric_limits<std::size_t>::max();
+  for (const int stages : {1, 3, 5}) {
+    const detect::Pipeline pipeline(
+        device, integration_cascade().prefix(stages), {});
+    std::size_t raw = 0;
+    for (const auto& shot : bench.mugshots) {
+      raw += pipeline.process(shot.image).raw_detections.size();
+    }
+    for (const auto& bg : bench.backgrounds) {
+      raw += pipeline.process(bg).raw_detections.size();
+    }
+    EXPECT_LE(raw, prev_raw) << "at " << stages << " stages";
+    prev_raw = raw;
+  }
+}
+
+TEST(Integration, CascadeSurvivesSaveLoadWithIdenticalDetections) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "fdet_integration.cascade").string();
+  haar::save_cascade(path, integration_cascade());
+  const haar::Cascade loaded = haar::load_cascade(path);
+
+  const vgpu::DeviceSpec device;
+  const detect::Pipeline original(device, integration_cascade(), {});
+  const detect::Pipeline reloaded(device, loaded, {});
+
+  const auto bench = facegen::build_mugshot_benchmark(3, 0, 96, 9);
+  for (const auto& shot : bench.mugshots) {
+    const auto a = original.process(shot.image);
+    const auto b = reloaded.process(shot.image);
+    ASSERT_EQ(a.raw_detections.size(), b.raw_detections.size());
+    for (std::size_t i = 0; i < a.raw_detections.size(); ++i) {
+      EXPECT_EQ(a.raw_detections[i].box, b.raw_detections[i].box);
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(Integration, SerialAndConcurrentProduceIdenticalDetections) {
+  const vgpu::DeviceSpec device;
+  const detect::Pipeline pipeline(device, integration_cascade(), {});
+  const auto bench = facegen::build_mugshot_benchmark(2, 0, 96, 21);
+  for (const auto& shot : bench.mugshots) {
+    const auto [conc, serial] = pipeline.process_dual(shot.image);
+    ASSERT_EQ(conc.raw_detections.size(), serial.raw_detections.size());
+    EXPECT_GE(serial.detect_ms, conc.detect_ms);
+    for (std::size_t i = 0; i < conc.raw_detections.size(); ++i) {
+      EXPECT_EQ(conc.raw_detections[i].box, serial.raw_detections[i].box);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdet

@@ -1,0 +1,74 @@
+// PretrainedOptions digest semantics and cache behaviour (without running
+// the minutes-long training).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "haar/profile.h"
+#include "train/pretrained.h"
+
+namespace fdet::train {
+namespace {
+
+TEST(PretrainedDigest, StableForIdenticalOptions) {
+  PretrainedOptions a;
+  PretrainedOptions b;
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(PretrainedDigest, ChangesWithEveryField) {
+  const PretrainedOptions base;
+  PretrainedOptions variant = base;
+  variant.faces += 1;
+  EXPECT_NE(base.digest(), variant.digest());
+
+  variant = base;
+  variant.backgrounds += 1;
+  EXPECT_NE(base.digest(), variant.digest());
+
+  variant = base;
+  variant.feature_pool += 1;
+  EXPECT_NE(base.digest(), variant.digest());
+
+  variant = base;
+  variant.negatives_per_stage += 1;
+  EXPECT_NE(base.digest(), variant.digest());
+
+  variant = base;
+  variant.stage_hit_target += 0.001;
+  EXPECT_NE(base.digest(), variant.digest());
+
+  variant = base;
+  variant.seed += 1;
+  EXPECT_NE(base.digest(), variant.digest());
+}
+
+TEST(PretrainedCache, LoadsSavedPairWithoutRetraining) {
+  // Seed the cache with hand-built cascades under the expected names, then
+  // verify get_or_train_cascades() loads them instead of training.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "fdet_pretrained_test").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  PretrainedOptions options;
+  options.seed = 987654321;  // never matches a real training run
+  const std::string tag = options.digest();
+  const haar::Cascade ours =
+      haar::build_profile_cascade("fake-ours", std::vector<int>{2, 3}, 1);
+  const haar::Cascade baseline =
+      haar::build_profile_cascade("fake-ocv", std::vector<int>{4}, 2);
+  haar::save_cascade(dir + "/ours-" + tag + ".cascade", ours);
+  haar::save_cascade(dir + "/opencv-like-" + tag + ".cascade", baseline);
+
+  const CascadePair pair = get_or_train_cascades(dir, options);
+  EXPECT_EQ(pair.ours.name(), "fake-ours");
+  EXPECT_EQ(pair.ours.classifier_count(), 5);
+  EXPECT_EQ(pair.opencv_like.name(), "fake-ocv");
+  EXPECT_EQ(pair.opencv_like.classifier_count(), 4);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fdet::train

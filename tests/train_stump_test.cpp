@@ -1,0 +1,119 @@
+#include "train/stump.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace fdet::train {
+namespace {
+
+TEST(GentleStump, SeparableDataYieldsNearZeroLoss) {
+  // Responses < 100 are negatives, >= 100 positives.
+  std::vector<std::int32_t> responses;
+  std::vector<float> targets;
+  std::vector<double> weights;
+  for (int i = 0; i < 50; ++i) {
+    responses.push_back(i);
+    targets.push_back(-1.0f);
+    weights.push_back(0.01);
+    responses.push_back(200 + i);
+    targets.push_back(1.0f);
+    weights.push_back(0.01);
+  }
+  const StumpFit fit = fit_gentle_stump(responses, targets, weights);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_GT(fit.threshold, 49.0f);
+  EXPECT_LE(fit.threshold, 201.0f);
+  EXPECT_NEAR(fit.left_vote, -1.0f, 0.05f);
+  EXPECT_NEAR(fit.right_vote, 1.0f, 0.05f);
+  EXPECT_LT(fit.loss, 0.05);
+}
+
+TEST(GentleStump, VotesAreWeightedMeans) {
+  // All mass on one side: votes are the weighted target means.
+  std::vector<std::int32_t> responses{0, 0, 10, 10};
+  std::vector<float> targets{1.0f, -1.0f, 1.0f, 1.0f};
+  std::vector<double> weights{0.3, 0.1, 0.3, 0.3};
+  const StumpFit fit = fit_gentle_stump(responses, targets, weights);
+  ASSERT_TRUE(fit.valid);
+  // Left: weights .3/.1 of +1/-1 -> (0.3-0.1)/0.4 = 0.5; right: +1.
+  EXPECT_NEAR(fit.left_vote, 0.5f, 1e-4f);
+  EXPECT_NEAR(fit.right_vote, 1.0f, 1e-4f);
+}
+
+TEST(GentleStump, ConstantResponsesAreInvalid) {
+  std::vector<std::int32_t> responses(10, 42);
+  std::vector<float> targets(10, 1.0f);
+  std::vector<double> weights(10, 0.1);
+  EXPECT_FALSE(fit_gentle_stump(responses, targets, weights).valid);
+}
+
+TEST(GentleStump, RespectsWeights) {
+  // Same data, two weightings: upweighting the overlapping negatives must
+  // move the split.
+  std::vector<std::int32_t> responses{0, 10, 20, 30, 40, 50};
+  std::vector<float> targets{-1, -1, 1, -1, 1, 1};
+  std::vector<double> flat(6, 1.0 / 6);
+  std::vector<double> skewed{0.05, 0.05, 0.05, 0.70, 0.05, 0.10};
+  const StumpFit a = fit_gentle_stump(responses, targets, flat, 8);
+  const StumpFit b = fit_gentle_stump(responses, targets, skewed, 8);
+  ASSERT_TRUE(a.valid && b.valid);
+  // With the heavy negative at 30, the optimal threshold moves right.
+  EXPECT_GT(b.threshold, a.threshold);
+}
+
+TEST(DiscreteStump, FindsZeroErrorSplitAndPolarity) {
+  std::vector<std::int32_t> responses{1, 2, 3, 100, 101, 102};
+  std::vector<float> targets{1, 1, 1, -1, -1, -1};  // positives on the LEFT
+  std::vector<double> weights(6, 1.0 / 6);
+  const StumpFit fit = fit_discrete_stump(responses, targets, weights);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_LT(fit.loss, 1e-9);
+  EXPECT_FLOAT_EQ(fit.left_vote, 1.0f);   // left predicts +1
+  EXPECT_FLOAT_EQ(fit.right_vote, -1.0f);
+}
+
+TEST(DiscreteStump, LossIsWeightedErrorOfBestSplit) {
+  // One inseparable point with weight 0.2.
+  std::vector<std::int32_t> responses{0, 1, 2, 100};
+  std::vector<float> targets{-1, -1, 1, 1};
+  std::vector<double> weights{0.2, 0.2, 0.2, 0.4};
+  const StumpFit fit = fit_discrete_stump(responses, targets, weights, 16);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.loss, 0.2, 1e-9);  // must misclassify the response-2 point
+}
+
+TEST(Stumps, SizeMismatchThrows) {
+  std::vector<std::int32_t> responses{1, 2};
+  std::vector<float> targets{1.0f};
+  std::vector<double> weights{0.5, 0.5};
+  EXPECT_THROW(fit_gentle_stump(responses, targets, weights),
+               core::CheckError);
+  EXPECT_THROW(fit_discrete_stump(responses, targets, weights),
+               core::CheckError);
+}
+
+TEST(Stumps, NoisyDataStillReturnsFiniteLoss) {
+  core::Rng rng(5);
+  std::vector<std::int32_t> responses;
+  std::vector<float> targets;
+  std::vector<double> weights;
+  for (int i = 0; i < 500; ++i) {
+    responses.push_back(rng.uniform_int(-1000, 1000));
+    targets.push_back(rng.bernoulli(0.5) ? 1.0f : -1.0f);
+    weights.push_back(1.0 / 500);
+  }
+  const StumpFit g = fit_gentle_stump(responses, targets, weights);
+  const StumpFit d = fit_discrete_stump(responses, targets, weights);
+  ASSERT_TRUE(g.valid && d.valid);
+  EXPECT_GT(g.loss, 0.5);   // random labels: near-chance loss
+  EXPECT_LE(g.loss, 1.0 + 1e-9);
+  EXPECT_GT(d.loss, 0.3);
+  EXPECT_LE(d.loss, 0.5 + 1e-9);  // error of the best split <= chance
+}
+
+}  // namespace
+}  // namespace fdet::train

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "vgpu/dim.h"
+#include "vgpu/shared_mem.h"
+
+namespace fdet::vgpu {
+namespace {
+
+TEST(Dim3, CountMultipliesComponents) {
+  EXPECT_EQ((Dim3{4, 3, 2}).count(), 24);
+  EXPECT_EQ((Dim3{}).count(), 1);
+  EXPECT_EQ((Dim3{1024, 1, 1}).count(), 1024);
+}
+
+TEST(ThreadCoord, FlatThreadIsXFastest) {
+  ThreadCoord t;
+  t.block = {8, 4, 2};
+  t.thread = {3, 2, 1};
+  // x + bx*(y + by*z) = 3 + 8*(2 + 4*1) = 51.
+  EXPECT_EQ(t.flat_thread(), 51);
+  t.thread = {0, 0, 0};
+  EXPECT_EQ(t.flat_thread(), 0);
+  t.thread = {7, 3, 1};
+  EXPECT_EQ(t.flat_thread(), 8 * 4 * 2 - 1);
+}
+
+TEST(ThreadCoord, FlatBlockIsXFastest) {
+  ThreadCoord t;
+  t.grid = {5, 4, 3};
+  t.block_id = {2, 3, 1};
+  EXPECT_EQ(t.flat_block(), 2 + 5 * (3 + 4 * 1));
+}
+
+TEST(SharedMem, CarveSequenceIsStableAcrossRewinds) {
+  SharedMem shared;
+  shared.reset(256);
+  auto a1 = shared.array<std::int32_t>(16);
+  auto b1 = shared.array<float>(8);
+  a1[3] = 42;
+  b1[2] = 1.5f;
+  shared.rewind();
+  auto a2 = shared.array<std::int32_t>(16);
+  auto b2 = shared.array<float>(8);
+  EXPECT_EQ(a2.data(), a1.data());
+  EXPECT_EQ(b2.data(), b1.data());
+  EXPECT_EQ(a2[3], 42);
+  EXPECT_FLOAT_EQ(b2[2], 1.5f);
+}
+
+TEST(SharedMem, RespectsAlignment) {
+  SharedMem shared;
+  shared.reset(256);
+  (void)shared.array<std::uint8_t>(3);  // cursor at 3
+  auto doubles = shared.array<double>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) % alignof(double),
+            0u);
+}
+
+TEST(SharedMem, ResetZeroesTheBuffer) {
+  SharedMem shared;
+  shared.reset(64);
+  auto ints = shared.array<std::int32_t>(16);
+  ints[5] = 7;
+  shared.reset(64);
+  shared.rewind();
+  auto again = shared.array<std::int32_t>(16);
+  EXPECT_EQ(again[5], 0);
+}
+
+TEST(SharedMem, OverflowThrows) {
+  SharedMem shared;
+  shared.reset(32);
+  EXPECT_THROW((void)shared.array<std::int64_t>(5), core::CheckError);
+}
+
+}  // namespace
+}  // namespace fdet::vgpu

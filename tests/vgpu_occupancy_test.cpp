@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "vgpu/device.h"
+
+namespace fdet::vgpu {
+namespace {
+
+TEST(Occupancy, LimitedByMaxBlocksForTinyKernels) {
+  DeviceSpec spec;
+  const Occupancy occ = compute_occupancy(spec, 32, 0, 0);
+  EXPECT_EQ(occ.blocks_per_sm, spec.max_blocks_per_sm);
+  EXPECT_EQ(occ.warps_per_block, 1);
+  EXPECT_EQ(occ.resident_warps, spec.max_blocks_per_sm);
+}
+
+TEST(Occupancy, LimitedByWarpsForLargeBlocks) {
+  DeviceSpec spec;
+  // 1024 threads = 32 warps; 48 warps per SM allows only one block.
+  const Occupancy occ = compute_occupancy(spec, 1024, 0, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_EQ(occ.resident_warps, 32);
+  EXPECT_NEAR(occ.ratio, 32.0 / 48.0, 1e-12);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+  DeviceSpec spec;
+  // 20 KiB per block: only two blocks fit in 48 KiB.
+  const Occupancy occ = compute_occupancy(spec, 128, 20 * 1024, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+}
+
+TEST(Occupancy, LimitedByRegisters) {
+  DeviceSpec spec;
+  // 63 regs * 256 threads = 16128 regs per block; 32K regs -> 2 blocks.
+  const Occupancy occ = compute_occupancy(spec, 256, 0, 63);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+}
+
+TEST(Occupancy, FullOccupancyReachesRatioOne) {
+  DeviceSpec spec;
+  // 192 threads = 6 warps; 8 blocks = 48 warps = max.
+  const Occupancy occ = compute_occupancy(spec, 192, 0, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_DOUBLE_EQ(occ.ratio, 1.0);
+}
+
+TEST(Occupancy, RejectsOversizedBlocks) {
+  DeviceSpec spec;
+  EXPECT_THROW(compute_occupancy(spec, 2048, 0, 0), core::CheckError);
+  EXPECT_THROW(compute_occupancy(spec, 0, 0, 0), core::CheckError);
+  EXPECT_THROW(compute_occupancy(spec, 128, spec.shared_mem_per_sm + 1, 0),
+               core::CheckError);
+}
+
+TEST(Occupancy, HugeRegisterUsageYieldsZeroBlocks) {
+  DeviceSpec spec;
+  const Occupancy occ = compute_occupancy(spec, 1024, 0, 64);
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+}
+
+TEST(DeviceSpec, CyclesToSecondsUsesShaderClock) {
+  DeviceSpec spec;
+  spec.clock_ghz = 2.0;
+  EXPECT_DOUBLE_EQ(spec.cycles_to_seconds(2e9), 1.0);
+}
+
+}  // namespace
+}  // namespace fdet::vgpu

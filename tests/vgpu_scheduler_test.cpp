@@ -1,0 +1,230 @@
+#include "vgpu/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/check.h"
+
+namespace fdet::vgpu {
+namespace {
+
+/// Builds an executed launch with `blocks` blocks of `alu_per_thread` work.
+Launch make_launch(const DeviceSpec& spec, const char* name, int blocks,
+                   int alu_per_thread, int stream) {
+  KernelConfig config{.name = name, .grid = {blocks, 1, 1}, .block = {64, 1, 1}};
+  LaunchCost cost = execute_kernel(
+      spec, config, [alu_per_thread](const ThreadCoord&, LaneCtx& ctx,
+                                     SharedMem&) { ctx.alu(alu_per_thread); });
+  return Launch{std::move(cost), stream};
+}
+
+TEST(Scheduler, SameStreamLaunchesNeverOverlap) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 4, 100, 0));
+  launches.push_back(make_launch(spec, "b", 4, 100, 0));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  ASSERT_EQ(tl.records.size(), 2u);
+  EXPECT_GE(tl.records[1].start_s, tl.records[0].end_s);
+}
+
+TEST(Scheduler, SerialModeSerializesAcrossStreams) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 2, 100, 0));
+  launches.push_back(make_launch(spec, "b", 2, 100, 1));
+  const Timeline tl = schedule(spec, launches, ExecMode::kSerial);
+  EXPECT_GE(tl.records[1].start_s, tl.records[0].end_s);
+}
+
+TEST(Scheduler, ConcurrentModeOverlapsSmallKernels) {
+  DeviceSpec spec;  // 14 SMs
+  std::vector<Launch> launches;
+  // Four kernels of 2 blocks each: serial leaves 12 SMs idle per kernel.
+  for (int s = 0; s < 4; ++s) {
+    launches.push_back(make_launch(spec, "k", 2, 2000, s));
+  }
+  const Timeline serial = schedule(spec, launches, ExecMode::kSerial);
+  const Timeline conc = schedule(spec, launches, ExecMode::kConcurrent);
+  // All four fit simultaneously: concurrent should approach 4x.
+  EXPECT_LT(conc.makespan_s, serial.makespan_s * 0.35);
+  EXPECT_GT(conc.utilization(), serial.utilization());
+}
+
+TEST(Scheduler, LargeKernelSaturatesDeviceEitherWay) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  // Heavy blocks so compute dwarfs the one-time launch overhead.
+  launches.push_back(make_launch(spec, "big", 280, 500000, 0));
+  const Timeline serial = schedule(spec, launches, ExecMode::kSerial);
+  const Timeline conc = schedule(spec, launches, ExecMode::kConcurrent);
+  EXPECT_NEAR(serial.makespan_s, conc.makespan_s, 1e-12);
+  EXPECT_GT(serial.utilization(), 0.95);
+}
+
+TEST(Scheduler, LaunchOverheadIsExposedOnlyInSerialMode) {
+  DeviceSpec spec;
+  // Many dependent-chain streams of tiny kernels: serial pays the launch
+  // overhead per kernel; concurrent hides it behind other streams.
+  std::vector<Launch> launches;
+  for (int s = 0; s < 8; ++s) {
+    for (int k = 0; k < 4; ++k) {
+      launches.push_back(make_launch(spec, "tiny", 14, 20000, s));
+    }
+  }
+  const Timeline serial = schedule(spec, launches, ExecMode::kSerial);
+  const Timeline conc = schedule(spec, launches, ExecMode::kConcurrent);
+  const double overhead_total = 32 * spec.launch_overhead_s;
+  EXPECT_GT(serial.makespan_s, conc.makespan_s + overhead_total * 0.5);
+}
+
+TEST(Scheduler, MakespanCoversAllRecords) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 3, 50, 0));
+  launches.push_back(make_launch(spec, "b", 30, 75, 1));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  double max_end = 0.0;
+  for (const auto& record : tl.records) {
+    EXPECT_LE(record.start_s, record.end_s);
+    max_end = std::max(max_end, record.end_s);
+  }
+  EXPECT_DOUBLE_EQ(tl.makespan_s, max_end);
+  EXPECT_LE(tl.utilization(), 1.0 + 1e-12);
+}
+
+TEST(Scheduler, CountersAggregateOverLaunches) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 2, 5, 0));
+  launches.push_back(make_launch(spec, "b", 2, 5, 1));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  const PerfCounters total = tl.total_counters();
+  EXPECT_EQ(total.threads, 2u * 2 * 64);
+  EXPECT_EQ(total.alu_ops, 2u * 2 * 64 * 5);
+}
+
+TEST(Scheduler, TraceRendersOneRowPerStream) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 2, 100, 0));
+  launches.push_back(make_launch(spec, "b", 2, 100, 3));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  const std::string trace = tl.render_trace(60);
+  EXPECT_NE(trace.find("stream 0"), std::string::npos);
+  EXPECT_NE(trace.find("stream 3"), std::string::npos);
+  EXPECT_NE(trace.find('#'), std::string::npos);
+}
+
+TEST(Scheduler, EmptyTimelineRendersGracefully) {
+  Timeline tl;
+  EXPECT_NE(tl.render_trace().find("empty"), std::string::npos);
+}
+
+TEST(Scheduler, ReadyStreamsDispatchBeforeLaterDependentWork) {
+  // Stream 0: long kernel then a dependent successor. Stream 1: a short
+  // kernel issued later. Breadth-first dispatch must start stream 1's
+  // kernel alongside stream 0's first kernel, not behind its successor.
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "long_a", 14, 2000000, 0));
+  launches.push_back(make_launch(spec, "long_b", 14, 2000000, 0));
+  launches.push_back(make_launch(spec, "short", 2, 1000, 1));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  const auto& long_b = tl.records[1];
+  const auto& short_k = tl.records[2];
+  EXPECT_LT(short_k.start_s, long_b.start_s);
+}
+
+TEST(Scheduler, SerialModeFollowsIssueOrderExactly) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 2, 100, 3));
+  launches.push_back(make_launch(spec, "b", 2, 100, 1));
+  launches.push_back(make_launch(spec, "c", 2, 100, 2));
+  const Timeline tl = schedule(spec, launches, ExecMode::kSerial);
+  EXPECT_LE(tl.records[0].end_s, tl.records[1].start_s);
+  EXPECT_LE(tl.records[1].end_s, tl.records[2].start_s);
+}
+
+TEST(Scheduler, RecordsKeepIssueOrderRegardlessOfDispatch) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "first", 14, 500000, 0));
+  launches.push_back(make_launch(spec, "second", 1, 10, 1));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  ASSERT_EQ(tl.records.size(), 2u);
+  EXPECT_EQ(tl.records[0].name, "first");
+  EXPECT_EQ(tl.records[1].name, "second");
+}
+
+TEST(MultiDevice, PartitionsStreamsRoundRobin) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  for (int s = 0; s < 4; ++s) {
+    launches.push_back(make_launch(spec, "k", 4, 10000, s));
+  }
+  const MultiDeviceTimeline multi =
+      schedule_multi(spec, 2, launches, ExecMode::kConcurrent);
+  ASSERT_EQ(multi.devices.size(), 2u);
+  EXPECT_EQ(multi.devices[0].records.size(), 2u);  // streams 0, 2
+  EXPECT_EQ(multi.devices[1].records.size(), 2u);  // streams 1, 3
+  for (const auto& record : multi.devices[0].records) {
+    EXPECT_EQ(record.stream % 2, 0);
+  }
+}
+
+TEST(MultiDevice, TwoGpusBeatOneOnSaturatingWork) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  for (int s = 0; s < 4; ++s) {
+    launches.push_back(make_launch(spec, "big", 140, 100000, s));
+  }
+  const Timeline single = schedule(spec, launches, ExecMode::kConcurrent);
+  const MultiDeviceTimeline dual =
+      schedule_multi(spec, 2, launches, ExecMode::kConcurrent);
+  EXPECT_GT(dual.speedup_vs(single), 1.6);
+  EXPECT_LE(dual.speedup_vs(single), 2.0 + 1e-9);
+}
+
+TEST(MultiDevice, SingleDeviceMatchesPlainSchedule) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 5, 500, 0));
+  launches.push_back(make_launch(spec, "b", 5, 500, 1));
+  const Timeline single = schedule(spec, launches, ExecMode::kConcurrent);
+  const MultiDeviceTimeline multi =
+      schedule_multi(spec, 1, launches, ExecMode::kConcurrent);
+  EXPECT_DOUBLE_EQ(multi.makespan_s, single.makespan_s);
+}
+
+TEST(MultiDevice, MoreDevicesThanStreamsLeavesIdleDevices) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "only", 4, 1000, 0));
+  const MultiDeviceTimeline multi =
+      schedule_multi(spec, 3, launches, ExecMode::kConcurrent);
+  ASSERT_EQ(multi.devices.size(), 3u);
+  EXPECT_FALSE(multi.devices[0].records.empty());
+  EXPECT_TRUE(multi.devices[1].records.empty());
+  EXPECT_TRUE(multi.devices[2].records.empty());
+  EXPECT_THROW(schedule_multi(spec, 0, launches, ExecMode::kSerial),
+               core::CheckError);
+}
+
+TEST(Scheduler, BusySecondsSumBlockServiceTimes) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 5, 300, 0));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  double expected = 0.0;
+  for (const double c : launches[0].cost.block_service_cycles) {
+    expected += spec.cycles_to_seconds(c);
+  }
+  EXPECT_NEAR(tl.records[0].busy_s, expected, 1e-15);
+  EXPECT_NEAR(tl.sm_busy_s, expected, 1e-15);
+}
+
+}  // namespace
+}  // namespace fdet::vgpu

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/check.h"
+#include "video/decoder.h"
+#include "video/trailer.h"
+
+namespace fdet::video {
+namespace {
+
+TrailerSpec small_spec(double density = 2.0) {
+  TrailerSpec spec;
+  spec.title = "test";
+  spec.width = 320;
+  spec.height = 240;
+  spec.frames = 48;
+  spec.shot_frames = 16;
+  spec.face_density = density;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(Trailer, Table2PresetsMatchThePaper) {
+  const auto specs = table2_trailers(120);
+  ASSERT_EQ(specs.size(), 10u);
+  std::set<std::string> titles;
+  for (const auto& spec : specs) {
+    titles.insert(spec.title);
+    EXPECT_EQ(spec.width, 1920);
+    EXPECT_EQ(spec.height, 1080);
+    EXPECT_EQ(spec.frames, 120);
+    EXPECT_DOUBLE_EQ(spec.fps, 24.0);
+  }
+  EXPECT_EQ(titles.size(), 10u);  // distinct titles
+  EXPECT_TRUE(titles.count("50/50"));
+  EXPECT_TRUE(titles.count("What To Expect When You're Expecting"));
+}
+
+TEST(Trailer, RendersDeterministically) {
+  const SyntheticTrailer a(small_spec());
+  const SyntheticTrailer b(small_spec());
+  EXPECT_EQ(a.render_luma(7), b.render_luma(7));
+  EXPECT_EQ(a.render_luma(30), b.render_luma(30));
+}
+
+TEST(Trailer, ShotsPartitionTheFrames) {
+  const SyntheticTrailer trailer(small_spec());
+  EXPECT_EQ(trailer.shot_count(), 3);
+  EXPECT_EQ(trailer.shot_of(0), 0);
+  EXPECT_EQ(trailer.shot_of(15), 0);
+  EXPECT_EQ(trailer.shot_of(16), 1);
+  EXPECT_EQ(trailer.shot_of(47), 2);
+  EXPECT_THROW(trailer.shot_of(48), core::CheckError);
+  EXPECT_THROW(trailer.shot_of(-1), core::CheckError);
+}
+
+TEST(Trailer, BackgroundChangesAcrossShotsNotWithin) {
+  TrailerSpec spec = small_spec(0.0);  // no faces: pure background
+  const SyntheticTrailer trailer(spec);
+  EXPECT_EQ(trailer.render_luma(0), trailer.render_luma(10));
+  EXPECT_NE(trailer.render_luma(0), trailer.render_luma(20));
+}
+
+TEST(Trailer, GroundTruthBoxesStayInsideFrame) {
+  const SyntheticTrailer trailer(small_spec(4.0));
+  for (int f = 0; f < 48; f += 5) {
+    for (const FaceGt& face : trailer.ground_truth(f)) {
+      EXPECT_GE(face.box.x, 0);
+      EXPECT_GE(face.box.y, 0);
+      EXPECT_LE(face.box.right(), 320);
+      EXPECT_LE(face.box.bottom(), 240);
+      EXPECT_GE(face.box.w, 36);
+      // Eyes inside the box.
+      EXPECT_GE(face.left_eye_x, face.box.x);
+      EXPECT_LE(face.right_eye_x, face.box.right());
+    }
+  }
+}
+
+TEST(Trailer, FacesActuallyAppearInPixels) {
+  // A face's eye pixel should be darker than its cheek pixel in the frame.
+  const SyntheticTrailer trailer(small_spec(3.0));
+  int checked = 0;
+  for (int f = 0; f < 48 && checked < 3; f += 3) {
+    const img::ImageU8 frame = trailer.render_luma(f);
+    for (const FaceGt& face : trailer.ground_truth(f)) {
+      const int ex = static_cast<int>(face.left_eye_x);
+      const int ey = static_cast<int>(face.left_eye_y);
+      const int cheek_y = ey + face.box.h / 4;
+      if (!frame.contains(ex, cheek_y)) {
+        continue;
+      }
+      // Averaged 3x3 to be robust to noise.
+      const auto avg = [&frame](int cx, int cy) {
+        int acc = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            acc += frame(cx + dx, cy + dy);
+          }
+        }
+        return acc / 9;
+      };
+      EXPECT_LT(avg(ex, ey), avg(ex, cheek_y) + 40);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Trailer, TracksMoveBetweenFrames) {
+  const SyntheticTrailer trailer(small_spec(3.0));
+  const auto gt0 = trailer.ground_truth(0);
+  const auto gt10 = trailer.ground_truth(10);
+  ASSERT_EQ(gt0.size(), gt10.size());
+  bool moved = false;
+  for (std::size_t i = 0; i < gt0.size(); ++i) {
+    EXPECT_EQ(gt0[i].track_id, gt10[i].track_id);
+    moved |= (gt0[i].box.x != gt10[i].box.x || gt0[i].box.y != gt10[i].box.y);
+  }
+  if (!gt0.empty()) {
+    EXPECT_TRUE(moved);
+  }
+}
+
+TEST(Trailer, DensityControlsFaceCount) {
+  const SyntheticTrailer sparse(small_spec(0.5));
+  const SyntheticTrailer dense(small_spec(4.5));
+  int sparse_faces = 0;
+  int dense_faces = 0;
+  for (int f = 0; f < 48; f += 16) {
+    sparse_faces += static_cast<int>(sparse.ground_truth(f).size());
+    dense_faces += static_cast<int>(dense.ground_truth(f).size());
+  }
+  EXPECT_GT(dense_faces, sparse_faces);
+}
+
+TEST(Decoder, EmitsNv12WithMatchingLuma) {
+  const SyntheticTrailer trailer(small_spec());
+  const MockH264Decoder decoder(trailer);
+  const DecodedFrame frame = decoder.decode(5);
+  EXPECT_EQ(frame.index, 5);
+  EXPECT_EQ(frame.frame.luma(), trailer.render_luma(5));
+  EXPECT_EQ(frame.frame.width(), 320);
+  EXPECT_EQ(frame.ground_truth.size(), trailer.ground_truth(5).size());
+}
+
+TEST(Decoder, LatencyMatchesPaperEnvelopeAt1080p) {
+  TrailerSpec spec = small_spec();
+  spec.width = 1920;
+  spec.height = 1080;
+  spec.frames = 64;
+  spec.face_density = 0.0;
+  const SyntheticTrailer trailer(spec);
+  const MockH264Decoder decoder(trailer);
+  for (int f = 0; f < 64; ++f) {
+    const double ms = decoder.decode_latency_ms(f);
+    EXPECT_GE(ms, 8.0);
+    EXPECT_LE(ms, 10.0);
+  }
+}
+
+TEST(Decoder, LatencyScalesWithResolution) {
+  const SyntheticTrailer small(small_spec(0.0));
+  const MockH264Decoder decoder(small);
+  // 320x240 is ~27x fewer pixels than 1080p.
+  EXPECT_LT(decoder.decode_latency_ms(0), 1.0);
+}
+
+TEST(Decoder, RejectsOutOfRangeFrames) {
+  const SyntheticTrailer trailer(small_spec());
+  const MockH264Decoder decoder(trailer);
+  EXPECT_THROW(decoder.decode(48), core::CheckError);
+  EXPECT_THROW(decoder.decode(-1), core::CheckError);
+}
+
+}  // namespace
+}  // namespace fdet::video
