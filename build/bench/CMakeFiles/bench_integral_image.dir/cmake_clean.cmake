@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_integral_image.dir/bench_integral_image.cpp.o"
+  "CMakeFiles/bench_integral_image.dir/bench_integral_image.cpp.o.d"
+  "bench_integral_image"
+  "bench_integral_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_integral_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

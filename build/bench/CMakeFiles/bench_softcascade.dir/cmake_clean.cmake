@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_softcascade.dir/bench_softcascade.cpp.o"
+  "CMakeFiles/bench_softcascade.dir/bench_softcascade.cpp.o.d"
+  "bench_softcascade"
+  "bench_softcascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_softcascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

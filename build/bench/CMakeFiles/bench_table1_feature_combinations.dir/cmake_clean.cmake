@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_feature_combinations.dir/bench_table1_feature_combinations.cpp.o"
+  "CMakeFiles/bench_table1_feature_combinations.dir/bench_table1_feature_combinations.cpp.o.d"
+  "bench_table1_feature_combinations"
+  "bench_table1_feature_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_feature_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

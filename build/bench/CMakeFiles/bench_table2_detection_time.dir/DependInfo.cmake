@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_detection_time.cpp" "bench/CMakeFiles/bench_table2_detection_time.dir/bench_table2_detection_time.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_detection_time.dir/bench_table2_detection_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_haar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_integral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_facegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gpu_playground.dir/gpu_playground.cpp.o"
+  "CMakeFiles/example_gpu_playground.dir/gpu_playground.cpp.o.d"
+  "example_gpu_playground"
+  "example_gpu_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gpu_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

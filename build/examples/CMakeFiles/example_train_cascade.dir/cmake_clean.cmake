@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_train_cascade.dir/train_cascade.cpp.o"
+  "CMakeFiles/example_train_cascade.dir/train_cascade.cpp.o.d"
+  "example_train_cascade"
+  "example_train_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_train_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/check.cpp" "src/CMakeFiles/fdet_core.dir/core/check.cpp.o" "gcc" "src/CMakeFiles/fdet_core.dir/core/check.cpp.o.d"
+  "/root/repo/src/core/cli.cpp" "src/CMakeFiles/fdet_core.dir/core/cli.cpp.o" "gcc" "src/CMakeFiles/fdet_core.dir/core/cli.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/CMakeFiles/fdet_core.dir/core/table.cpp.o" "gcc" "src/CMakeFiles/fdet_core.dir/core/table.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/CMakeFiles/fdet_core.dir/core/thread_pool.cpp.o" "gcc" "src/CMakeFiles/fdet_core.dir/core/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_core.dir/core/check.cpp.o"
+  "CMakeFiles/fdet_core.dir/core/check.cpp.o.d"
+  "CMakeFiles/fdet_core.dir/core/cli.cpp.o"
+  "CMakeFiles/fdet_core.dir/core/cli.cpp.o.d"
+  "CMakeFiles/fdet_core.dir/core/table.cpp.o"
+  "CMakeFiles/fdet_core.dir/core/table.cpp.o.d"
+  "CMakeFiles/fdet_core.dir/core/thread_pool.cpp.o"
+  "CMakeFiles/fdet_core.dir/core/thread_pool.cpp.o.d"
+  "libfdet_core.a"
+  "libfdet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

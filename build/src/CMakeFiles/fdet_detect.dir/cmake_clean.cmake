@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_detect.dir/detect/detection.cpp.o"
+  "CMakeFiles/fdet_detect.dir/detect/detection.cpp.o.d"
+  "CMakeFiles/fdet_detect.dir/detect/grouping.cpp.o"
+  "CMakeFiles/fdet_detect.dir/detect/grouping.cpp.o.d"
+  "CMakeFiles/fdet_detect.dir/detect/kernels.cpp.o"
+  "CMakeFiles/fdet_detect.dir/detect/kernels.cpp.o.d"
+  "CMakeFiles/fdet_detect.dir/detect/pipeline.cpp.o"
+  "CMakeFiles/fdet_detect.dir/detect/pipeline.cpp.o.d"
+  "CMakeFiles/fdet_detect.dir/detect/soft_cascade.cpp.o"
+  "CMakeFiles/fdet_detect.dir/detect/soft_cascade.cpp.o.d"
+  "libfdet_detect.a"
+  "libfdet_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

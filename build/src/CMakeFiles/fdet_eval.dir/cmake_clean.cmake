@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_eval.dir/eval/accuracy.cpp.o"
+  "CMakeFiles/fdet_eval.dir/eval/accuracy.cpp.o.d"
+  "CMakeFiles/fdet_eval.dir/eval/hungarian.cpp.o"
+  "CMakeFiles/fdet_eval.dir/eval/hungarian.cpp.o.d"
+  "libfdet_eval.a"
+  "libfdet_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

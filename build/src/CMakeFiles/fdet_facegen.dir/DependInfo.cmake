@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facegen/background.cpp" "src/CMakeFiles/fdet_facegen.dir/facegen/background.cpp.o" "gcc" "src/CMakeFiles/fdet_facegen.dir/facegen/background.cpp.o.d"
+  "/root/repo/src/facegen/dataset.cpp" "src/CMakeFiles/fdet_facegen.dir/facegen/dataset.cpp.o" "gcc" "src/CMakeFiles/fdet_facegen.dir/facegen/dataset.cpp.o.d"
+  "/root/repo/src/facegen/face.cpp" "src/CMakeFiles/fdet_facegen.dir/facegen/face.cpp.o" "gcc" "src/CMakeFiles/fdet_facegen.dir/facegen/face.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

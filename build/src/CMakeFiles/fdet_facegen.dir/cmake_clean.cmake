@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_facegen.dir/facegen/background.cpp.o"
+  "CMakeFiles/fdet_facegen.dir/facegen/background.cpp.o.d"
+  "CMakeFiles/fdet_facegen.dir/facegen/dataset.cpp.o"
+  "CMakeFiles/fdet_facegen.dir/facegen/dataset.cpp.o.d"
+  "CMakeFiles/fdet_facegen.dir/facegen/face.cpp.o"
+  "CMakeFiles/fdet_facegen.dir/facegen/face.cpp.o.d"
+  "libfdet_facegen.a"
+  "libfdet_facegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_facegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

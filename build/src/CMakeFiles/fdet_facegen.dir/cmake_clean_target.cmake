@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfdet_facegen.a"
+)

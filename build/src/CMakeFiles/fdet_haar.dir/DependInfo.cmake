@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/haar/cascade.cpp" "src/CMakeFiles/fdet_haar.dir/haar/cascade.cpp.o" "gcc" "src/CMakeFiles/fdet_haar.dir/haar/cascade.cpp.o.d"
+  "/root/repo/src/haar/encoding.cpp" "src/CMakeFiles/fdet_haar.dir/haar/encoding.cpp.o" "gcc" "src/CMakeFiles/fdet_haar.dir/haar/encoding.cpp.o.d"
+  "/root/repo/src/haar/enumerate.cpp" "src/CMakeFiles/fdet_haar.dir/haar/enumerate.cpp.o" "gcc" "src/CMakeFiles/fdet_haar.dir/haar/enumerate.cpp.o.d"
+  "/root/repo/src/haar/feature.cpp" "src/CMakeFiles/fdet_haar.dir/haar/feature.cpp.o" "gcc" "src/CMakeFiles/fdet_haar.dir/haar/feature.cpp.o.d"
+  "/root/repo/src/haar/profile.cpp" "src/CMakeFiles/fdet_haar.dir/haar/profile.cpp.o" "gcc" "src/CMakeFiles/fdet_haar.dir/haar/profile.cpp.o.d"
+  "/root/repo/src/haar/tilted.cpp" "src/CMakeFiles/fdet_haar.dir/haar/tilted.cpp.o" "gcc" "src/CMakeFiles/fdet_haar.dir/haar/tilted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_integral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_haar.dir/haar/cascade.cpp.o"
+  "CMakeFiles/fdet_haar.dir/haar/cascade.cpp.o.d"
+  "CMakeFiles/fdet_haar.dir/haar/encoding.cpp.o"
+  "CMakeFiles/fdet_haar.dir/haar/encoding.cpp.o.d"
+  "CMakeFiles/fdet_haar.dir/haar/enumerate.cpp.o"
+  "CMakeFiles/fdet_haar.dir/haar/enumerate.cpp.o.d"
+  "CMakeFiles/fdet_haar.dir/haar/feature.cpp.o"
+  "CMakeFiles/fdet_haar.dir/haar/feature.cpp.o.d"
+  "CMakeFiles/fdet_haar.dir/haar/profile.cpp.o"
+  "CMakeFiles/fdet_haar.dir/haar/profile.cpp.o.d"
+  "CMakeFiles/fdet_haar.dir/haar/tilted.cpp.o"
+  "CMakeFiles/fdet_haar.dir/haar/tilted.cpp.o.d"
+  "libfdet_haar.a"
+  "libfdet_haar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_haar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fdet_haar.
+# This may be replaced when dependencies are built.

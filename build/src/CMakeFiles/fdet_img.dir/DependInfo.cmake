@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/draw.cpp" "src/CMakeFiles/fdet_img.dir/img/draw.cpp.o" "gcc" "src/CMakeFiles/fdet_img.dir/img/draw.cpp.o.d"
+  "/root/repo/src/img/filter.cpp" "src/CMakeFiles/fdet_img.dir/img/filter.cpp.o" "gcc" "src/CMakeFiles/fdet_img.dir/img/filter.cpp.o.d"
+  "/root/repo/src/img/image.cpp" "src/CMakeFiles/fdet_img.dir/img/image.cpp.o" "gcc" "src/CMakeFiles/fdet_img.dir/img/image.cpp.o.d"
+  "/root/repo/src/img/io.cpp" "src/CMakeFiles/fdet_img.dir/img/io.cpp.o" "gcc" "src/CMakeFiles/fdet_img.dir/img/io.cpp.o.d"
+  "/root/repo/src/img/nv12.cpp" "src/CMakeFiles/fdet_img.dir/img/nv12.cpp.o" "gcc" "src/CMakeFiles/fdet_img.dir/img/nv12.cpp.o.d"
+  "/root/repo/src/img/pyramid.cpp" "src/CMakeFiles/fdet_img.dir/img/pyramid.cpp.o" "gcc" "src/CMakeFiles/fdet_img.dir/img/pyramid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

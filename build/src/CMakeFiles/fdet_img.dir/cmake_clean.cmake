@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_img.dir/img/draw.cpp.o"
+  "CMakeFiles/fdet_img.dir/img/draw.cpp.o.d"
+  "CMakeFiles/fdet_img.dir/img/filter.cpp.o"
+  "CMakeFiles/fdet_img.dir/img/filter.cpp.o.d"
+  "CMakeFiles/fdet_img.dir/img/image.cpp.o"
+  "CMakeFiles/fdet_img.dir/img/image.cpp.o.d"
+  "CMakeFiles/fdet_img.dir/img/io.cpp.o"
+  "CMakeFiles/fdet_img.dir/img/io.cpp.o.d"
+  "CMakeFiles/fdet_img.dir/img/nv12.cpp.o"
+  "CMakeFiles/fdet_img.dir/img/nv12.cpp.o.d"
+  "CMakeFiles/fdet_img.dir/img/pyramid.cpp.o"
+  "CMakeFiles/fdet_img.dir/img/pyramid.cpp.o.d"
+  "libfdet_img.a"
+  "libfdet_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_integral.dir/integral/gpu.cpp.o"
+  "CMakeFiles/fdet_integral.dir/integral/gpu.cpp.o.d"
+  "CMakeFiles/fdet_integral.dir/integral/integral.cpp.o"
+  "CMakeFiles/fdet_integral.dir/integral/integral.cpp.o.d"
+  "CMakeFiles/fdet_integral.dir/integral/rotated.cpp.o"
+  "CMakeFiles/fdet_integral.dir/integral/rotated.cpp.o.d"
+  "libfdet_integral.a"
+  "libfdet_integral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_integral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

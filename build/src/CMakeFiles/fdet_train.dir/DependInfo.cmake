@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/boost.cpp" "src/CMakeFiles/fdet_train.dir/train/boost.cpp.o" "gcc" "src/CMakeFiles/fdet_train.dir/train/boost.cpp.o.d"
+  "/root/repo/src/train/dataset_matrix.cpp" "src/CMakeFiles/fdet_train.dir/train/dataset_matrix.cpp.o" "gcc" "src/CMakeFiles/fdet_train.dir/train/dataset_matrix.cpp.o.d"
+  "/root/repo/src/train/pretrained.cpp" "src/CMakeFiles/fdet_train.dir/train/pretrained.cpp.o" "gcc" "src/CMakeFiles/fdet_train.dir/train/pretrained.cpp.o.d"
+  "/root/repo/src/train/smp_model.cpp" "src/CMakeFiles/fdet_train.dir/train/smp_model.cpp.o" "gcc" "src/CMakeFiles/fdet_train.dir/train/smp_model.cpp.o.d"
+  "/root/repo/src/train/stump.cpp" "src/CMakeFiles/fdet_train.dir/train/stump.cpp.o" "gcc" "src/CMakeFiles/fdet_train.dir/train/stump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_haar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_facegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_integral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_train.dir/train/boost.cpp.o"
+  "CMakeFiles/fdet_train.dir/train/boost.cpp.o.d"
+  "CMakeFiles/fdet_train.dir/train/dataset_matrix.cpp.o"
+  "CMakeFiles/fdet_train.dir/train/dataset_matrix.cpp.o.d"
+  "CMakeFiles/fdet_train.dir/train/pretrained.cpp.o"
+  "CMakeFiles/fdet_train.dir/train/pretrained.cpp.o.d"
+  "CMakeFiles/fdet_train.dir/train/smp_model.cpp.o"
+  "CMakeFiles/fdet_train.dir/train/smp_model.cpp.o.d"
+  "CMakeFiles/fdet_train.dir/train/stump.cpp.o"
+  "CMakeFiles/fdet_train.dir/train/stump.cpp.o.d"
+  "libfdet_train.a"
+  "libfdet_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

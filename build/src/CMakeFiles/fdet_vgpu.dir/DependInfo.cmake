@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/device.cpp" "src/CMakeFiles/fdet_vgpu.dir/vgpu/device.cpp.o" "gcc" "src/CMakeFiles/fdet_vgpu.dir/vgpu/device.cpp.o.d"
+  "/root/repo/src/vgpu/kernel.cpp" "src/CMakeFiles/fdet_vgpu.dir/vgpu/kernel.cpp.o" "gcc" "src/CMakeFiles/fdet_vgpu.dir/vgpu/kernel.cpp.o.d"
+  "/root/repo/src/vgpu/scheduler.cpp" "src/CMakeFiles/fdet_vgpu.dir/vgpu/scheduler.cpp.o" "gcc" "src/CMakeFiles/fdet_vgpu.dir/vgpu/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_vgpu.dir/vgpu/device.cpp.o"
+  "CMakeFiles/fdet_vgpu.dir/vgpu/device.cpp.o.d"
+  "CMakeFiles/fdet_vgpu.dir/vgpu/kernel.cpp.o"
+  "CMakeFiles/fdet_vgpu.dir/vgpu/kernel.cpp.o.d"
+  "CMakeFiles/fdet_vgpu.dir/vgpu/scheduler.cpp.o"
+  "CMakeFiles/fdet_vgpu.dir/vgpu/scheduler.cpp.o.d"
+  "libfdet_vgpu.a"
+  "libfdet_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

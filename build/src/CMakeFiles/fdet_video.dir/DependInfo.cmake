@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/decoder.cpp" "src/CMakeFiles/fdet_video.dir/video/decoder.cpp.o" "gcc" "src/CMakeFiles/fdet_video.dir/video/decoder.cpp.o.d"
+  "/root/repo/src/video/trailer.cpp" "src/CMakeFiles/fdet_video.dir/video/trailer.cpp.o" "gcc" "src/CMakeFiles/fdet_video.dir/video/trailer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_facegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

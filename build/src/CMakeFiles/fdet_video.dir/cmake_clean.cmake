@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdet_video.dir/video/decoder.cpp.o"
+  "CMakeFiles/fdet_video.dir/video/decoder.cpp.o.d"
+  "CMakeFiles/fdet_video.dir/video/trailer.cpp.o"
+  "CMakeFiles/fdet_video.dir/video/trailer.cpp.o.d"
+  "libfdet_video.a"
+  "libfdet_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdet_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

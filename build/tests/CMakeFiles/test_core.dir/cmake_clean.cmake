@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core_rng_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_rng_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core_util_test.cpp.o"
+  "CMakeFiles/test_core.dir/core_util_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

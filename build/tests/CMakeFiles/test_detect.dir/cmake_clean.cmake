@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect.dir/detect_kernel_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect_kernel_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect_metric_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect_metric_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect_pipeline_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect_pipeline_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect_soft_extra_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect_soft_extra_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect_softcascade_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect_softcascade_test.cpp.o.d"
+  "test_detect"
+  "test_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

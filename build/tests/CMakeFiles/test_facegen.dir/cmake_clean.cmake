@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facegen.dir/facegen_test.cpp.o"
+  "CMakeFiles/test_facegen.dir/facegen_test.cpp.o.d"
+  "test_facegen"
+  "test_facegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_haar.dir/haar_cascade_test.cpp.o"
+  "CMakeFiles/test_haar.dir/haar_cascade_test.cpp.o.d"
+  "CMakeFiles/test_haar.dir/haar_encoding_test.cpp.o"
+  "CMakeFiles/test_haar.dir/haar_encoding_test.cpp.o.d"
+  "CMakeFiles/test_haar.dir/haar_enumerate_test.cpp.o"
+  "CMakeFiles/test_haar.dir/haar_enumerate_test.cpp.o.d"
+  "CMakeFiles/test_haar.dir/haar_feature_test.cpp.o"
+  "CMakeFiles/test_haar.dir/haar_feature_test.cpp.o.d"
+  "CMakeFiles/test_haar.dir/haar_profile_test.cpp.o"
+  "CMakeFiles/test_haar.dir/haar_profile_test.cpp.o.d"
+  "CMakeFiles/test_haar.dir/haar_tilted_test.cpp.o"
+  "CMakeFiles/test_haar.dir/haar_tilted_test.cpp.o.d"
+  "test_haar"
+  "test_haar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_haar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

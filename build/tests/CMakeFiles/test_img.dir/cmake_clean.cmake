@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_img.dir/img_image_test.cpp.o"
+  "CMakeFiles/test_img.dir/img_image_test.cpp.o.d"
+  "CMakeFiles/test_img.dir/img_io_edge_test.cpp.o"
+  "CMakeFiles/test_img.dir/img_io_edge_test.cpp.o.d"
+  "CMakeFiles/test_img.dir/img_ops_test.cpp.o"
+  "CMakeFiles/test_img.dir/img_ops_test.cpp.o.d"
+  "test_img"
+  "test_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

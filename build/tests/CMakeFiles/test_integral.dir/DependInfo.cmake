@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integral_rotated_test.cpp" "tests/CMakeFiles/test_integral.dir/integral_rotated_test.cpp.o" "gcc" "tests/CMakeFiles/test_integral.dir/integral_rotated_test.cpp.o.d"
+  "/root/repo/tests/integral_test.cpp" "tests/CMakeFiles/test_integral.dir/integral_test.cpp.o" "gcc" "tests/CMakeFiles/test_integral.dir/integral_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdet_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_haar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_integral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_facegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/train_boost_test.cpp.o"
+  "CMakeFiles/test_train.dir/train_boost_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train_matrix_test.cpp.o"
+  "CMakeFiles/test_train.dir/train_matrix_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train_pretrained_test.cpp.o"
+  "CMakeFiles/test_train.dir/train_pretrained_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train_stump_test.cpp.o"
+  "CMakeFiles/test_train.dir/train_stump_test.cpp.o.d"
+  "test_train"
+  "test_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

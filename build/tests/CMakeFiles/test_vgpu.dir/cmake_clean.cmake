@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu.dir/vgpu_dim_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu_dim_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu_kernel_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu_kernel_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu_occupancy_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu_occupancy_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu_scheduler_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu_scheduler_test.cpp.o.d"
+  "test_vgpu"
+  "test_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

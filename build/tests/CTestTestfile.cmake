@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core "/root/repo/build/tests/test_core")
+set_tests_properties(core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vgpu "/root/repo/build/tests/test_vgpu")
+set_tests_properties(vgpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(img "/root/repo/build/tests/test_img")
+set_tests_properties(img PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integral "/root/repo/build/tests/test_integral")
+set_tests_properties(integral PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(haar "/root/repo/build/tests/test_haar")
+set_tests_properties(haar PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(facegen "/root/repo/build/tests/test_facegen")
+set_tests_properties(facegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(train "/root/repo/build/tests/test_train")
+set_tests_properties(train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(video "/root/repo/build/tests/test_video")
+set_tests_properties(video PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(detect "/root/repo/build/tests/test_detect")
+set_tests_properties(detect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval "/root/repo/build/tests/test_eval")
+set_tests_properties(eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pipeline "/root/repo/build/tests/test_pipeline")
+set_tests_properties(pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;fdet_test;/root/repo/tests/CMakeLists.txt;0;")
