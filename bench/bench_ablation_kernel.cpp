@@ -11,10 +11,12 @@ int main(int argc, char** argv) {
   int width = 1920;
   int height = 1080;
   std::string cache_dir = bench::kDefaultCacheDir;
+  bench::RunRecorder run("ablation");
   core::Cli cli("bench_ablation_kernel");
   cli.flag("width", width, "frame width");
   cli.flag("height", height, "frame height");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -45,7 +47,10 @@ int main(int argc, char** argv) {
     detect::PipelineOptions options;
     options.kernel = config.kernel;
     const detect::Pipeline pipeline(spec, pair.ours, options);
-    const double ms = pipeline.process(luma).detect_ms;
+    const detect::FrameResult result = pipeline.process(luma);
+    result.publish_metrics(run.metrics(), {{"config", config.name}});
+    run.add_timeline(config.name, result.timeline);
+    const double ms = result.detect_ms;
     if (baseline_ms == 0.0) {
       baseline_ms = ms;
     }
@@ -71,5 +76,6 @@ int main(int argc, char** argv) {
   mem.print(std::cout);
   std::printf("\npaper: re-encoding into two 16-bit words is what lets the\n"
               "whole cascade live in constant memory for broadcast fetches.\n");
+  run.finish();
   return 0;
 }

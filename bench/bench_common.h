@@ -8,10 +8,14 @@
 #include <iostream>
 #include <string>
 
+#include "core/check.h"
 #include "core/cli.h"
 #include "core/stopwatch.h"
 #include "core/table.h"
 #include "detect/pipeline.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/pretrained.h"
 #include "video/decoder.h"
 #include "video/trailer.h"
@@ -33,5 +37,94 @@ inline void print_header(const char* artifact, const char* description) {
   std::printf("Face Detection on GPUs\", ICPP 2012 (virtual-GPU simulator).\n");
   std::printf("==============================================================\n\n");
 }
+
+/// Machine-readable run record shared by every bench binary: a metrics
+/// registry plus an ambient trace session, written to the paths given by
+/// the --trace-out / --metrics-out flags (nothing is written when a flag
+/// is unset). Construct before parsing, register flags via add_flags, and
+/// call finish() after the printed tables:
+///
+///   bench::RunRecorder run("fig6");
+///   core::Cli cli("bench_fig6_kernel_trace");
+///   run.add_flags(cli);
+///   ...
+///   obs::publish_timeline(run.metrics(), tl, {{"mode", "concurrent"}});
+///   run.add_timeline("concurrent", tl);
+///   run.finish();
+///
+/// The trace session is installed as the ambient obs::TraceSession for
+/// the binary's lifetime, so library-internal spans (pipeline stages,
+/// boosting rounds) land in the trace automatically. finish() re-parses
+/// whatever it wrote — an invalid artifact fails loudly, which is what
+/// the ctest smoke target relies on.
+class RunRecorder {
+ public:
+  explicit RunRecorder(std::string artifact) : artifact_(std::move(artifact)) {
+    session_.install();
+    metrics_.gauge("bench.schema_version").set(1.0);
+  }
+
+  ~RunRecorder() { session_.uninstall(); }
+
+  void add_flags(core::Cli& cli) {
+    cli.flag("trace-out", trace_out_,
+             "write a Chrome/Perfetto trace-event JSON file");
+    cli.flag("metrics-out", metrics_out_,
+             "write run metrics (JSON, or CSV when the path ends in .csv)");
+  }
+
+  obs::Registry& metrics() { return metrics_; }
+  obs::TraceSession& trace() { return session_; }
+
+  /// True when --trace-out was given; use to skip building large device
+  /// tracks no one will read.
+  bool trace_enabled() const { return !trace_out_.empty(); }
+
+  void add_timeline(const std::string& label, const vgpu::Timeline& tl) {
+    if (trace_enabled()) {
+      session_.add_timeline(label, tl);
+    }
+  }
+
+  void add_timeline(const std::string& label,
+                    const vgpu::MultiDeviceTimeline& tl) {
+    if (trace_enabled()) {
+      session_.add_timeline(label, tl);
+    }
+  }
+
+  /// Writes the requested artifacts and validates them by re-parsing.
+  void finish() {
+    metrics_.gauge("bench.wall_seconds").set(watch_.elapsed_seconds());
+    if (!trace_out_.empty()) {
+      session_.write_file(trace_out_);
+      const obs::json::Value trace = obs::json::parse_file(trace_out_);
+      FDET_CHECK(!trace.at("traceEvents").as_array().empty())
+          << "trace '" << trace_out_ << "' has no events";
+      std::printf("\n[%s] trace written to %s (%zu events)\n",
+                  artifact_.c_str(), trace_out_.c_str(),
+                  trace.at("traceEvents").as_array().size());
+    }
+    if (!metrics_out_.empty()) {
+      metrics_.write_file(metrics_out_);
+      if (metrics_out_.size() < 4 ||
+          metrics_out_.compare(metrics_out_.size() - 4, 4, ".csv") != 0) {
+        const obs::json::Value doc = obs::json::parse_file(metrics_out_);
+        FDET_CHECK(!doc.at("metrics").as_array().empty())
+            << "metrics '" << metrics_out_ << "' is empty";
+      }
+      std::printf("[%s] metrics written to %s (%zu series)\n",
+                  artifact_.c_str(), metrics_out_.c_str(), metrics_.size());
+    }
+  }
+
+ private:
+  std::string artifact_;
+  std::string trace_out_;
+  std::string metrics_out_;
+  obs::Registry metrics_;
+  obs::TraceSession session_;
+  core::Stopwatch watch_;
+};
 
 }  // namespace fdet::bench

@@ -11,11 +11,13 @@ int main(int argc, char** argv) {
   int width = 1920;
   int height = 1080;
   std::string cache_dir = bench::kDefaultCacheDir;
+  bench::RunRecorder run("fig5");
   core::Cli cli("bench_fig5_frame_latency");
   cli.flag("frames", frames, "frames of the 50/50 preset to process");
   cli.flag("width", width, "frame width");
   cli.flag("height", height, "frame height");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -44,6 +46,18 @@ int main(int argc, char** argv) {
     const video::DecodedFrame frame = decoder.decode(f);
     const auto [oc, os] = ours.process_dual(frame.frame.luma());
     const auto [cc, cs] = opencv.process_dual(frame.frame.luma());
+    oc.publish_metrics(run.metrics(), {{"cascade", "ours"},
+                                       {"mode", "concurrent"}});
+    os.publish_metrics(run.metrics(), {{"cascade", "ours"},
+                                       {"mode", "serial"}});
+    cc.publish_metrics(run.metrics(), {{"cascade", "opencv"},
+                                       {"mode", "concurrent"}});
+    cs.publish_metrics(run.metrics(), {{"cascade", "opencv"},
+                                       {"mode", "serial"}});
+    if (f == 0) {
+      run.add_timeline("ours:concurrent:frame0", oc.timeline);
+      run.add_timeline("ours:serial:frame0", os.timeline);
+    }
     const double ms[4] = {oc.detect_ms, os.detect_ms, cc.detect_ms,
                           cs.detect_ms};
     for (int i = 0; i < 4; ++i) {
@@ -68,5 +82,13 @@ int main(int argc, char** argv) {
               violations_ocv_serial, frames, violations_ours_conc, frames);
   std::printf("(paper: the serial OpenCV configuration violates the deadline "
               "several times; ours never does)\n");
+
+  run.metrics().gauge("bench.deadline_violations",
+                      {{"config", "ocv-serial"}})
+      .set(violations_ocv_serial);
+  run.metrics().gauge("bench.deadline_violations",
+                      {{"config", "ours-concurrent"}})
+      .set(violations_ours_conc);
+  run.finish();
   return 0;
 }

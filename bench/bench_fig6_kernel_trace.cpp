@@ -10,10 +10,12 @@ int main(int argc, char** argv) {
   int width = 1920;
   int height = 1080;
   std::string cache_dir = bench::kDefaultCacheDir;
+  bench::RunRecorder run("fig6");
   core::Cli cli("bench_fig6_kernel_trace");
   cli.flag("width", width, "frame width");
   cli.flag("height", height, "frame height");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -75,5 +77,11 @@ int main(int argc, char** argv) {
   std::printf("concurrent makespan %.3f ms vs serial %.3f ms (%.2fx)\n",
               concurrent.detect_ms, serial.detect_ms,
               serial.detect_ms / concurrent.detect_ms);
+
+  concurrent.publish_metrics(run.metrics(), {{"mode", "concurrent"}});
+  serial.publish_metrics(run.metrics(), {{"mode", "serial"}});
+  run.add_timeline("concurrent", concurrent.timeline);
+  run.add_timeline("serial", serial.timeline);
+  run.finish();
   return 0;
 }

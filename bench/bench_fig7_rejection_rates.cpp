@@ -12,11 +12,13 @@ int main(int argc, char** argv) {
   int width = 1920;
   int height = 1080;
   std::string cache_dir = bench::kDefaultCacheDir;
+  bench::RunRecorder run("fig7");
   core::Cli cli("bench_fig7_rejection_rates");
   cli.flag("frames", frames, "frames to aggregate");
   cli.flag("width", width, "frame width");
   cli.flag("height", height, "frame height");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -38,6 +40,10 @@ int main(int argc, char** argv) {
   for (int f = 0; f < frames; ++f) {
     const video::DecodedFrame frame = decoder.decode(f);
     const detect::FrameResult result = pipeline.process(frame.frame.luma());
+    result.publish_metrics(run.metrics(), {{"mode", "concurrent"}});
+    if (f == 0) {
+      run.add_timeline("concurrent", result.timeline);
+    }
     if (aggregated.empty()) {
       aggregated.resize(result.scales.size(),
                         std::vector<std::int64_t>(
@@ -100,5 +106,15 @@ int main(int argc, char** argv) {
     per_scale.add_row({std::to_string(s), std::to_string(scale_total), buf});
   }
   per_scale.print(std::cout);
+
+  // Pooled per-stage rejection rates as gauges (Fig. 7's y-axis).
+  for (int d = 0; d < stages; ++d) {
+    run.metrics()
+        .gauge("bench.stage_rejection_rate",
+               {{"stage", std::to_string(d + 1)}})
+        .set(static_cast<double>(pooled[static_cast<std::size_t>(d)]) /
+             static_cast<double>(total));
+  }
+  run.finish();
   return 0;
 }

@@ -18,10 +18,12 @@ int main(int argc, char** argv) {
   int faces = 400;
   int pool = 800;
   int max_threads = 8;
+  bench::RunRecorder run("fig8");
   core::Cli cli("bench_fig8_training_scalability");
   cli.flag("faces", faces, "training faces for the measured iteration");
   cli.flag("pool", pool, "hypothesis pool for the measured iteration");
   cli.flag("max-threads", max_threads, "thread sweep upper bound");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -42,6 +44,14 @@ int main(int argc, char** argv) {
                    core::Table::num(i7.iteration_seconds(t), 1),
                    core::Table::num(xeon.speedup(t), 2),
                    core::Table::num(i7.speedup(t), 2)});
+    run.metrics()
+        .gauge("train.modeled_iteration_s",
+               {{"platform", "xeon_e5472"}, {"threads", std::to_string(t)}})
+        .set(xeon.iteration_seconds(t));
+    run.metrics()
+        .gauge("train.modeled_iteration_s",
+               {{"platform", "i7_2600k"}, {"threads", std::to_string(t)}})
+        .set(i7.iteration_seconds(t));
   }
   table.print(std::cout);
   std::printf("\npaper: ~3.5x speedup at 8 threads on both platforms; the\n"
@@ -57,8 +67,12 @@ int main(int argc, char** argv) {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   for (int t = 1; t <= std::min(max_threads, std::max(1, hw) * 2); t *= 2) {
     const double seconds = train::boosting_iteration_seconds(set, pool, t, 3);
+    run.metrics()
+        .gauge("train.measured_iteration_s", {{"threads", std::to_string(t)}})
+        .set(seconds);
     measured.add_row({std::to_string(t), core::Table::num(seconds, 3)});
   }
   measured.print(std::cout);
+  run.finish();
   return 0;
 }

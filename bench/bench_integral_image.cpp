@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace fdet;
+  bench::RunRecorder run("integral");
   core::Cli cli("bench_integral_image");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -42,6 +44,14 @@ int main(int argc, char** argv) {
     const double gpu_ms = tl.makespan_s * 1e3;
     const double cpu_ms = cpu_model.integral_ms(w, h);
 
+    char res_label[32];
+    std::snprintf(res_label, sizeof(res_label), "%dx%d", w, h);
+    obs::publish_timeline(run.metrics(), tl, {{"resolution", res_label}});
+    run.metrics()
+        .gauge("integral.cpu_model_ms", {{"resolution", res_label}})
+        .set(cpu_ms);
+    run.add_timeline(res_label, tl);
+
     core::Stopwatch watch;
     const auto host = integral::integral_cpu(image);
     const double host_ms = watch.elapsed_ms();
@@ -61,5 +71,7 @@ int main(int argc, char** argv) {
   std::printf("\nGPU advantage at 1080p: %.2fx (paper ~2.5x); the modeled\n"
               "CPU wins below the cache-residency crossover.\n",
               hd_ratio);
+  run.metrics().gauge("integral.gpu_advantage_1080p").set(hd_ratio);
+  run.finish();
   return 0;
 }

@@ -5,6 +5,9 @@
 // cost, not virtual GPU time — useful for keeping the reproduction fast.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench_common.h"
 #include "core/rng.h"
 #include "detect/grouping.h"
 #include "detect/kernels.h"
@@ -148,4 +151,32 @@ BENCHMARK(BM_GroupDetections)->Arg(50)->Arg(400);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off --trace-out /
+// --metrics-out with parse_known and hand everything else (including
+// --benchmark_* flags) to google-benchmark untouched.
+int main(int argc, char** argv) {
+  fdet::bench::RunRecorder run("micro");
+  fdet::core::Cli cli("bench_micro_kernels");
+  run.add_flags(cli);
+  std::vector<std::string> remaining;
+  if (!cli.parse_known(argc, argv, remaining)) {
+    return 1;
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(remaining.size());
+  for (auto& arg : remaining) {
+    bench_argv.push_back(arg.data());
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  {
+    fdet::obs::ScopedSpan span("micro.run_benchmarks");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  run.finish();
+  return 0;
+}

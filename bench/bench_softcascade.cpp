@@ -13,11 +13,13 @@ int main(int argc, char** argv) {
   int holdout_faces = 300;
   int scenes = 4;
   std::string cache_dir = bench::kDefaultCacheDir;
+  bench::RunRecorder run("softcascade");
   core::Cli cli("bench_softcascade");
   cli.flag("calibration-faces", calibration_faces, "faces for calibration");
   cli.flag("holdout-faces", holdout_faces, "held-out faces for hit rate");
   cli.flag("scenes", scenes, "background scenes for depth measurement");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -70,6 +72,15 @@ int main(int argc, char** argv) {
       soft_hits += soft.evaluate(ii, 0, 0).accepted;
     }
 
+    const obs::Labels labels = {{"cascade", name}};
+    run.metrics().gauge("softcascade.staged_depth", labels).set(staged_depth);
+    run.metrics().gauge("softcascade.soft_depth", labels).set(soft_depth);
+    run.metrics()
+        .gauge("softcascade.hit_rate_staged", labels)
+        .set(double(staged_hits) / holdout_faces);
+    run.metrics()
+        .gauge("softcascade.hit_rate_soft", labels)
+        .set(double(soft_hits) / holdout_faces);
     char reduction[32];
     std::snprintf(reduction, sizeof(reduction), "%.1f%%",
                   100.0 * (1.0 - soft_depth / staged_depth));
@@ -82,5 +93,6 @@ int main(int argc, char** argv) {
   std::printf("\nthe soft cascade rejects at every weak classifier instead\n"
               "of at stage boundaries, trimming the per-window workload at\n"
               "matched hit rates (Bourdev & Brandt, the paper's ref [32]).\n");
+  run.finish();
   return 0;
 }

@@ -11,7 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace fdet;
+  bench::RunRecorder run("table1");
   core::Cli cli("bench_table1_feature_combinations");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -37,6 +39,9 @@ int main(int argc, char** argv) {
     const std::int64_t ours = haar::count_features(row.type);
     table.add_row({haar::to_string(row.type), std::to_string(ours),
                    std::to_string(row.paper)});
+    run.metrics()
+        .gauge("haar.combinations", {{"family", haar::to_string(row.type)}})
+        .set(static_cast<double>(ours));
     total_ours += ours;
     total_paper += row.paper;
   }
@@ -47,5 +52,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(total_ours), watch.elapsed_ms());
   std::printf("note: the paper's grid constraints are unstated; training\n"
               "benches size their workload with the paper's totals.\n");
+  run.metrics().gauge("haar.combinations_total")
+      .set(static_cast<double>(total_ours));
+  run.finish();
   return 0;
 }

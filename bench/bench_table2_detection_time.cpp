@@ -14,11 +14,13 @@ int main(int argc, char** argv) {
   int width = 1920;
   int height = 1080;
   std::string cache_dir = bench::kDefaultCacheDir;
+  bench::RunRecorder run("table2");
   core::Cli cli("bench_table2_detection_time");
   cli.flag("frames", frames, "frames sampled per trailer");
   cli.flag("width", width, "frame width");
   cli.flag("height", height, "frame height");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
+  run.add_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -71,6 +73,12 @@ int main(int argc, char** argv) {
           ours.process_dual(frame.frame.luma());
       const auto [ocv_conc, ocv_serial] =
           opencv.process_dual(frame.frame.luma());
+      ours_conc.publish_metrics(run.metrics(), {{"mode", "concurrent"}});
+      ours_serial.publish_metrics(run.metrics(), {{"mode", "serial"}});
+      if (f == 0 && frames_total == 0) {
+        run.add_timeline("ours:concurrent", ours_conc.timeline);
+        run.add_timeline("ours:serial", ours_serial.timeline);
+      }
       avg[0] += ours_conc.detect_ms;
       avg[1] += ours_serial.detect_ms;
       avg[2] += ocv_conc.detect_ms;
@@ -129,5 +137,22 @@ int main(int argc, char** argv) {
   std::printf("end-to-end throughput (decode || detect): %.0f fps "
               "(paper ~70 fps)\n",
               1000.0 / std::max(avg_decode, avg_detect));
+
+  auto& metrics = run.metrics();
+  metrics.gauge("bench.concurrent_speedup", {{"cascade", "ours"}})
+      .set(grand[1] / grand[0]);
+  metrics.gauge("bench.concurrent_speedup", {{"cascade", "opencv"}})
+      .set(grand[3] / grand[2]);
+  metrics.gauge("bench.combined_speedup").set(grand[3] / grand[0]);
+  metrics.gauge("bench.decode_ms").set(avg_decode);
+  metrics.gauge("bench.throughput_fps")
+      .set(1000.0 / std::max(avg_decode, avg_detect));
+  if (dram_max > 0.0) {
+    metrics.gauge("bench.cascade_dram_read_mbps", {{"bound", "min"}})
+        .set(dram_min / 1e6);
+    metrics.gauge("bench.cascade_dram_read_mbps", {{"bound", "max"}})
+        .set(dram_max / 1e6);
+  }
+  run.finish();
   return 0;
 }

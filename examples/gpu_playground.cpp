@@ -8,15 +8,21 @@
 #include <vector>
 
 #include "core/cli.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vgpu/scheduler.h"
 
 int main(int argc, char** argv) {
   using namespace fdet;
   int streams = 6;
   int blocks_per_kernel = 3;
+  std::string trace_out;
+  std::string metrics_out;
   core::Cli cli("gpu_playground");
   cli.flag("streams", streams, "concurrent streams");
   cli.flag("blocks", blocks_per_kernel, "blocks per kernel");
+  cli.flag("trace-out", trace_out, "write a Perfetto trace-event JSON file");
+  cli.flag("metrics-out", metrics_out, "write run metrics (JSON or .csv)");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -111,5 +117,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.global_transactions),
               100.0 * totals.simd_efficiency());
   std::printf("\n%s\n", concurrent.render_trace(80).c_str());
+
+  if (!trace_out.empty()) {
+    obs::TraceSession session;
+    session.add_timeline("serial", serial);
+    session.add_timeline("concurrent", concurrent);
+    session.write_file(trace_out);
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::Registry registry;
+    obs::publish_timeline(registry, serial, {{"mode", "serial"}});
+    obs::publish_timeline(registry, concurrent, {{"mode", "concurrent"}});
+    registry.write_file(metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

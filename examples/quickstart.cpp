@@ -8,6 +8,8 @@
 #include "core/cli.h"
 #include "core/stopwatch.h"
 #include "detect/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "facegen/dataset.h"
 #include "img/draw.h"
 #include "img/io.h"
@@ -17,11 +19,22 @@ int main(int argc, char** argv) {
   using namespace fdet;
   int faces = 300;
   std::string out = "quickstart_out.ppm";
+  std::string trace_out;
+  std::string metrics_out;
   core::Cli cli("quickstart");
   cli.flag("faces", faces, "training faces");
   cli.flag("out", out, "annotated output image (PPM)");
+  cli.flag("trace-out", trace_out, "write a Perfetto trace-event JSON file");
+  cli.flag("metrics-out", metrics_out, "write run metrics (JSON or .csv)");
   if (!cli.parse(argc, argv)) {
     return 1;
+  }
+
+  // With tracing on, host-side spans from training and detection land in
+  // the trace automatically via the ambient session.
+  obs::TraceSession session;
+  if (!trace_out.empty()) {
+    session.install();
   }
 
   // 1. Synthesize a training set and boost a small cascade.
@@ -91,5 +104,17 @@ int main(int argc, char** argv) {
   img::write_ppm(out, r, g, b);
   std::printf("wrote %s (red = detections, green = ground truth)\n",
               out.c_str());
+
+  if (!trace_out.empty()) {
+    session.add_timeline("detect", result.timeline);
+    session.write_file(trace_out);
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::Registry registry;
+    result.publish_metrics(registry);
+    registry.write_file(metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

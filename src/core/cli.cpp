@@ -70,9 +70,24 @@ void Cli::flag(std::string name, std::string& value, std::string help) {
 }
 
 bool Cli::parse(int argc, char** argv) {
+  return parse_impl(argc, argv, nullptr);
+}
+
+bool Cli::parse_known(int argc, char** argv,
+                      std::vector<std::string>& remaining) {
+  remaining.clear();
+  remaining.push_back(argc > 0 ? argv[0] : program_.c_str());
+  return parse_impl(argc, argv, &remaining);
+}
+
+bool Cli::parse_impl(int argc, char** argv,
+                     std::vector<std::string>* remaining) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.rfind("--benchmark_", 0) == 0) {
+      if (remaining != nullptr) {
+        remaining->push_back(argv[i]);
+      }
       continue;  // owned by google-benchmark
     }
     if (arg == "--help" || arg == "-h") {
@@ -80,6 +95,10 @@ bool Cli::parse(int argc, char** argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (remaining != nullptr) {
+        remaining->push_back(argv[i]);
+        continue;
+      }
       std::fprintf(stderr, "%s: unexpected positional argument '%s'\n%s",
                    program_.c_str(), argv[i], usage().c_str());
       return false;
@@ -101,6 +120,12 @@ bool Cli::parse(int argc, char** argv) {
       }
     }
     if (match == nullptr) {
+      if (remaining != nullptr) {
+        // Unknown flags pass through verbatim; a detached value would be
+        // ambiguous, so foreign flags should use --flag=value form.
+        remaining->push_back(argv[i]);
+        continue;
+      }
       std::fprintf(stderr, "%s: unknown flag '--%.*s'\n%s", program_.c_str(),
                    static_cast<int>(name.size()), name.data(), usage().c_str());
       return false;

@@ -30,6 +30,12 @@ class Cli {
   /// malformed values. `--help` prints usage and also returns false.
   bool parse(int argc, char** argv);
 
+  /// Like parse(), but unknown flags and positionals are collected into
+  /// `remaining` (argv order, argv[0] first) instead of being an error.
+  /// For binaries that hand leftover arguments to another parser, e.g.
+  /// google-benchmark. `--help` still prints usage and returns false.
+  bool parse_known(int argc, char** argv, std::vector<std::string>& remaining);
+
   std::string usage() const;
 
  private:
@@ -42,6 +48,10 @@ class Cli {
 
   void add(std::string name, std::string help, std::string default_repr,
            std::function<bool(std::string_view)> set);
+
+  /// Shared loop: `remaining == nullptr` makes unknown arguments an error
+  /// (parse), otherwise they are collected (parse_known).
+  bool parse_impl(int argc, char** argv, std::vector<std::string>* remaining);
 
   std::string program_;
   std::vector<Flag> flags_;

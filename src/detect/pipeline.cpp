@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "integral/gpu.h"
+#include "obs/trace.h"
 
 namespace fdet::detect {
 
@@ -17,6 +18,61 @@ double FrameResult::busy_share(const std::string& prefix) const {
     }
   }
   return total == 0.0 ? 0.0 : matched / total;
+}
+
+void FrameResult::publish_metrics(obs::Registry& registry,
+                                  const obs::Labels& labels) const {
+  obs::publish_timeline(registry, timeline, labels);
+
+  registry.counter("detect.frames", labels).increment();
+  registry.counter("detect.raw_detections", labels)
+      .add(static_cast<double>(raw_detections.size()));
+  registry.counter("detect.detections", labels)
+      .add(static_cast<double>(detections.size()));
+  registry
+      .histogram("detect.frame_latency_ms",
+                 {1, 2, 5, 10, 20, 30, 40, 50, 75, 100, 150, 200}, labels)
+      .observe(detect_ms);
+
+  // Cascade-evaluation profiler ratios: the numbers the paper quotes from
+  // the CUDA compute profiler (98.9 % branch efficiency).
+  registry.gauge("detect.cascade_branch_efficiency", labels)
+      .set(cascade_counters.branch_efficiency());
+  registry.gauge("detect.cascade_simd_efficiency", labels)
+      .set(cascade_counters.simd_efficiency());
+
+  // Where the SM-seconds go, by pipeline stage ("integral images are
+  // ~20 % of the computation").
+  for (const char* stage :
+       {"scale", "filter", "scan", "transpose", "cascade"}) {
+    obs::Labels stage_labels = labels;
+    stage_labels.emplace_back("stage", stage);
+    registry.gauge("detect.busy_share", stage_labels).set(busy_share(stage));
+  }
+
+  // Fig. 7: how deep windows travel into the cascade before rejection,
+  // per pyramid scale (bucket d = deepest stage reached; d = stage count
+  // means accepted).
+  for (const ScaleStats& stats : scales) {
+    if (stats.depth_histogram.empty()) {
+      continue;
+    }
+    obs::Labels scale_labels = labels;
+    scale_labels.emplace_back("scale", std::to_string(stats.scale_index));
+    auto& histogram = registry.histogram(
+        "detect.rejection_depth",
+        obs::linear_buckets(0.0, 1.0,
+                            static_cast<int>(stats.depth_histogram.size())),
+        scale_labels);
+    for (std::size_t depth = 0; depth < stats.depth_histogram.size();
+         ++depth) {
+      const auto count = stats.depth_histogram[depth];
+      if (count > 0) {
+        histogram.observe(static_cast<double>(depth),
+                          static_cast<double>(count));
+      }
+    }
+  }
 }
 
 Pipeline::Pipeline(const vgpu::DeviceSpec& spec, haar::Cascade cascade,
@@ -33,6 +89,7 @@ Pipeline::Pipeline(const vgpu::DeviceSpec& spec, haar::Cascade cascade,
 }
 
 Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
+  const obs::ScopedSpan build_span("pipeline.build");
   const img::PyramidPlan plan = img::plan_pyramid(
       luma.width(), luma.height(), options_.pyramid_step, haar::kWindowSize);
   const int stage_count = cascade_.stage_count();
@@ -55,6 +112,7 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
     if (level.index == 0) {
       level_image = luma;
     } else {
+      const obs::ScopedSpan span("pipeline.pyramid" + suffix);
       img::ImageU8 scaled(level.width, level.height);
       launches.push_back(
           {scale_kernel(spec_, luma, scaled, "scale" + suffix), stream});
@@ -71,7 +129,10 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
     }
 
     // Integral image: scan, transpose, scan, transpose.
-    integral::GpuIntegralResult ii = integral::integral_gpu(spec_, level_image);
+    integral::GpuIntegralResult ii = [&] {
+      const obs::ScopedSpan span("pipeline.integral" + suffix);
+      return integral::integral_gpu(spec_, level_image);
+    }();
     const char* names[4] = {"scan", "transpose", "scan2", "transpose2"};
     for (std::size_t k = 0; k < ii.launches.size(); ++k) {
       ii.launches[k].config.name = std::string(names[k]) + suffix;
@@ -80,9 +141,12 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
 
     // Cascade evaluation.
     CascadeKernelOutput& out = outputs[static_cast<std::size_t>(level.index)];
-    launches.push_back({cascade_kernel(spec_, bank_, ii.integral, out,
-                                       options_.kernel, "cascade" + suffix),
-                        stream});
+    {
+      const obs::ScopedSpan span("pipeline.cascade" + suffix);
+      launches.push_back({cascade_kernel(spec_, bank_, ii.integral, out,
+                                         options_.kernel, "cascade" + suffix),
+                          stream});
+    }
     result.cascade_counters += launches.back().cost.counters;
 
     if (options_.run_display) {
@@ -118,6 +182,7 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
     result.scales.push_back(std::move(stats));
   }
 
+  const obs::ScopedSpan group_span("pipeline.grouping");
   result.detections =
       group_detections(result.raw_detections, options_.group_eyes_threshold);
   if (options_.min_neighbors > 1) {
@@ -129,6 +194,9 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
 }
 
 FrameResult Pipeline::finalize(const Built& built, vgpu::ExecMode mode) const {
+  const obs::ScopedSpan span(mode == vgpu::ExecMode::kSerial
+                                 ? "pipeline.schedule.serial"
+                                 : "pipeline.schedule.concurrent");
   FrameResult result = built.base;
   result.timeline = vgpu::schedule(spec_, built.launches, mode);
   result.detect_ms = result.timeline.makespan_s * 1e3;

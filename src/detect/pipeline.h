@@ -17,6 +17,7 @@
 #include "detect/kernels.h"
 #include "haar/cascade.h"
 #include "img/pyramid.h"
+#include "obs/metrics.h"
 #include "vgpu/scheduler.h"
 
 namespace fdet::detect {
@@ -54,6 +55,15 @@ struct FrameResult {
   /// divided by the total — e.g. share("scan") + share("transpose") is the
   /// paper's "integral images are ~20 % of the computation".
   double busy_share(const std::string& prefix) const;
+
+  /// Publishes this frame into `registry` under `labels`: the timeline's
+  /// profiler metrics (obs::publish_timeline), cascade-kernel branch/SIMD
+  /// efficiency, detection counts, per-stage busy shares and the Fig. 7
+  /// per-scale rejection-depth histograms (`detect.rejection_depth`,
+  /// labeled scale=N). Counters accumulate across frames; gauges keep the
+  /// last frame's value.
+  void publish_metrics(obs::Registry& registry,
+                       const obs::Labels& labels = {}) const;
 };
 
 class Pipeline {

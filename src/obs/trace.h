@@ -1,0 +1,153 @@
+// Perfetto/chrome://tracing-compatible tracing for the virtual GPU.
+//
+// Two time domains meet here, and the trace keeps them on separate
+// process tracks:
+//
+//   pid 0         host wall-clock spans (TraceSession::span) around the
+//                 simulator's own work: pipeline stages, boosting rounds.
+//   pid 1, 2, ... one process per added vgpu::Timeline ("vgpu:<label>"),
+//                 in *virtual* device time: one thread track per CUDA
+//                 stream (the paper's Fig. 6 rows), one per SM, plus
+//                 counter tracks for busy SMs and resident warps.
+//
+// Everything serializes to the Chrome trace-event JSON format
+// ({"traceEvents": [...]}), which loads directly in https://ui.perfetto.dev
+// or chrome://tracing. Stream/SM intervals come from the same
+// Timeline::records_by_stream / Timeline::sm_spans model that backs the
+// ASCII render_trace, so the two views can never drift apart.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "vgpu/scheduler.h"
+
+namespace fdet::obs {
+
+/// One trace-event JSON entry. `phase` uses the Chrome trace-event
+/// phase codes: 'X' complete, 'C' counter, 'i' instant, 'M' metadata.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< complete events only
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/// Serializes events as a Chrome trace-event document.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Converts one scheduled timeline into trace events under process `pid`:
+/// stream tracks (tid = stream id), SM tracks (tid = kSmTrackBase + sm),
+/// and `busy_sms` / `resident_warps` counter tracks. Usable standalone;
+/// TraceSession::add_timeline builds on it.
+inline constexpr int kSmTrackBase = 1000;
+std::vector<TraceEvent> timeline_trace_events(const vgpu::Timeline& timeline,
+                                              int pid,
+                                              const std::string& label);
+
+/// Collects host spans and device timelines for one run and writes the
+/// combined Chrome trace. Host spans are wall-clock microseconds since
+/// construction. All methods are thread-safe.
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// RAII host span: records a complete event on the host track when it
+  /// goes out of scope. Move-only.
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    ~Span();
+
+   private:
+    friend class TraceSession;
+    Span(TraceSession* session, std::string name, double start_us)
+        : session_(session), name_(std::move(name)), start_us_(start_us) {}
+    TraceSession* session_;
+    std::string name_;
+    double start_us_;
+  };
+
+  Span span(std::string name);
+  /// Zero-duration marker on the host track.
+  void instant(std::string name);
+  /// Wall-clock microseconds since the session started.
+  double now_us() const;
+
+  /// Adds a scheduled timeline as a new "vgpu:<label>" trace process and
+  /// returns its pid.
+  int add_timeline(const std::string& label, const vgpu::Timeline& timeline);
+  /// Adds every device of a multi-GPU schedule ("vgpu:<label>:devN").
+  void add_timeline(const std::string& label,
+                    const vgpu::MultiDeviceTimeline& timeline);
+
+  void add_event(TraceEvent event);
+
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;  ///< snapshot
+  std::string to_json() const;
+  /// Writes to_json(); throws core::CheckError when the file cannot be
+  /// written.
+  void write_file(const std::string& path) const;
+
+  /// Ambient session used by library-internal instrumentation
+  /// (detect::Pipeline stages, train boosting rounds) via ScopedSpan.
+  /// At most one session is ambient at a time; install() replaces the
+  /// previous one, uninstall() clears it only if this session holds it.
+  /// The destructor uninstalls automatically.
+  void install();
+  void uninstall();
+  static TraceSession* current();
+
+ private:
+  void end_span(const std::string& name, double start_us);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  int next_pid_ = 1;  // pid 0 is the host process
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Opens a span on the ambient session; a silent no-op when none is
+/// installed, so library code can instrument unconditionally.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name) {
+    if (TraceSession* session = TraceSession::current()) {
+      span_.emplace(session->span(std::move(name)));
+    }
+  }
+
+ private:
+  std::optional<TraceSession::Span> span_;
+};
+
+/// Publishes the scheduler-level metrics of one timeline into `registry`
+/// under `labels` — the quantities the paper reads off the CUDA profiler:
+/// makespan, SM utilization, branch efficiency, SIMD efficiency, DRAM read
+/// throughput, plus launch/block/byte totals and a kernel-duration
+/// histogram.
+void publish_timeline(Registry& registry, const vgpu::Timeline& timeline,
+                      const Labels& labels = {});
+
+/// Multi-GPU variant: per-device metrics labeled device=N plus the overall
+/// makespan.
+void publish_timeline(Registry& registry,
+                      const vgpu::MultiDeviceTimeline& timeline,
+                      const Labels& labels = {});
+
+}  // namespace fdet::obs

@@ -11,6 +11,7 @@
 #include "core/stopwatch.h"
 #include "facegen/background.h"
 #include "haar/enumerate.h"
+#include "obs/trace.h"
 #include "train/dataset_matrix.h"
 #include "train/stump.h"
 
@@ -211,14 +212,20 @@ TrainResult train_cascade(const facegen::TrainingSet& set,
 
   const int pos = static_cast<int>(set.faces.size());
 
+  int stage_index = 0;
   for (const int stage_size : options.stage_sizes) {
+    const obs::ScopedSpan stage_span("train.stage" +
+                                     std::to_string(stage_index++));
     core::Stopwatch stage_watch;
     StageStats stats;
     stats.classifiers = stage_size;
 
     // Assemble this stage's example set: all faces + bootstrapped negatives.
-    const std::vector<img::ImageU8> negatives = mine_negatives(
-        set, result.cascade, options.negatives_per_stage, rng);
+    const std::vector<img::ImageU8> negatives = [&] {
+      const obs::ScopedSpan span("train.mine_negatives");
+      return mine_negatives(set, result.cascade, options.negatives_per_stage,
+                            rng);
+    }();
     stats.negatives_mined = static_cast<int>(negatives.size());
     const int neg = static_cast<int>(negatives.size());
     const int n = pos + neg;
@@ -230,7 +237,10 @@ TrainResult train_cascade(const facegen::TrainingSet& set,
     for (const auto& window : negatives) {
       matrix.add_window(window);
     }
-    const auto responses = cache_responses(matrix, pool, options.threads);
+    const auto responses = [&] {
+      const obs::ScopedSpan span("train.cache_responses");
+      return cache_responses(matrix, pool, options.threads);
+    }();
 
     std::vector<float> targets(static_cast<std::size_t>(n));
     std::vector<double> weights(static_cast<std::size_t>(n));
@@ -244,6 +254,7 @@ TrainResult train_cascade(const facegen::TrainingSet& set,
     std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
 
     for (int round = 0; round < stage_size; ++round) {
+      const obs::ScopedSpan round_span("train.round");
       const RoundBest best =
           best_stump_round(pool, responses, targets, weights,
                            options.algorithm, options.histogram_bins,

@@ -4,6 +4,7 @@
 // branches), DRAM read throughput, and SIMD lane utilization.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 namespace fdet::vgpu {
@@ -30,22 +31,30 @@ struct PerfCounters {
   double warp_issue_cycles = 0.0;  ///< sum of per-warp (max-lane) cycles
 
   /// Fraction of warp branches with a uniform outcome (paper: 98.9 %).
+  /// A launch with no branches counts as fully efficient; inconsistent
+  /// inputs (more divergent than total branches) clamp into [0, 1].
   double branch_efficiency() const {
-    return warp_branches == 0
-               ? 1.0
-               : 1.0 - static_cast<double>(divergent_branches) / warp_branches;
+    if (warp_branches == 0) {
+      return 1.0;
+    }
+    const double eff =
+        1.0 - static_cast<double>(divergent_branches) / warp_branches;
+    return std::clamp(eff, 0.0, 1.0);
   }
 
   /// Average fraction of lanes doing useful work while their warp executes.
+  /// Degenerate launches (no issued warp cycles) count as fully efficient.
   double simd_efficiency() const {
-    return warp_issue_cycles == 0.0
-               ? 1.0
-               : lane_issue_cycles / (warp_issue_cycles * 32.0);
+    if (warp_issue_cycles <= 0.0) {
+      return 1.0;
+    }
+    return std::clamp(lane_issue_cycles / (warp_issue_cycles * 32.0), 0.0, 1.0);
   }
 
   /// DRAM read throughput in bytes/second for a given kernel duration.
+  /// Zero-duration (or negative) intervals yield 0 rather than infinity.
   double dram_read_throughput(double seconds) const {
-    return seconds == 0.0 ? 0.0 : global_read_bytes / seconds;
+    return seconds <= 0.0 ? 0.0 : global_read_bytes / seconds;
   }
 
   PerfCounters& operator+=(const PerfCounters& other) {

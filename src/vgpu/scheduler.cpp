@@ -22,6 +22,7 @@ Timeline schedule(const DeviceSpec& spec, const std::vector<Launch>& launches,
                   ExecMode mode) {
   Timeline timeline;
   timeline.sm_count = spec.sm_count;
+  timeline.sm_spans.resize(static_cast<std::size_t>(spec.sm_count));
 
   // Min-heap of (free time, sm index): blocks go to the earliest-free SM.
   using SmSlot = std::pair<double, int>;
@@ -95,6 +96,15 @@ Timeline schedule(const DeviceSpec& spec, const std::vector<Launch>& launches,
       end = std::max(end, t1);
       busy += t1 - t0;
       timeline.sm_busy_s += t1 - t0;
+      // Record the block's SM residency; back-to-back blocks of the same
+      // launch on one SM coalesce into a single span.
+      auto& spans = timeline.sm_spans[static_cast<std::size_t>(sm)];
+      if (!spans.empty() && spans.back().launch_index == index &&
+          spans.back().end_s == t0) {
+        spans.back().end_s = t1;
+      } else {
+        spans.push_back({index, t0, t1});
+      }
     }
     end_time[static_cast<std::size_t>(index)] = end;
     ++dispatched;
@@ -152,6 +162,20 @@ MultiDeviceTimeline schedule_multi(const DeviceSpec& spec, int device_count,
   return result;
 }
 
+std::map<int, std::vector<std::size_t>> Timeline::records_by_stream() const {
+  std::map<int, std::vector<std::size_t>> by_stream;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    by_stream[records[i].stream].push_back(i);
+  }
+  for (auto& [stream, indices] : by_stream) {
+    std::stable_sort(indices.begin(), indices.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return records[a].start_s < records[b].start_s;
+                     });
+  }
+  return by_stream;
+}
+
 std::string Timeline::render_trace(int columns) const {
   FDET_CHECK(columns >= 10);
   std::ostringstream out;
@@ -160,21 +184,19 @@ std::string Timeline::render_trace(int columns) const {
     return out.str();
   }
 
-  std::map<int, std::string> rows;
-  for (const auto& record : records) {
-    auto [it, inserted] =
-        rows.try_emplace(record.stream, std::string(static_cast<std::size_t>(columns), '.'));
-    std::string& row = it->second;
-    int c0 = static_cast<int>(record.start_s / makespan_s * columns);
-    int c1 = static_cast<int>(record.end_s / makespan_s * columns);
-    c0 = std::clamp(c0, 0, columns - 1);
-    c1 = std::clamp(c1, c0 + 1, columns);
-    for (int c = c0; c < c1; ++c) {
-      row[static_cast<std::size_t>(c)] = '#';
-    }
-  }
   out << "time 0 .. " << makespan_s * 1e3 << " ms\n";
-  for (const auto& [stream, row] : rows) {
+  for (const auto& [stream, indices] : records_by_stream()) {
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const std::size_t i : indices) {
+      const LaunchRecord& record = records[i];
+      int c0 = static_cast<int>(record.start_s / makespan_s * columns);
+      int c1 = static_cast<int>(record.end_s / makespan_s * columns);
+      c0 = std::clamp(c0, 0, columns - 1);
+      c1 = std::clamp(c1, c0 + 1, columns);
+      for (int c = c0; c < c1; ++c) {
+        row[static_cast<std::size_t>(c)] = '#';
+      }
+    }
     out << "stream " << stream << " |" << row << "|\n";
   }
   return out.str();

@@ -14,6 +14,7 @@
 // the latency-hiding factor of the cost model (see kernel.h).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -43,22 +44,39 @@ struct LaunchRecord {
   double duration_s() const { return end_s - start_s; }
 };
 
+/// Contiguous busy interval on one SM: consecutive blocks of the same
+/// launch merged together. Raw material for per-SM trace tracks and
+/// device-utilization counter tracks (obs/trace.h).
+struct SmSpan {
+  int launch_index = 0;  ///< index into Timeline::records
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
 /// Full schedule of an issue sequence.
 struct Timeline {
   std::vector<LaunchRecord> records;
   double makespan_s = 0.0;        ///< completion time of the last launch
   double sm_busy_s = 0.0;         ///< Σ busy time over all SMs
   int sm_count = 0;
+  /// Per-SM busy spans, indexed by SM; spans on one SM are time-ordered.
+  std::vector<std::vector<SmSpan>> sm_spans;
 
   /// Mean fraction of SM capacity in use over the makespan.
   double utilization() const {
-    return (makespan_s == 0.0 || sm_count == 0)
+    return (makespan_s <= 0.0 || sm_count <= 0)
                ? 0.0
                : sm_busy_s / (makespan_s * sm_count);
   }
 
   /// Aggregated counters over all launches.
   PerfCounters total_counters() const;
+
+  /// Per-stream interval view: stream id -> indices into `records`,
+  /// ordered by start time (ties by issue order). The single source of
+  /// truth behind both the ASCII Fig. 6 rendering and the Chrome
+  /// trace-event exporter (obs/trace.h).
+  std::map<int, std::vector<std::size_t>> records_by_stream() const;
 
   /// Renders a per-stream trace in the style of the paper's Fig. 6
   /// (one row per stream, kernel intervals in virtual milliseconds).

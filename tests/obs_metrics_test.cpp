@@ -1,0 +1,131 @@
+// Metrics registry: metric kinds, label identity, histogram bucketing,
+// and the JSON/CSV exporters (validated by re-parsing through obs::json).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "obs/json.h"
+
+namespace fdet::obs {
+namespace {
+
+TEST(MetricsLabels, FormatIsOrderedKeyValueList) {
+  EXPECT_EQ(format_labels({}), "");
+  EXPECT_EQ(format_labels({{"mode", "serial"}}), "mode=serial");
+  EXPECT_EQ(format_labels({{"b", "2"}, {"a", "1"}}), "b=2,a=1");
+}
+
+TEST(MetricsRegistry, CounterAccumulatesAndIsIdentityStable) {
+  Registry registry;
+  Counter& c = registry.counter("launches", {{"mode", "serial"}});
+  c.add(3.0);
+  c.increment();
+  EXPECT_DOUBLE_EQ(c.value(), 4.0);
+  // Same (name, labels) -> same instance; different labels -> distinct.
+  EXPECT_EQ(&registry.counter("launches", {{"mode", "serial"}}), &c);
+  Counter& other = registry.counter("launches", {{"mode", "concurrent"}});
+  EXPECT_NE(&other, &c);
+  EXPECT_DOUBLE_EQ(other.value(), 0.0);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastValue) {
+  Registry registry;
+  Gauge& g = registry.gauge("makespan_ms");
+  g.set(4.2);
+  g.set(3.1);
+  EXPECT_DOUBLE_EQ(g.value(), 3.1);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), core::CheckError);
+  EXPECT_THROW(registry.histogram("x", {1.0}), core::CheckError);
+}
+
+TEST(MetricsHistogram, BucketCountsAreCumulativeWithImplicitInf) {
+  Registry registry;
+  Histogram& h = registry.histogram("latency", {1.0, 5.0, 10.0});
+  h.observe(0.5);
+  h.observe(1.0);   // boundary value counts as <= bound
+  h.observe(7.0);
+  h.observe(100.0, 2.0);  // weighted observation into +inf
+  EXPECT_DOUBLE_EQ(h.count(), 5.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 200.0);
+  const std::vector<double> cumulative = h.bucket_counts();
+  ASSERT_EQ(cumulative.size(), 4u);  // 3 bounds + inf
+  EXPECT_DOUBLE_EQ(cumulative[0], 2.0);
+  EXPECT_DOUBLE_EQ(cumulative[1], 2.0);
+  EXPECT_DOUBLE_EQ(cumulative[2], 3.0);
+  EXPECT_DOUBLE_EQ(cumulative[3], 5.0);
+}
+
+TEST(MetricsHistogram, LinearBuckets) {
+  const std::vector<double> bounds = linear_buckets(0.0, 2.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+}
+
+TEST(MetricsRegistry, SamplesAreSortedAndComplete) {
+  Registry registry;
+  registry.gauge("zeta").set(1.0);
+  registry.counter("alpha", {{"k", "2"}}).add(2.0);
+  registry.counter("alpha", {{"k", "1"}}).add(1.0);
+  const auto samples = registry.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(format_labels(samples[0].labels), "k=1");
+  EXPECT_EQ(samples[1].name, "alpha");
+  EXPECT_EQ(format_labels(samples[1].labels), "k=2");
+  EXPECT_EQ(samples[2].name, "zeta");
+  EXPECT_EQ(samples[2].kind, "gauge");
+}
+
+TEST(MetricsRegistry, JsonExportRoundTripsThroughParser) {
+  Registry registry;
+  registry.gauge("vgpu.sm_utilization", {{"mode", "serial"}}).set(0.75);
+  registry.histogram("depth", {1.0, 2.0}).observe(1.5);
+  const json::Value doc = json::parse(registry.to_json());
+  const auto& metrics = doc.at("metrics").as_array();
+  ASSERT_EQ(metrics.size(), 2u);
+  // Sorted by name: depth < vgpu.sm_utilization.
+  EXPECT_EQ(metrics[0].at("name").as_string(), "depth");
+  EXPECT_EQ(metrics[0].at("kind").as_string(), "histogram");
+  EXPECT_DOUBLE_EQ(metrics[0].at("count").as_number(), 1.0);
+  ASSERT_EQ(metrics[0].at("buckets").as_array().size(), 3u);
+  EXPECT_EQ(metrics[1].at("name").as_string(), "vgpu.sm_utilization");
+  EXPECT_DOUBLE_EQ(metrics[1].at("value").as_number(), 0.75);
+  EXPECT_EQ(metrics[1].at("labels").at("mode").as_string(), "serial");
+}
+
+TEST(MetricsRegistry, CsvExportHasHeaderAndOneRowPerField) {
+  Registry registry;
+  registry.counter("n", {{"a", "x,y"}}).add(2.0);
+  const std::string csv = registry.to_csv();
+  EXPECT_EQ(csv.rfind("name,kind,labels,field,value\n", 0), 0u);
+  // The comma inside the label value must be quoted.
+  EXPECT_NE(csv.find("\"a=x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("n,counter,"), std::string::npos);
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), core::CheckError);
+  EXPECT_THROW(json::parse("[1, 2,]"), core::CheckError);
+  EXPECT_THROW(json::parse("nulL"), core::CheckError);
+  EXPECT_THROW(json::parse("{}extra"), core::CheckError);
+}
+
+TEST(ObsJson, EscapeAndNumberFormatting) {
+  EXPECT_EQ(json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json::number(3.0), "3");
+  EXPECT_EQ(json::number(-41.0), "-41");
+  const json::Value v = json::parse(json::number(0.125));
+  EXPECT_DOUBLE_EQ(v.as_number(), 0.125);
+}
+
+}  // namespace
+}  // namespace fdet::obs

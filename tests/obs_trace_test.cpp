@@ -1,0 +1,212 @@
+// Trace exporter: Chrome trace-event JSON structure, stream/SM track
+// mapping against the scheduler's LaunchRecords, and the TraceSession
+// host-span / ambient-session machinery.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "obs/json.h"
+#include "vgpu/scheduler.h"
+
+namespace fdet::obs {
+namespace {
+
+vgpu::Launch make_launch(const vgpu::DeviceSpec& spec, const char* name,
+                         int blocks, int alu, int stream) {
+  vgpu::KernelConfig config{
+      .name = name, .grid = {blocks, 1, 1}, .block = {64, 1, 1}};
+  vgpu::LaunchCost cost = execute_kernel(
+      spec, config,
+      [alu](const vgpu::ThreadCoord&, vgpu::LaneCtx& ctx, vgpu::SharedMem&) {
+        ctx.alu(alu);
+      });
+  return vgpu::Launch{std::move(cost), stream};
+}
+
+vgpu::Timeline small_timeline(vgpu::ExecMode mode) {
+  vgpu::DeviceSpec spec;
+  std::vector<vgpu::Launch> launches;
+  launches.push_back(make_launch(spec, "scan", 4, 300, 0));
+  launches.push_back(make_launch(spec, "cascade_s0", 2, 500, 1));
+  launches.push_back(make_launch(spec, "cascade_s1", 2, 400, 2));
+  return schedule(spec, launches, mode);
+}
+
+TEST(TraceExporter, JsonParsesWithExpectedTopLevelShape) {
+  const auto events =
+      timeline_trace_events(small_timeline(vgpu::ExecMode::kConcurrent),
+                            /*pid=*/1, "frame");
+  const json::Value doc = json::parse(chrome_trace_json(events));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& trace_events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(trace_events.empty());
+  for (const json::Value& event : trace_events) {
+    const std::string& ph = event.at("ph").as_string();
+    EXPECT_TRUE(ph == "X" || ph == "C" || ph == "M");
+    if (ph != "M") {
+      EXPECT_GE(event.at("ts").as_number(), 0.0);
+    }
+    if (ph == "X") {
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+    }
+  }
+}
+
+TEST(TraceExporter, StreamTrackTidMatchesLaunchRecordStream) {
+  const vgpu::Timeline tl = small_timeline(vgpu::ExecMode::kConcurrent);
+  const auto events = timeline_trace_events(tl, /*pid=*/1, "frame");
+
+  // Count the kernels the schedule put on each stream...
+  std::map<int, int> expected;
+  for (const vgpu::LaunchRecord& record : tl.records) {
+    ++expected[record.stream];
+  }
+  // ...and the complete events the exporter put on each stream track.
+  std::map<int, int> actual;
+  std::map<int, std::string> kernel_name;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'X' && event.tid < kSmTrackBase) {
+      ++actual[event.tid];
+      kernel_name[event.tid] = event.name;
+    }
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(kernel_name[1], "cascade_s0");
+  EXPECT_EQ(kernel_name[2], "cascade_s1");
+}
+
+TEST(TraceExporter, TimestampsMonotonicPerTrack) {
+  for (const auto mode :
+       {vgpu::ExecMode::kSerial, vgpu::ExecMode::kConcurrent}) {
+    const auto events =
+        timeline_trace_events(small_timeline(mode), /*pid=*/1, "frame");
+    std::map<std::pair<int, int>, double> last_end;
+    for (const TraceEvent& event : events) {
+      if (event.phase != 'X') {
+        continue;
+      }
+      const std::pair<int, int> track{event.pid, event.tid};
+      const auto it = last_end.find(track);
+      if (it != last_end.end()) {
+        EXPECT_GE(event.ts_us, it->second)
+            << "track (" << track.first << "," << track.second
+            << ") overlaps itself";
+      }
+      last_end[track] = event.ts_us + event.dur_us;
+    }
+  }
+}
+
+TEST(TraceExporter, SerialAndConcurrentEmitIdenticalKernelEventCounts) {
+  const auto count_kernels = [](const std::vector<TraceEvent>& events) {
+    int n = 0;
+    for (const TraceEvent& event : events) {
+      n += (event.phase == 'X' && event.tid < kSmTrackBase);
+    }
+    return n;
+  };
+  const auto serial = timeline_trace_events(
+      small_timeline(vgpu::ExecMode::kSerial), 1, "serial");
+  const auto concurrent = timeline_trace_events(
+      small_timeline(vgpu::ExecMode::kConcurrent), 1, "concurrent");
+  EXPECT_EQ(count_kernels(serial), count_kernels(concurrent));
+  EXPECT_EQ(count_kernels(serial), 3);
+}
+
+TEST(TraceExporter, SmSpansCoverEveryRecordedBusySecond) {
+  const vgpu::Timeline tl = small_timeline(vgpu::ExecMode::kConcurrent);
+  double span_busy = 0.0;
+  for (const auto& spans : tl.sm_spans) {
+    for (const vgpu::SmSpan& span : spans) {
+      span_busy += span.end_s - span.start_s;
+    }
+  }
+  EXPECT_NEAR(span_busy, tl.sm_busy_s, 1e-12);
+}
+
+TEST(TraceExporter, BusySmCounterReturnsToZero) {
+  const auto events =
+      timeline_trace_events(small_timeline(vgpu::ExecMode::kConcurrent), 1,
+                            "frame");
+  double last = -1.0;
+  bool saw_any = false;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'C' && event.name == "busy_sms") {
+      saw_any = true;
+      ASSERT_EQ(event.num_args.size(), 1u);
+      last = event.num_args[0].second;
+      EXPECT_GE(last, 0.0);
+    }
+  }
+  ASSERT_TRUE(saw_any);
+  EXPECT_DOUBLE_EQ(last, 0.0);  // all SMs idle after the makespan
+}
+
+TEST(TraceSessionTest, SpansRecordCompleteEventsOnHostTrack) {
+  TraceSession session;
+  const std::size_t base = session.event_count();  // process_name metadata
+  {
+    auto outer = session.span("outer");
+    session.instant("marker");
+  }
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), base + 2);
+  EXPECT_EQ(events[base].phase, 'i');
+  EXPECT_EQ(events[base].name, "marker");
+  EXPECT_EQ(events[base + 1].phase, 'X');
+  EXPECT_EQ(events[base + 1].name, "outer");
+  EXPECT_EQ(events[base + 1].pid, 0);
+  EXPECT_GE(events[base + 1].dur_us, 0.0);
+}
+
+TEST(TraceSessionTest, ScopedSpanIsNoopWithoutAmbientSession) {
+  ASSERT_EQ(TraceSession::current(), nullptr);
+  { ScopedSpan span("ignored"); }  // must not crash or record anywhere
+
+  TraceSession session;
+  session.install();
+  EXPECT_EQ(TraceSession::current(), &session);
+  const std::size_t before = session.event_count();
+  { ScopedSpan span("captured"); }
+  EXPECT_EQ(session.event_count(), before + 1);
+  session.uninstall();
+  EXPECT_EQ(TraceSession::current(), nullptr);
+}
+
+TEST(TraceSessionTest, AddTimelineAssignsFreshPids) {
+  TraceSession session;
+  const int first =
+      session.add_timeline("a", small_timeline(vgpu::ExecMode::kSerial));
+  const int second =
+      session.add_timeline("b", small_timeline(vgpu::ExecMode::kConcurrent));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+  // The full document still parses as valid trace-event JSON.
+  const json::Value doc = json::parse(session.to_json());
+  EXPECT_GT(doc.at("traceEvents").as_array().size(), 6u);
+}
+
+TEST(TracePublish, TimelineMetricsLandInRegistry) {
+  Registry registry;
+  publish_timeline(registry, small_timeline(vgpu::ExecMode::kConcurrent),
+                   {{"mode", "concurrent"}});
+  const Labels labels = {{"mode", "concurrent"}};
+  EXPECT_GT(registry.gauge("vgpu.makespan_ms", labels).value(), 0.0);
+  EXPECT_GT(registry.gauge("vgpu.sm_utilization", labels).value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.counter("vgpu.kernel_launches", labels).value(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      registry
+          .histogram("vgpu.kernel_duration_ms",
+                     {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+                      20.0, 50.0},
+                     labels)
+          .count(),
+      3.0);
+}
+
+}  // namespace
+}  // namespace fdet::obs

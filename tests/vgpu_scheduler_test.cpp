@@ -226,5 +226,88 @@ TEST(Scheduler, BusySecondsSumBlockServiceTimes) {
   EXPECT_NEAR(tl.sm_busy_s, expected, 1e-15);
 }
 
+TEST(Scheduler, EmptyLaunchListYieldsDegenerateButFiniteTimeline) {
+  DeviceSpec spec;
+  const Timeline tl = schedule(spec, {}, ExecMode::kConcurrent);
+  EXPECT_TRUE(tl.records.empty());
+  EXPECT_DOUBLE_EQ(tl.makespan_s, 0.0);
+  EXPECT_DOUBLE_EQ(tl.utilization(), 0.0);  // no 0/0
+  EXPECT_TRUE(tl.records_by_stream().empty());
+  for (const auto& spans : tl.sm_spans) {
+    EXPECT_TRUE(spans.empty());
+  }
+}
+
+TEST(Scheduler, DefaultTimelineUtilizationIsZero) {
+  // A never-scheduled Timeline has sm_count == 0; utilization must not
+  // divide by it.
+  Timeline tl;
+  EXPECT_DOUBLE_EQ(tl.utilization(), 0.0);
+}
+
+TEST(Scheduler, SmSpansMatchRecordBounds) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 6, 500, 0));
+  launches.push_back(make_launch(spec, "b", 3, 700, 1));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  ASSERT_EQ(tl.sm_spans.size(), static_cast<std::size_t>(spec.sm_count));
+  for (const auto& spans : tl.sm_spans) {
+    for (const SmSpan& span : spans) {
+      ASSERT_GE(span.launch_index, 0);
+      ASSERT_LT(static_cast<std::size_t>(span.launch_index),
+                tl.records.size());
+      const LaunchRecord& record =
+          tl.records[static_cast<std::size_t>(span.launch_index)];
+      EXPECT_LT(span.start_s, span.end_s);
+      EXPECT_GE(span.start_s, record.start_s);
+      EXPECT_LE(span.end_s, record.end_s);
+    }
+  }
+}
+
+TEST(Scheduler, RecordsByStreamIndexesEveryRecordOnce) {
+  DeviceSpec spec;
+  std::vector<Launch> launches;
+  launches.push_back(make_launch(spec, "a", 2, 300, 1));
+  launches.push_back(make_launch(spec, "b", 2, 300, 0));
+  launches.push_back(make_launch(spec, "c", 2, 300, 1));
+  const Timeline tl = schedule(spec, launches, ExecMode::kConcurrent);
+  const auto by_stream = tl.records_by_stream();
+  std::size_t total = 0;
+  for (const auto& [stream, indices] : by_stream) {
+    double last_start = -1.0;
+    for (const std::size_t i : indices) {
+      EXPECT_EQ(tl.records[i].stream, stream);
+      EXPECT_GE(tl.records[i].start_s, last_start);  // sorted per stream
+      last_start = tl.records[i].start_s;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, tl.records.size());
+}
+
+TEST(PerfCountersGuards, RatiosStayFiniteOnDegenerateInputs) {
+  PerfCounters zero;
+  EXPECT_DOUBLE_EQ(zero.branch_efficiency(), 1.0);  // no branches: efficient
+  EXPECT_DOUBLE_EQ(zero.simd_efficiency(), 1.0);    // no issued cycles
+  EXPECT_DOUBLE_EQ(zero.dram_read_throughput(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(zero.dram_read_throughput(-1.0), 0.0);
+
+  PerfCounters inconsistent;
+  inconsistent.warp_branches = 2;
+  inconsistent.divergent_branches = 5;  // more divergent than total
+  EXPECT_DOUBLE_EQ(inconsistent.branch_efficiency(), 0.0);
+
+  PerfCounters overcounted;
+  overcounted.warp_issue_cycles = 1.0;
+  overcounted.lane_issue_cycles = 64.0;  // > 32 lanes' worth
+  EXPECT_DOUBLE_EQ(overcounted.simd_efficiency(), 1.0);
+
+  PerfCounters reads;
+  reads.global_read_bytes = 1000;
+  EXPECT_DOUBLE_EQ(reads.dram_read_throughput(0.5), 2000.0);
+}
+
 }  // namespace
 }  // namespace fdet::vgpu
