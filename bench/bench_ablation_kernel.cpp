@@ -76,6 +76,5 @@ int main(int argc, char** argv) {
   mem.print(std::cout);
   std::printf("\npaper: re-encoding into two 16-bit words is what lets the\n"
               "whole cascade live in constant memory for broadcast fetches.\n");
-  run.finish();
-  return 0;
+  return run.finish();
 }

@@ -6,15 +6,19 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/check.h"
 #include "core/cli.h"
 #include "core/stopwatch.h"
 #include "core/table.h"
 #include "detect/pipeline.h"
+#include "obs/compare.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/runrecord.h"
 #include "obs/trace.h"
 #include "train/pretrained.h"
 #include "video/decoder.h"
@@ -39,29 +43,45 @@ inline void print_header(const char* artifact, const char* description) {
 }
 
 /// Machine-readable run record shared by every bench binary: a metrics
-/// registry plus an ambient trace session, written to the paths given by
-/// the --trace-out / --metrics-out flags (nothing is written when a flag
-/// is unset). Construct before parsing, register flags via add_flags, and
-/// call finish() after the printed tables:
+/// registry per measurement repeat plus an ambient trace session.
+/// Construct before parsing, register flags via add_flags, and return
+/// finish()'s exit code after the printed tables:
 ///
 ///   bench::RunRecorder run("fig6");
 ///   core::Cli cli("bench_fig6_kernel_trace");
 ///   run.add_flags(cli);
 ///   ...
-///   obs::publish_timeline(run.metrics(), tl, {{"mode", "concurrent"}});
-///   run.add_timeline("concurrent", tl);
-///   run.finish();
+///   for (int rep = 0; rep < run.repeats(); ++rep) {
+///     run.begin_repeat(rep);
+///     obs::publish_timeline(run.metrics(), tl, {{"mode", "concurrent"}});
+///     if (rep == 0) run.add_timeline("concurrent", tl);
+///   }
+///   return run.finish();
 ///
-/// The trace session is installed as the ambient obs::TraceSession for
-/// the binary's lifetime, so library-internal spans (pipeline stages,
-/// boosting rounds) land in the trace automatically. finish() re-parses
-/// whatever it wrote — an invalid artifact fails loudly, which is what
-/// the ctest smoke target relies on.
+/// Artifacts:
+///   --trace-out         Chrome/Perfetto trace (ambient TraceSession; the
+///                       binary's lifetime, so library-internal spans land
+///                       automatically)
+///   --metrics-out       metrics registry of the *last* repeat (JSON/CSV)
+///   --record-out        obs::RunRecord aggregating all repeats (median +
+///                       MAD per series); defaults to BENCH_<artifact>.json
+///                       in the working directory, empty disables
+///   --repeat            measurement repetitions folded into the record
+///   --baseline          gate this run against a stored record
+///                       (obs::compare_runs); finish() returns 2 on
+///                       regression so the binary's exit status fails CI
+///   --update-baseline   rewrite --baseline from this run instead of gating
+///
+/// finish() re-parses whatever it wrote — an invalid artifact fails
+/// loudly, which is what the ctest smoke targets rely on.
 class RunRecorder {
  public:
-  explicit RunRecorder(std::string artifact) : artifact_(std::move(artifact)) {
+  explicit RunRecorder(std::string artifact)
+      : artifact_(std::move(artifact)),
+        record_out_(obs::run_record_path(artifact_)) {
     session_.install();
-    metrics_.gauge("bench.schema_version").set(1.0);
+    repeats_.push_back(std::make_unique<obs::Registry>());
+    metrics().gauge("bench.schema_version").set(1.0);
   }
 
   ~RunRecorder() { session_.uninstall(); }
@@ -71,10 +91,41 @@ class RunRecorder {
              "write a Chrome/Perfetto trace-event JSON file");
     cli.flag("metrics-out", metrics_out_,
              "write run metrics (JSON, or CSV when the path ends in .csv)");
+    cli.flag("record-out", record_out_,
+             "run-record path (empty disables writing)");
+    cli.flag("repeat", repeat_,
+             "measurement repetitions aggregated into the run record");
+    cli.flag("baseline", baseline_,
+             "baseline run record to gate this run against");
+    cli.flag("update-baseline", update_baseline_,
+             "rewrite --baseline from this run instead of gating");
+    cli.flag("variant", variant_,
+             "configuration variant stamped into the run record");
   }
 
-  obs::Registry& metrics() { return metrics_; }
+  /// Effective repetition count (>= 1 regardless of the flag value).
+  int repeats() const { return repeat_ < 1 ? 1 : repeat_; }
+
+  /// Registry of the current repeat. Call sites that don't loop keep
+  /// publishing into repeat 0, exactly the pre-repeat behavior.
+  obs::Registry& metrics() { return *repeats_.back(); }
   obs::TraceSession& trace() { return session_; }
+
+  /// Starts measurement repetition `rep` (0-based): rep 0 reuses the
+  /// registry that exists from construction, later reps get a fresh one
+  /// so counters/gauges are per-repeat samples. Benches typically print
+  /// their tables only when rep == 0.
+  void begin_repeat(int rep) {
+    FDET_CHECK(rep == static_cast<int>(repeats_.size()) - 1 || rep == static_cast<int>(repeats_.size()))
+        << "begin_repeat(" << rep << ") out of order";
+    if (rep == 0) {
+      return;
+    }
+    if (rep == static_cast<int>(repeats_.size())) {
+      repeats_.push_back(std::make_unique<obs::Registry>());
+      metrics().gauge("bench.schema_version").set(1.0);
+    }
+  }
 
   /// True when --trace-out was given; use to skip building large device
   /// tracks no one will read.
@@ -93,9 +144,18 @@ class RunRecorder {
     }
   }
 
-  /// Writes the requested artifacts and validates them by re-parsing.
-  void finish() {
-    metrics_.gauge("bench.wall_seconds").set(watch_.elapsed_seconds());
+  /// Writes the requested artifacts (validating each by re-parsing) and
+  /// runs the baseline gate. Returns the process exit code: 0, or 2 when
+  /// --baseline comparison found a regressed or missing metric.
+  int finish() {
+    // A bench that accepts --repeat but never runs the begin_repeat()
+    // loop would silently write a 1-repeat record claiming fewer
+    // samples than the user asked for; refuse instead.
+    FDET_CHECK(static_cast<int>(repeats_.size()) == repeats())
+        << "--repeat=" << repeat_ << " requested but " << artifact_
+        << " recorded " << repeats_.size()
+        << " repeat(s); this bench does not implement the repeat loop";
+    metrics().gauge("bench.wall_seconds").set(watch_.elapsed_seconds());
     if (!trace_out_.empty()) {
       session_.write_file(trace_out_);
       const obs::json::Value trace = obs::json::parse_file(trace_out_);
@@ -106,7 +166,7 @@ class RunRecorder {
                   trace.at("traceEvents").as_array().size());
     }
     if (!metrics_out_.empty()) {
-      metrics_.write_file(metrics_out_);
+      metrics().write_file(metrics_out_);
       if (metrics_out_.size() < 4 ||
           metrics_out_.compare(metrics_out_.size() - 4, 4, ".csv") != 0) {
         const obs::json::Value doc = obs::json::parse_file(metrics_out_);
@@ -114,15 +174,53 @@ class RunRecorder {
             << "metrics '" << metrics_out_ << "' is empty";
       }
       std::printf("[%s] metrics written to %s (%zu series)\n",
-                  artifact_.c_str(), metrics_out_.c_str(), metrics_.size());
+                  artifact_.c_str(), metrics_out_.c_str(), metrics().size());
     }
+
+    std::vector<const obs::Registry*> registries;
+    for (const auto& registry : repeats_) {
+      registries.push_back(registry.get());
+    }
+    const obs::RunRecord record =
+        obs::build_run_record(artifact_, variant_, {}, registries);
+    if (!record_out_.empty()) {
+      record.write_file(record_out_);
+      const obs::RunRecord reparsed = obs::RunRecord::load_file(record_out_);
+      FDET_CHECK(!reparsed.metrics.empty())
+          << "run record '" << record_out_ << "' has no series";
+      std::printf("[%s] run record written to %s (%zu series, %d repeat%s)\n",
+                  artifact_.c_str(), record_out_.c_str(),
+                  reparsed.metrics.size(), reparsed.repeats,
+                  reparsed.repeats == 1 ? "" : "s");
+    }
+    if (update_baseline_) {
+      FDET_CHECK(!baseline_.empty()) << "--update-baseline needs --baseline";
+      record.write_file(baseline_);
+      std::printf("[%s] baseline updated: %s\n", artifact_.c_str(),
+                  baseline_.c_str());
+      return 0;
+    }
+    if (!baseline_.empty()) {
+      const obs::RunRecord baseline = obs::RunRecord::load_file(baseline_);
+      const obs::CompareReport report = obs::compare_runs(baseline, record);
+      std::printf("\n[%s] baseline gate vs %s:\n%s", artifact_.c_str(),
+                  baseline_.c_str(),
+                  obs::render_text_report(report).c_str());
+      return report.ok() ? 0 : 2;
+    }
+    return 0;
   }
 
  private:
   std::string artifact_;
+  std::string variant_ = "default";
   std::string trace_out_;
   std::string metrics_out_;
-  obs::Registry metrics_;
+  std::string record_out_;
+  std::string baseline_;
+  bool update_baseline_ = false;
+  int repeat_ = 1;
+  std::vector<std::unique_ptr<obs::Registry>> repeats_;
   obs::TraceSession session_;
   core::Stopwatch watch_;
 };

@@ -82,6 +82,5 @@ int main(int argc, char** argv) {
   serial.publish_metrics(run.metrics(), {{"mode", "serial"}});
   run.add_timeline("concurrent", concurrent.timeline);
   run.add_timeline("serial", serial.timeline);
-  run.finish();
-  return 0;
+  return run.finish();
 }

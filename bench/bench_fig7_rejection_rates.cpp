@@ -115,6 +115,5 @@ int main(int argc, char** argv) {
         .set(static_cast<double>(pooled[static_cast<std::size_t>(d)]) /
              static_cast<double>(total));
   }
-  run.finish();
-  return 0;
+  return run.finish();
 }

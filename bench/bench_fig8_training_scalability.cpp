@@ -73,6 +73,5 @@ int main(int argc, char** argv) {
     measured.add_row({std::to_string(t), core::Table::num(seconds, 3)});
   }
   measured.print(std::cout);
-  run.finish();
-  return 0;
+  return run.finish();
 }

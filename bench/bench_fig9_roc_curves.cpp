@@ -79,6 +79,5 @@ int main(int argc, char** argv) {
   std::printf("paper: with 15 stages both cascades emit thousands of FPs;\n"
               "deeper cascades shrink FPs dramatically, and ours generally\n"
               "outperforms the OpenCV set despite having half the filters.\n");
-  rec.finish();
-  return 0;
+  return rec.finish();
 }

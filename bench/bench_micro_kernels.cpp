@@ -177,6 +177,5 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   benchmark::Shutdown();
-  run.finish();
-  return 0;
+  return run.finish();
 }

@@ -93,6 +93,5 @@ int main(int argc, char** argv) {
   std::printf("\nthe soft cascade rejects at every weak classifier instead\n"
               "of at stage boundaries, trimming the per-window workload at\n"
               "matched hit rates (Bourdev & Brandt, the paper's ref [32]).\n");
-  run.finish();
-  return 0;
+  return run.finish();
 }

@@ -54,6 +54,5 @@ int main(int argc, char** argv) {
               "benches size their workload with the paper's totals.\n");
   run.metrics().gauge("haar.combinations_total")
       .set(static_cast<double>(total_ours));
-  run.finish();
-  return 0;
+  return run.finish();
 }

@@ -153,6 +153,5 @@ int main(int argc, char** argv) {
     metrics.gauge("bench.cascade_dram_read_mbps", {{"bound", "max"}})
         .set(dram_max / 1e6);
   }
-  run.finish();
-  return 0;
+  return run.finish();
 }

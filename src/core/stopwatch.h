@@ -1,8 +1,16 @@
 // Wall-clock stopwatch for host-side measurements. Virtual-GPU time is a
 // separate concept (vgpu::Timeline); keep the two clearly apart.
+//
+// Built on std::chrono::steady_clock deliberately: recorded bench samples
+// (obs::RunRecord) feed the regression gate, and a wall-clock jump (NTP
+// step, suspend/resume under system_clock) would corrupt them. Readings
+// additionally FDET_CHECK monotonicity so a broken clock fails loudly
+// instead of poisoning a baseline.
 #pragma once
 
 #include <chrono>
+
+#include "core/check.h"
 
 namespace fdet::core {
 
@@ -13,13 +21,16 @@ class Stopwatch {
   void reset() { start_ = Clock::now(); }
 
   double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    const Clock::time_point now = Clock::now();
+    FDET_CHECK(now >= start_) << "steady clock went backwards";
+    return std::chrono::duration<double>(now - start_).count();
   }
 
   double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "bench timing requires a monotonic clock");
   Clock::time_point start_;
 };
 

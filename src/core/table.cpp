@@ -43,6 +43,33 @@ void Table::print(std::ostream& out) const {
   }
 }
 
+void Table::print_markdown(std::ostream& out) const {
+  const auto cell = [](const std::string& text) {
+    std::string escaped;
+    for (const char c : text) {
+      if (c == '|') {
+        escaped += '\\';
+      }
+      escaped += c;
+    }
+    return escaped;
+  };
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "|";
+    for (const auto& c : rows_[r]) {
+      out << " " << cell(c) << " |";
+    }
+    out << "\n";
+    if (r == 0) {
+      out << "|";
+      for (std::size_t c = 0; c < rows_.front().size(); ++c) {
+        out << "---|";
+      }
+      out << "\n";
+    }
+  }
+}
+
 std::string Table::num(double value, int digits) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(digits) << value;

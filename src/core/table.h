@@ -18,6 +18,11 @@ class Table {
   /// Renders with column alignment and a header rule.
   void print(std::ostream& out) const;
 
+  /// Renders as a GitHub-flavored markdown table (`| a | b |` rows with a
+  /// `|---|` rule), pipe characters in cells escaped. fdet_report uses
+  /// this to emit EXPERIMENTS.md-style tables.
+  void print_markdown(std::ostream& out) const;
+
   /// Formats a double with `digits` decimal places.
   static std::string num(double value, int digits = 2);
 

@@ -1,0 +1,215 @@
+#include "obs/compare.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace fdet::obs {
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kImproved:  return "improved";
+    case Verdict::kUnchanged: return "unchanged";
+    case Verdict::kRegressed: return "regressed";
+    case Verdict::kMissing:   return "missing";
+    case Verdict::kNew:       return "new";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool contains_any(std::string_view haystack,
+                  std::initializer_list<const char*> needles) {
+  for (const char* needle : needles) {
+    if (haystack.find(needle) != std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int severity(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kRegressed: return 0;
+    case Verdict::kMissing:   return 1;
+    case Verdict::kImproved:  return 2;
+    case Verdict::kNew:       return 3;
+    case Verdict::kUnchanged: return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+Direction metric_direction(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  // Higher-is-better keywords first: "dram_read_gbps" must not fall into
+  // the lower-is-better bucket via some other substring.
+  if (contains_any(lower, {"efficiency", "utilization", "throughput", "gbps",
+                           "speedup", "fps", "tpr", "advantage"})) {
+    return Direction::kHigherIsBetter;
+  }
+  if (contains_any(lower, {"_ms", "_seconds", "latency", "makespan",
+                           "duration", "violations", "_time"}) ||
+      ends_with(lower, "_s") || ends_with(lower, "_s.sum")) {
+    return Direction::kLowerIsBetter;
+  }
+  return Direction::kExact;
+}
+
+CompareReport compare_runs(const RunRecord& baseline, const RunRecord& current,
+                           const CompareOptions& options) {
+  FDET_CHECK(options.relative_threshold >= 0.0 && options.mad_multiplier >= 0.0)
+      << "compare thresholds must be non-negative";
+  const auto ignored = [&](const std::string& name) {
+    for (const std::string& needle : options.ignore) {
+      if (name.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  CompareReport report;
+  for (const MetricSeries& base : baseline.metrics) {
+    if (ignored(base.name)) {
+      continue;
+    }
+    MetricVerdict v;
+    v.name = base.name;
+    v.labels = base.labels;
+    v.direction = metric_direction(base.name);
+    v.baseline_median = base.median;
+
+    const MetricSeries* cur = current.find(base.name, base.labels);
+    if (cur == nullptr) {
+      v.verdict = Verdict::kMissing;
+      ++report.missing;
+      report.verdicts.push_back(std::move(v));
+      continue;
+    }
+    v.current_median = cur->median;
+
+    const bool base_finite = std::isfinite(base.median);
+    const bool cur_finite = std::isfinite(cur->median);
+    if (!base_finite || !cur_finite) {
+      // Both degenerate: nothing moved. One degenerate: a metric became
+      // (or stopped being) computable — treat as a regression either way.
+      v.verdict = (base_finite == cur_finite) ? Verdict::kUnchanged
+                                              : Verdict::kRegressed;
+    } else {
+      const double delta = cur->median - base.median;
+      v.relative_change =
+          base.median == 0.0 ? 0.0 : delta / std::fabs(base.median);
+      v.band = std::max(
+          {options.relative_threshold * std::fabs(base.median),
+           options.mad_multiplier * std::max(base.mad, cur->mad),
+           options.absolute_floor});
+      if (std::fabs(delta) <= v.band) {
+        v.verdict = Verdict::kUnchanged;
+      } else {
+        switch (v.direction) {
+          case Direction::kLowerIsBetter:
+            v.verdict = delta < 0.0 ? Verdict::kImproved : Verdict::kRegressed;
+            break;
+          case Direction::kHigherIsBetter:
+            v.verdict = delta > 0.0 ? Verdict::kImproved : Verdict::kRegressed;
+            break;
+          case Direction::kExact:
+            v.verdict = Verdict::kRegressed;
+            break;
+        }
+      }
+    }
+    switch (v.verdict) {
+      case Verdict::kImproved:  ++report.improved; break;
+      case Verdict::kUnchanged: ++report.unchanged; break;
+      case Verdict::kRegressed: ++report.regressed; break;
+      default: break;
+    }
+    report.verdicts.push_back(std::move(v));
+  }
+
+  for (const MetricSeries& cur : current.metrics) {
+    if (ignored(cur.name) ||
+        baseline.find(cur.name, cur.labels) != nullptr) {
+      continue;
+    }
+    MetricVerdict v;
+    v.name = cur.name;
+    v.labels = cur.labels;
+    v.verdict = Verdict::kNew;
+    v.direction = metric_direction(cur.name);
+    v.current_median = cur.median;
+    ++report.added;
+    report.verdicts.push_back(std::move(v));
+  }
+
+  std::stable_sort(report.verdicts.begin(), report.verdicts.end(),
+                   [](const MetricVerdict& a, const MetricVerdict& b) {
+                     if (severity(a.verdict) != severity(b.verdict)) {
+                       return severity(a.verdict) < severity(b.verdict);
+                     }
+                     if (a.name != b.name) {
+                       return a.name < b.name;
+                     }
+                     return format_labels(a.labels) < format_labels(b.labels);
+                   });
+  return report;
+}
+
+std::string describe(const MetricVerdict& v) {
+  char buf[256];
+  std::string id = v.name;
+  const std::string labels = format_labels(v.labels);
+  if (!labels.empty()) {
+    id += "{" + labels + "}";
+  }
+  switch (v.verdict) {
+    case Verdict::kMissing:
+      std::snprintf(buf, sizeof buf, "%-9s  %s  (baseline %.6g)",
+                    verdict_name(v.verdict), id.c_str(), v.baseline_median);
+      break;
+    case Verdict::kNew:
+      std::snprintf(buf, sizeof buf, "%-9s  %s  (current %.6g)",
+                    verdict_name(v.verdict), id.c_str(), v.current_median);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf,
+                    "%-9s  %s  %.6g -> %.6g  (%+.1f%%, band %.3g)",
+                    verdict_name(v.verdict), id.c_str(), v.baseline_median,
+                    v.current_median, v.relative_change * 100.0, v.band);
+  }
+  return buf;
+}
+
+std::string render_text_report(const CompareReport& report,
+                               bool include_unchanged) {
+  std::ostringstream out;
+  for (const MetricVerdict& v : report.verdicts) {
+    if (!include_unchanged && v.verdict == Verdict::kUnchanged) {
+      continue;
+    }
+    out << describe(v) << "\n";
+  }
+  out << "verdicts: " << report.regressed << " regressed, " << report.missing
+      << " missing, " << report.improved << " improved, " << report.added
+      << " new, " << report.unchanged << " unchanged — "
+      << (report.ok() ? "OK" : "GATE FAILED") << "\n";
+  return out.str();
+}
+
+}  // namespace fdet::obs

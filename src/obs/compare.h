@@ -1,0 +1,104 @@
+// Statistical baseline comparison for benchmark run records: the gating
+// half of the observability loop.
+//
+// compare_runs() walks every metric series of a baseline RunRecord,
+// matches it against the current record by (name, labels) identity, and
+// issues one of the paper-evaluation verdicts:
+//
+//   improved    median shifted beyond the noise band, in the good
+//               direction for this metric
+//   unchanged   median shift within the noise band
+//   regressed   shift beyond the band in the bad direction — or any
+//               shift of a direction-neutral (exact) metric, since the
+//               virtual-GPU quantities are deterministic and drift means
+//               behavior changed
+//   missing     series present in the baseline, absent from the run
+//   new         series only the current run has (informational)
+//
+// The noise band combines a relative threshold (default 10 %, the kind
+// of margin the paper's Table II ratios carry) with a multiple of the
+// repeats' median absolute deviation, so host-noisy metrics need a
+// genuinely large shift while deterministic virtual metrics gate tightly.
+// `fdet_report diff` and bench::RunRecorder's --baseline flag both sit on
+// top of this and exit non-zero when CompareReport::ok() is false.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/runrecord.h"
+
+namespace fdet::obs {
+
+enum class Verdict { kImproved, kUnchanged, kRegressed, kMissing, kNew };
+
+/// Lower-case verdict label ("improved", ...), stable for reports/tests.
+const char* verdict_name(Verdict verdict);
+
+/// Which way a metric is allowed to move without being a regression.
+enum class Direction {
+  kLowerIsBetter,   ///< latencies, makespans, deadline violations
+  kHigherIsBetter,  ///< efficiencies, throughputs, speedups, TPR
+  kExact,           ///< deterministic quantities; any drift regresses
+};
+
+/// Infers the direction from the metric name (substring conventions used
+/// across src/obs and the bench binaries: "_ms"/"latency"/"makespan" are
+/// lower-is-better, "efficiency"/"throughput"/"speedup"/"tpr" higher).
+/// Unrecognized names are kExact.
+Direction metric_direction(std::string_view name);
+
+struct CompareOptions {
+  /// Relative shift tolerated before a verdict: |Δ| <= rel * |baseline|.
+  double relative_threshold = 0.10;
+  /// Noise band as a multiple of max(baseline MAD, current MAD).
+  double mad_multiplier = 3.0;
+  /// Absolute floor so near-zero medians don't gate on rounding dust.
+  double absolute_floor = 1e-9;
+  /// Series whose name contains any of these substrings are skipped
+  /// entirely (host wall time is run-to-run noise, not a bench
+  /// regression).
+  std::vector<std::string> ignore = {"bench.wall_seconds", "host_wall"};
+};
+
+struct MetricVerdict {
+  std::string name;
+  Labels labels;
+  Verdict verdict = Verdict::kUnchanged;
+  Direction direction = Direction::kExact;
+  double baseline_median = 0.0;
+  double current_median = 0.0;
+  /// (current - baseline) / |baseline|; 0 when the baseline median is 0
+  /// or either side is non-finite.
+  double relative_change = 0.0;
+  double band = 0.0;  ///< absolute tolerance that was applied
+};
+
+struct CompareReport {
+  /// Sorted most-severe first: regressed, missing, improved, new,
+  /// unchanged; by (name, labels) within a severity class.
+  std::vector<MetricVerdict> verdicts;
+  int improved = 0;
+  int unchanged = 0;
+  int regressed = 0;
+  int missing = 0;
+  int added = 0;
+
+  /// The gate: true when nothing regressed and nothing went missing.
+  bool ok() const { return regressed == 0 && missing == 0; }
+};
+
+CompareReport compare_runs(const RunRecord& baseline, const RunRecord& current,
+                           const CompareOptions& options = {});
+
+/// One human-readable line, e.g.
+/// `regressed  vgpu.makespan_ms{mode=concurrent}  4.000 -> 4.800  (+20.0%, band 0.400)`.
+std::string describe(const MetricVerdict& verdict);
+
+/// Multi-line report: every non-unchanged verdict (all of them with
+/// `include_unchanged`) plus a summary count line.
+std::string render_text_report(const CompareReport& report,
+                               bool include_unchanged = false);
+
+}  // namespace fdet::obs

@@ -39,7 +39,10 @@ std::string escape(std::string_view text) {
 
 std::string number(double value) {
   if (!std::isfinite(value)) {
-    return "0";
+    // NaN/Inf are invalid JSON. `null` keeps the document parseable and
+    // keeps the degeneracy visible (a silent 0 would read as "0 ms");
+    // Value::parse and RunRecord::from_json map it back to NaN.
+    return "null";
   }
   if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
     char buf[32];

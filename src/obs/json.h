@@ -21,7 +21,9 @@ std::string escape(std::string_view text);
 
 /// Formats a finite double compactly: integral values print without a
 /// fractional part, others with enough digits to round-trip. NaN and
-/// infinities (invalid JSON) are emitted as 0.
+/// infinities (invalid JSON) are emitted as `null` — deterministic, still
+/// parseable, and visibly degenerate (unlike a silent 0). Readers that
+/// expect a number treat the null as NaN (see RunRecord::from_json).
 std::string number(double value);
 
 /// Parsed JSON value. Objects preserve insertion order of the source text.

@@ -62,13 +62,21 @@ class Gauge {
   double value_ = 0.0;
 };
 
+// Bucket-count convention (applies to every exported surface): bucket
+// counts are CUMULATIVE, Prometheus-style — element i is the count of
+// observations <= bounds()[i], the final element (the implicit +inf
+// bucket) equals count(). This holds for Histogram::bucket_counts(),
+// Registry::Sample::bucket_counts, the JSON "buckets" array and the CSV
+// `le_*` rows. Only the private accumulation buffer `counts_` stores
+// per-bucket (non-cumulative) increments; it is never exported.
 class Histogram {
  public:
   /// Records `count` observations of `value`.
   void observe(double value, double count = 1.0);
   double sum() const;
   double count() const;
-  /// Cumulative count of observations <= bounds()[i].
+  /// Cumulative: element i counts observations <= bounds()[i]; the last
+  /// element (implicit +inf bucket) equals count().
   std::vector<double> bucket_counts() const;
   const std::vector<double>& bounds() const { return bounds_; }
 
@@ -77,7 +85,10 @@ class Histogram {
   Histogram(Registry* registry, std::vector<double> bounds);
   Registry* registry_;
   std::vector<double> bounds_;   ///< ascending upper bounds; +inf implicit
-  std::vector<double> counts_;   ///< per-bucket (non-cumulative), last = +inf
+  /// Per-bucket accumulation buffer (last slot = +inf bucket). Internal
+  /// only: every exported view converts to cumulative counts (see the
+  /// class comment).
+  std::vector<double> counts_;
   double sum_ = 0.0;
   double count_ = 0.0;
 };
@@ -110,7 +121,9 @@ class Registry {
     double value = 0.0;               ///< counter/gauge value, histogram sum
     double count = 0.0;               ///< histogram only
     std::vector<double> bounds;       ///< histogram only
-    std::vector<double> bucket_counts;///< histogram only (cumulative)
+    /// Histogram only; cumulative (element i = observations <=
+    /// bounds[i], last = total), matching Histogram::bucket_counts().
+    std::vector<double> bucket_counts;
   };
 
   /// Deterministic snapshot, sorted by (name, labels).

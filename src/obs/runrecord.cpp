@@ -1,0 +1,211 @@
+#include "obs/runrecord.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "core/check.h"
+
+namespace fdet::obs {
+
+double median_of(std::vector<double> values) {
+  FDET_CHECK(!values.empty()) << "median of empty sample set";
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) {
+    return upper;
+  }
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + mid);
+  return (lower + upper) / 2.0;
+}
+
+double mad_of(const std::vector<double>& values, double center) {
+  FDET_CHECK(!values.empty()) << "MAD of empty sample set";
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) {
+    deviations.push_back(std::fabs(v - center));
+  }
+  return median_of(std::move(deviations));
+}
+
+const MetricSeries* RunRecord::find(std::string_view name,
+                                    const Labels& labels) const {
+  const std::string label_key = format_labels(labels);
+  for (const MetricSeries& series : metrics) {
+    if (series.name == name && format_labels(series.labels) == label_key) {
+      return &series;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+json::Value labels_to_json(const Labels& labels) {
+  json::Value::Object members;
+  for (const auto& [key, value] : labels) {
+    members.emplace_back(key, json::Value::make_string(value));
+  }
+  return json::Value::make_object(std::move(members));
+}
+
+Labels labels_from_json(const json::Value& value) {
+  Labels labels;
+  for (const auto& [key, member] : value.as_object()) {
+    labels.emplace_back(key, member.as_string());
+  }
+  return labels;
+}
+
+/// Numbers parse as themselves; `null` (how json::number serializes
+/// non-finite values) parses back as NaN.
+double number_or_nan(const json::Value& value) {
+  return value.is_null() ? std::nan("") : value.as_number();
+}
+
+}  // namespace
+
+json::Value RunRecord::to_json() const {
+  json::Value::Array series_array;
+  for (const MetricSeries& series : metrics) {
+    json::Value::Object m;
+    m.emplace_back("name", json::Value::make_string(series.name));
+    m.emplace_back("kind", json::Value::make_string(series.kind));
+    m.emplace_back("labels", labels_to_json(series.labels));
+    json::Value::Array samples;
+    for (const double sample : series.samples) {
+      samples.push_back(json::Value::make_number(sample));
+    }
+    m.emplace_back("samples", json::Value::make_array(std::move(samples)));
+    m.emplace_back("median", json::Value::make_number(series.median));
+    m.emplace_back("mad", json::Value::make_number(series.mad));
+    series_array.push_back(json::Value::make_object(std::move(m)));
+  }
+  json::Value::Object doc;
+  doc.emplace_back("schema_version",
+                   json::Value::make_number(schema_version));
+  doc.emplace_back("artifact", json::Value::make_string(artifact));
+  doc.emplace_back("variant", json::Value::make_string(variant));
+  doc.emplace_back("repeats", json::Value::make_number(repeats));
+  doc.emplace_back("labels", labels_to_json(labels));
+  doc.emplace_back("metrics", json::Value::make_array(std::move(series_array)));
+  return json::Value::make_object(std::move(doc));
+}
+
+std::string RunRecord::dump() const { return to_json().dump(); }
+
+void RunRecord::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  FDET_CHECK(out.good()) << "cannot write run record '" << path << "'";
+  out << dump() << "\n";
+  FDET_CHECK(out.good()) << "error writing run record '" << path << "'";
+}
+
+RunRecord RunRecord::from_json(const json::Value& doc) {
+  RunRecord record;
+  record.schema_version = static_cast<int>(doc.at("schema_version").as_number());
+  FDET_CHECK(record.schema_version == kRunRecordSchemaVersion)
+      << "run record schema_version " << record.schema_version
+      << " (this build reads version " << kRunRecordSchemaVersion << ")";
+  record.artifact = doc.at("artifact").as_string();
+  FDET_CHECK(!record.artifact.empty()) << "run record has an empty artifact";
+  record.variant = doc.at("variant").as_string();
+  record.repeats = static_cast<int>(doc.at("repeats").as_number());
+  FDET_CHECK(record.repeats >= 1)
+      << "run record claims " << record.repeats << " repeats";
+  record.labels = labels_from_json(doc.at("labels"));
+  for (const json::Value& entry : doc.at("metrics").as_array()) {
+    MetricSeries series;
+    series.name = entry.at("name").as_string();
+    FDET_CHECK(!series.name.empty()) << "run record series without a name";
+    series.kind = entry.at("kind").as_string();
+    series.labels = labels_from_json(entry.at("labels"));
+    for (const json::Value& sample : entry.at("samples").as_array()) {
+      series.samples.push_back(number_or_nan(sample));
+    }
+    FDET_CHECK(!series.samples.empty())
+        << "series '" << series.name << "' has no samples";
+    series.median = number_or_nan(entry.at("median"));
+    series.mad = number_or_nan(entry.at("mad"));
+    record.metrics.push_back(std::move(series));
+  }
+  return record;
+}
+
+RunRecord RunRecord::parse(std::string_view text) {
+  return from_json(json::parse(text));
+}
+
+RunRecord RunRecord::load_file(const std::string& path) {
+  return from_json(json::parse_file(path));
+}
+
+RunRecord build_run_record(std::string artifact, std::string variant,
+                           Labels labels,
+                           const std::vector<const Registry*>& repeats) {
+  FDET_CHECK(!repeats.empty()) << "run record needs at least one repeat";
+  RunRecord record;
+  record.artifact = std::move(artifact);
+  record.variant = std::move(variant);
+  record.labels = std::move(labels);
+  record.repeats = static_cast<int>(repeats.size());
+
+  // (name, formatted labels) -> series, accumulated in repeat order. The
+  // map keeps the record sorted the same way Registry::samples() is.
+  std::map<std::pair<std::string, std::string>, MetricSeries> series_map;
+  const auto append = [&](const std::string& name, const std::string& kind,
+                          const Labels& sample_labels, double value) {
+    const auto key = std::make_pair(name, format_labels(sample_labels));
+    MetricSeries& series = series_map[key];
+    if (series.name.empty()) {
+      series.name = name;
+      series.kind = kind;
+      series.labels = sample_labels;
+    }
+    FDET_CHECK(series.kind == kind)
+        << "series '" << name << "' changed kind across repeats";
+    series.samples.push_back(value);
+  };
+  for (const Registry* registry : repeats) {
+    FDET_CHECK(registry != nullptr);
+    for (const Registry::Sample& sample : registry->samples()) {
+      if (sample.kind == "histogram") {
+        append(sample.name + ".sum", "histogram_sum", sample.labels,
+               sample.value);
+        append(sample.name + ".count", "histogram_count", sample.labels,
+               sample.count);
+      } else {
+        append(sample.name, sample.kind, sample.labels, sample.value);
+      }
+    }
+  }
+
+  for (auto& [key, series] : series_map) {
+    std::vector<double> finite;
+    for (const double v : series.samples) {
+      if (std::isfinite(v)) {
+        finite.push_back(v);
+      }
+    }
+    if (finite.empty()) {
+      series.median = std::nan("");
+      series.mad = std::nan("");
+    } else {
+      series.median = median_of(finite);
+      series.mad = mad_of(finite, series.median);
+    }
+    record.metrics.push_back(std::move(series));
+  }
+  return record;
+}
+
+std::string run_record_path(const std::string& artifact) {
+  return "BENCH_" + artifact + ".json";
+}
+
+}  // namespace fdet::obs

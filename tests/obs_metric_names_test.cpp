@@ -1,0 +1,107 @@
+// Metric-name stability: baseline comparison (obs::compare_runs) matches
+// series by exact name, so an accidental rename in publish_timeline() or
+// FrameResult::publish_metrics() would silently turn every stored
+// BENCH_*.json baseline into "missing" verdicts. This golden list makes
+// a rename a test failure instead. When a rename is intentional, update
+// the list here, the EXPERIMENTS.md metric table, and regenerate the
+// committed BENCH_*.json records.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "vgpu/kernel.h"
+#include "vgpu/scheduler.h"
+
+namespace fdet::obs {
+namespace {
+
+vgpu::Timeline tiny_timeline() {
+  vgpu::DeviceSpec spec;
+  vgpu::KernelConfig config{
+      .name = "cascade_s0", .grid = {2, 1, 1}, .block = {64, 1, 1}};
+  vgpu::LaunchCost cost = execute_kernel(
+      spec, config,
+      [](const vgpu::ThreadCoord&, vgpu::LaneCtx& ctx, vgpu::SharedMem&) {
+        ctx.alu(100);
+      });
+  return schedule(spec, {vgpu::Launch{std::move(cost), 0}},
+                  vgpu::ExecMode::kConcurrent);
+}
+
+std::set<std::string> published_names(const Registry& registry) {
+  std::set<std::string> names;
+  for (const Registry::Sample& sample : registry.samples()) {
+    names.insert(sample.name);
+  }
+  return names;
+}
+
+TEST(MetricNameStability, PublishTimelineGoldenList) {
+  Registry registry;
+  publish_timeline(registry, tiny_timeline(), {{"mode", "concurrent"}});
+  const std::set<std::string> expected = {
+      "vgpu.blocks",
+      "vgpu.branch_efficiency",
+      "vgpu.dram_read_gbps",
+      "vgpu.global_read_bytes",
+      "vgpu.global_write_bytes",
+      "vgpu.kernel_duration_ms",
+      "vgpu.kernel_launches",
+      "vgpu.makespan_ms",
+      "vgpu.simd_efficiency",
+      "vgpu.sm_busy_s",
+      "vgpu.sm_utilization",
+  };
+  EXPECT_EQ(published_names(registry), expected)
+      << "publish_timeline() metric names changed — renames break stored "
+         "BENCH_*.json baselines; update baselines and EXPERIMENTS.md too";
+}
+
+TEST(MetricNameStability, FrameResultPublishMetricsGoldenList) {
+  detect::FrameResult result;
+  result.timeline = tiny_timeline();
+  result.detect_ms = 3.0;
+  detect::ScaleStats stats;
+  stats.scale_index = 0;
+  stats.depth_histogram = {5, 2, 1};
+  result.scales.push_back(stats);
+
+  Registry registry;
+  result.publish_metrics(registry, {{"mode", "concurrent"}});
+  const std::set<std::string> expected = {
+      // via publish_timeline:
+      "vgpu.blocks",
+      "vgpu.branch_efficiency",
+      "vgpu.dram_read_gbps",
+      "vgpu.global_read_bytes",
+      "vgpu.global_write_bytes",
+      "vgpu.kernel_duration_ms",
+      "vgpu.kernel_launches",
+      "vgpu.makespan_ms",
+      "vgpu.simd_efficiency",
+      "vgpu.sm_busy_s",
+      "vgpu.sm_utilization",
+      // frame-level:
+      "detect.busy_share",
+      "detect.cascade_branch_efficiency",
+      "detect.cascade_simd_efficiency",
+      "detect.detections",
+      "detect.frame_latency_ms",
+      "detect.frames",
+      "detect.raw_detections",
+      "detect.rejection_depth",
+  };
+  EXPECT_EQ(published_names(registry), expected)
+      << "FrameResult::publish_metrics() metric names changed — renames "
+         "break stored BENCH_*.json baselines; update baselines and "
+         "EXPERIMENTS.md too";
+}
+
+}  // namespace
+}  // namespace fdet::obs

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/check.h"
 #include "obs/json.h"
 
@@ -112,6 +115,42 @@ TEST(MetricsRegistry, CsvExportHasHeaderAndOneRowPerField) {
   EXPECT_NE(csv.find("n,counter,"), std::string::npos);
 }
 
+TEST(MetricsHistogram, ExportersEmitCumulativeBuckets) {
+  // Regression test for the bucket-count convention (see metrics.h): all
+  // exported surfaces are cumulative; only the internal accumulation
+  // buffer is per-bucket. Hand-computed: observations 0.5, 3.0, 3.0, 7.0
+  // against bounds {1, 5} land per-bucket {1, 2, 1(inf)}, so the
+  // cumulative export must read {1, 3, 4}.
+  Registry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(3.0, 2.0);
+  h.observe(7.0);
+
+  const std::vector<double> expected = {1.0, 3.0, 4.0};
+  EXPECT_EQ(h.bucket_counts(), expected);
+
+  const auto samples = registry.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].bucket_counts, expected);
+
+  const json::Value doc = json::parse(registry.to_json());
+  const auto& buckets = doc.at("metrics").as_array()[0].at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].at("count").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(buckets[2].at("count").as_number(), 4.0);
+  EXPECT_EQ(buckets[2].at("le").as_string(), "inf");
+  // The +inf bucket equals the total count in a cumulative scheme.
+  EXPECT_DOUBLE_EQ(buckets[2].at("count").as_number(),
+                   doc.at("metrics").as_array()[0].at("count").as_number());
+
+  const std::string csv = registry.to_csv();
+  EXPECT_NE(csv.find("le_1,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("le_5,3\n"), std::string::npos);
+  EXPECT_NE(csv.find("le_inf,4\n"), std::string::npos);
+}
+
 TEST(ObsJson, ParserRejectsMalformedInput) {
   EXPECT_THROW(json::parse("{"), core::CheckError);
   EXPECT_THROW(json::parse("[1, 2,]"), core::CheckError);
@@ -125,6 +164,34 @@ TEST(ObsJson, EscapeAndNumberFormatting) {
   EXPECT_EQ(json::number(-41.0), "-41");
   const json::Value v = json::parse(json::number(0.125));
   EXPECT_DOUBLE_EQ(v.as_number(), 0.125);
+}
+
+TEST(ObsJson, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(json::number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json::number(-std::numeric_limits<double>::infinity()), "null");
+  // Value::dump goes through the same formatter.
+  EXPECT_EQ(json::Value::make_number(std::nan("")).dump(), "null");
+}
+
+TEST(ObsJson, RegistryWithNonFiniteValuesStaysParseable) {
+  // Degenerate ratios (0/0 utilization on an empty timeline, say) must
+  // not produce an unparseable metrics file or run record.
+  Registry registry;
+  registry.gauge("ratio").set(std::nan(""));
+  registry.gauge("rate").set(std::numeric_limits<double>::infinity());
+  registry.gauge("ok").set(1.5);
+
+  const json::Value doc = json::parse(registry.to_json());
+  const auto& metrics = doc.at("metrics").as_array();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(metrics[0].at("value").as_number(), 1.5);   // "ok"
+  EXPECT_TRUE(metrics[1].at("value").is_null());               // "rate"
+  EXPECT_TRUE(metrics[2].at("value").is_null());               // "ratio"
+
+  // CSV rows carry the literal `null` cell rather than a fake 0.
+  EXPECT_NE(registry.to_csv().find("ratio,gauge,\"\",value,null"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Run-record store: median/MAD statistics, aggregation of per-repeat
+// registry snapshots (histogram flattening included), JSON round-trip,
+// and the validating deserializer.
+#include "obs/runrecord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/check.h"
+#include "obs/json.h"
+
+namespace fdet::obs {
+namespace {
+
+TEST(RunRecordStats, MedianOddEvenAndSingle) {
+  EXPECT_DOUBLE_EQ(median_of({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_THROW(median_of({}), core::CheckError);
+}
+
+TEST(RunRecordStats, MadIsMedianAbsoluteDeviation) {
+  // values {1,2,9}, median 2 -> deviations {1,0,7} -> MAD 1.
+  EXPECT_DOUBLE_EQ(mad_of({1.0, 2.0, 9.0}, 2.0), 1.0);
+  // Constant series has zero spread.
+  EXPECT_DOUBLE_EQ(mad_of({5.0, 5.0, 5.0}, 5.0), 0.0);
+}
+
+TEST(RunRecordBuild, CollectsOneSamplePerRepeatWithStats) {
+  Registry r0, r1, r2;
+  r0.gauge("vgpu.makespan_ms", {{"mode", "concurrent"}}).set(4.0);
+  r1.gauge("vgpu.makespan_ms", {{"mode", "concurrent"}}).set(4.2);
+  r2.gauge("vgpu.makespan_ms", {{"mode", "concurrent"}}).set(4.1);
+  r0.counter("detect.frames").add(36.0);
+  r1.counter("detect.frames").add(36.0);
+  r2.counter("detect.frames").add(36.0);
+
+  const RunRecord record =
+      build_run_record("fig5", "default", {{"host", "test"}}, {&r0, &r1, &r2});
+  EXPECT_EQ(record.schema_version, kRunRecordSchemaVersion);
+  EXPECT_EQ(record.artifact, "fig5");
+  EXPECT_EQ(record.repeats, 3);
+
+  const MetricSeries* makespan =
+      record.find("vgpu.makespan_ms", {{"mode", "concurrent"}});
+  ASSERT_NE(makespan, nullptr);
+  EXPECT_EQ(makespan->kind, "gauge");
+  ASSERT_EQ(makespan->samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(makespan->median, 4.1);
+  EXPECT_NEAR(makespan->mad, 0.1, 1e-12);
+
+  const MetricSeries* frames = record.find("detect.frames", {});
+  ASSERT_NE(frames, nullptr);
+  EXPECT_EQ(frames->kind, "counter");
+  EXPECT_DOUBLE_EQ(frames->median, 36.0);
+  EXPECT_DOUBLE_EQ(frames->mad, 0.0);
+}
+
+TEST(RunRecordBuild, HistogramsFlattenIntoSumAndCountSeries) {
+  Registry r0, r1;
+  r0.histogram("detect.frame_latency_ms", {1.0, 10.0}).observe(3.0);
+  r1.histogram("detect.frame_latency_ms", {1.0, 10.0}).observe(5.0, 2.0);
+
+  const RunRecord record = build_run_record("fig5", "default", {}, {&r0, &r1});
+  const MetricSeries* sum = record.find("detect.frame_latency_ms.sum", {});
+  const MetricSeries* count = record.find("detect.frame_latency_ms.count", {});
+  ASSERT_NE(sum, nullptr);
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(sum->kind, "histogram_sum");
+  EXPECT_EQ(count->kind, "histogram_count");
+  ASSERT_EQ(sum->samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(sum->samples[0], 3.0);
+  EXPECT_DOUBLE_EQ(sum->samples[1], 10.0);
+  EXPECT_DOUBLE_EQ(count->median, 1.5);
+  // No raw histogram series leaks through under the original name.
+  EXPECT_EQ(record.find("detect.frame_latency_ms", {}), nullptr);
+}
+
+TEST(RunRecordBuild, SeriesAbsentFromSomeRepeatsKeepsPresentSamples) {
+  Registry r0, r1;
+  r0.gauge("bench.wall_seconds").set(1.5);
+  r0.gauge("always").set(1.0);
+  r1.gauge("always").set(2.0);
+
+  const RunRecord record = build_run_record("x", "default", {}, {&r0, &r1});
+  const MetricSeries* wall = record.find("bench.wall_seconds", {});
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->samples.size(), 1u);
+  const MetricSeries* always = record.find("always", {});
+  ASSERT_NE(always, nullptr);
+  EXPECT_EQ(always->samples.size(), 2u);
+}
+
+TEST(RunRecordJson, DumpParsesBackIdentically) {
+  Registry r0, r1;
+  r0.gauge("vgpu.makespan_ms", {{"mode", "serial"}}).set(8.75);
+  r1.gauge("vgpu.makespan_ms", {{"mode", "serial"}}).set(8.5);
+  RunRecord record =
+      build_run_record("fig6", "ours", {{"commit", "abc"}}, {&r0, &r1});
+
+  const RunRecord reparsed = RunRecord::parse(record.dump());
+  EXPECT_EQ(reparsed.schema_version, kRunRecordSchemaVersion);
+  EXPECT_EQ(reparsed.artifact, "fig6");
+  EXPECT_EQ(reparsed.variant, "ours");
+  EXPECT_EQ(reparsed.repeats, 2);
+  EXPECT_EQ(format_labels(reparsed.labels), "commit=abc");
+  ASSERT_EQ(reparsed.metrics.size(), 1u);
+  const MetricSeries& series = reparsed.metrics[0];
+  EXPECT_EQ(series.name, "vgpu.makespan_ms");
+  ASSERT_EQ(series.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.samples[0], 8.75);
+  EXPECT_DOUBLE_EQ(series.median, 8.625);
+}
+
+TEST(RunRecordJson, FileRoundTripThroughWriteAndLoad) {
+  Registry r0;
+  r0.counter("vgpu.kernel_launches").add(18.0);
+  const RunRecord record = build_run_record("fig6", "default", {}, {&r0});
+
+  const std::string path = testing::TempDir() + "fdet_runrecord_test.json";
+  record.write_file(path);
+  const RunRecord loaded = RunRecord::load_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.metrics[0].median, 18.0);
+}
+
+TEST(RunRecordJson, RejectsWrongSchemaVersionAndMalformedRecords) {
+  Registry r0;
+  r0.gauge("g").set(1.0);
+  RunRecord record = build_run_record("x", "default", {}, {&r0});
+  record.schema_version = kRunRecordSchemaVersion + 1;
+  EXPECT_THROW(RunRecord::parse(record.dump()), core::CheckError);
+
+  // Structurally valid JSON that is not a run record.
+  EXPECT_THROW(RunRecord::parse("{\"metrics\":[]}"), core::CheckError);
+  EXPECT_THROW(
+      RunRecord::parse("{\"schema_version\":1,\"artifact\":\"\",\"variant\":"
+                       "\"d\",\"repeats\":1,\"labels\":{},\"metrics\":[]}"),
+      core::CheckError);
+}
+
+TEST(RunRecordJson, NonFiniteSamplesSerializeAsNullAndParseAsNaN) {
+  Registry r0;
+  r0.gauge("degenerate_ratio").set(std::nan(""));
+  r0.gauge("fine").set(2.0);
+  const RunRecord record = build_run_record("x", "default", {}, {&r0});
+  const std::string text = record.dump();
+  EXPECT_NE(text.find("null"), std::string::npos);
+
+  const RunRecord reparsed = RunRecord::parse(text);
+  const MetricSeries* degenerate = reparsed.find("degenerate_ratio", {});
+  ASSERT_NE(degenerate, nullptr);
+  ASSERT_EQ(degenerate->samples.size(), 1u);
+  EXPECT_TRUE(std::isnan(degenerate->samples[0]));
+  EXPECT_TRUE(std::isnan(degenerate->median));
+  const MetricSeries* fine = reparsed.find("fine", {});
+  ASSERT_NE(fine, nullptr);
+  EXPECT_DOUBLE_EQ(fine->median, 2.0);
+}
+
+TEST(RunRecordPath, CanonicalName) {
+  EXPECT_EQ(run_record_path("fig5"), "BENCH_fig5.json");
+}
+
+}  // namespace
+}  // namespace fdet::obs

@@ -1,0 +1,328 @@
+// fdet_report — consumes the machine-readable artifacts the bench
+// binaries emit (BENCH_<artifact>.json run records via --record-out,
+// metrics registries via --metrics-out) and turns them into
+// EXPERIMENTS.md-style markdown or a CI regression gate.
+//
+//   fdet_report show <file.json>...        render records/metrics as
+//                                          markdown, metric names mapped
+//                                          back to the paper's artifacts
+//   fdet_report diff <baseline> <current>  statistical comparison
+//                                          (obs::compare_runs); exit 2
+//                                          when a metric regressed or
+//                                          went missing
+//   fdet_report selftest                   gate logic self-check used by
+//                                          the bench_regression_gate
+//                                          ctest target
+//
+// Exit codes: 0 success/gate-clean, 1 usage or unreadable input,
+// 2 regression gate failed.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/cli.h"
+#include "core/table.h"
+#include "obs/compare.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/runrecord.h"
+
+namespace fdet {
+namespace {
+
+/// Maps a metric name back to the paper artifact it reproduces — the
+/// same correspondence EXPERIMENTS.md tabulates. Longest matching prefix
+/// wins; unknown names map to "—".
+const char* paper_artifact(const std::string& name) {
+  struct Mapping {
+    const char* prefix;
+    const char* artifact;
+  };
+  // Ordered longest-prefix-first within a shared stem.
+  static constexpr Mapping kMappings[] = {
+      {"vgpu.makespan_ms", "Table II per-config ms/frame"},
+      {"vgpu.multi_makespan_ms", "multi-GPU extension"},
+      {"vgpu.sm_utilization", "Fig. 6 occupancy contrast"},
+      {"vgpu.kernel_duration_ms", "Fig. 6 occupancy contrast"},
+      {"vgpu.branch_efficiency", "Sec. VI-A 98.9% branch efficiency"},
+      {"vgpu.simd_efficiency", "Sec. VI-A SIMD utilization"},
+      {"vgpu.dram_read_gbps", "Sec. VI-A cascade DRAM reads"},
+      {"detect.frame_latency_ms", "Fig. 5 latency distribution"},
+      {"detect.rejection_depth", "Fig. 7 per-scale rejection depths"},
+      {"detect.cascade_branch_efficiency", "Sec. VI-A 98.9% branch efficiency"},
+      {"detect.cascade_simd_efficiency", "Sec. VI-A SIMD utilization"},
+      {"detect.busy_share", "Sec. VI-A integral ≈ 20%"},
+      {"bench.concurrent_speedup", "Table II aggregate ratios"},
+      {"bench.combined_speedup", "Table II aggregate ratios"},
+      {"bench.deadline_violations", "Fig. 5 40 ms deadline count"},
+      {"bench.stage_rejection_rate", "Fig. 7 stage-1 94.52%"},
+      {"train.modeled_iteration_s", "Fig. 8 training scalability"},
+      {"train.measured_iteration_s", "Fig. 8 training scalability"},
+      {"eval.tpr_at_0fp", "Fig. 9 ROC points"},
+      {"eval.max_tpr", "Fig. 9 ROC points"},
+      {"integral.", "Sec. III-B integral image study"},
+      {"haar.", "Table I feature combinations"},
+      {"softcascade.", "soft-cascade extension (future work)"},
+  };
+  const Mapping* best = nullptr;
+  for (const Mapping& m : kMappings) {
+    const std::string_view prefix(m.prefix);
+    if (name.compare(0, prefix.size(), prefix) == 0 &&
+        (best == nullptr || prefix.size() > std::string_view(best->prefix).size())) {
+      best = &m;
+    }
+  }
+  return best != nullptr ? best->artifact : "—";
+}
+
+std::string format_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+void show_run_record(const obs::RunRecord& record) {
+  std::printf("### Run record `%s` (variant `%s`, schema v%d, %d repeat%s",
+              record.artifact.c_str(), record.variant.c_str(),
+              record.schema_version, record.repeats,
+              record.repeats == 1 ? "" : "s");
+  const std::string labels = obs::format_labels(record.labels);
+  if (!labels.empty()) {
+    std::printf(", %s", labels.c_str());
+  }
+  std::printf(")\n\n");
+  core::Table table({"metric", "labels", "median", "MAD", "n", "paper artifact"});
+  for (const obs::MetricSeries& series : record.metrics) {
+    table.add_row({series.name, obs::format_labels(series.labels),
+                   format_number(series.median), format_number(series.mad),
+                   std::to_string(series.samples.size()),
+                   paper_artifact(series.name)});
+  }
+  table.print_markdown(std::cout);
+  std::printf("\n");
+}
+
+void show_metrics_file(const obs::json::Value& doc) {
+  std::printf("### Metrics registry export\n\n");
+  core::Table table({"metric", "kind", "labels", "value", "paper artifact"});
+  for (const obs::json::Value& entry : doc.at("metrics").as_array()) {
+    const std::string& name = entry.at("name").as_string();
+    std::string labels;
+    for (const auto& [key, value] : entry.at("labels").as_object()) {
+      if (!labels.empty()) {
+        labels += ',';
+      }
+      labels += key + "=" + value.as_string();
+    }
+    std::string value;
+    if (const obs::json::Value* v = entry.find("value")) {
+      value = v->is_null() ? "null" : format_number(v->as_number());
+    } else {
+      // Histogram: summarize as sum/count, buckets stay in the file.
+      value = "sum " + format_number(entry.at("sum").as_number()) + ", n " +
+              format_number(entry.at("count").as_number());
+    }
+    table.add_row({name, entry.at("kind").as_string(), labels, value,
+                   paper_artifact(name)});
+  }
+  table.print_markdown(std::cout);
+  std::printf("\n");
+}
+
+int run_show(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "fdet_report show: no input files\n");
+    return 1;
+  }
+  for (const std::string& path : files) {
+    const obs::json::Value doc = obs::json::parse_file(path);
+    std::printf("<!-- %s -->\n", path.c_str());
+    if (doc.find("schema_version") != nullptr) {
+      show_run_record(obs::RunRecord::from_json(doc));
+    } else if (doc.find("metrics") != nullptr) {
+      show_metrics_file(doc);
+    } else {
+      std::fprintf(stderr,
+                   "%s: neither a run record nor a metrics export\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Markdown verdict table plus explicit REGRESSED/MISSING lines (so CI
+/// logs name the offending metric without markdown rendering), then the
+/// gate exit code. Shared by `diff` and `selftest`.
+int run_diff(const obs::RunRecord& baseline, const obs::RunRecord& current,
+             const obs::CompareOptions& options, bool show_unchanged) {
+  const obs::CompareReport report =
+      obs::compare_runs(baseline, current, options);
+
+  std::printf("### `%s` (%s) vs baseline (%d vs %d repeats)\n\n",
+              current.artifact.c_str(), current.variant.c_str(),
+              current.repeats, baseline.repeats);
+  core::Table table(
+      {"verdict", "metric", "labels", "baseline", "current", "Δ%"});
+  for (const obs::MetricVerdict& v : report.verdicts) {
+    if (!show_unchanged && v.verdict == obs::Verdict::kUnchanged) {
+      continue;
+    }
+    table.add_row({obs::verdict_name(v.verdict), v.name,
+                   obs::format_labels(v.labels),
+                   format_number(v.baseline_median),
+                   format_number(v.current_median),
+                   format_number(v.relative_change * 100.0)});
+  }
+  table.print_markdown(std::cout);
+  std::printf("\n");
+  for (const obs::MetricVerdict& v : report.verdicts) {
+    if (v.verdict == obs::Verdict::kRegressed ||
+        v.verdict == obs::Verdict::kMissing) {
+      std::printf("%s\n", obs::describe(v).c_str());
+    }
+  }
+  std::printf("verdicts: %d regressed, %d missing, %d improved, %d new, "
+              "%d unchanged — %s\n",
+              report.regressed, report.missing, report.improved, report.added,
+              report.unchanged, report.ok() ? "OK" : "GATE FAILED");
+  return report.ok() ? 0 : 2;
+}
+
+/// Synthetic fig5-shaped record for the gate self-check.
+obs::RunRecord synthetic_record() {
+  obs::RunRecord record;
+  record.artifact = "selftest";
+  record.repeats = 3;
+  const auto series = [](std::string name, std::string kind,
+                         obs::Labels labels, std::vector<double> samples) {
+    obs::MetricSeries s;
+    s.name = std::move(name);
+    s.kind = std::move(kind);
+    s.labels = std::move(labels);
+    s.samples = std::move(samples);
+    s.median = obs::median_of(s.samples);
+    s.mad = obs::mad_of(s.samples, s.median);
+    return s;
+  };
+  record.metrics = {
+      series("detect.frames", "counter", {{"mode", "concurrent"}}, {36, 36, 36}),
+      series("vgpu.branch_efficiency", "gauge", {{"mode", "concurrent"}},
+             {0.982, 0.982, 0.981}),
+      series("vgpu.makespan_ms", "gauge", {{"mode", "concurrent"}},
+             {4.00, 4.01, 3.99}),
+  };
+  return record;
+}
+
+int run_selftest() {
+  const obs::RunRecord baseline = synthetic_record();
+
+  // Round-trip through the serializer: the gate must behave identically
+  // on a record that went to disk and back.
+  const obs::RunRecord reparsed = obs::RunRecord::parse(baseline.dump());
+
+  obs::RunRecord regressed = synthetic_record();
+  for (obs::MetricSeries& series : regressed.metrics) {
+    if (series.name == "vgpu.makespan_ms") {
+      for (double& sample : series.samples) {
+        sample *= 1.20;  // the injected 20% makespan regression
+      }
+      series.median = obs::median_of(series.samples);
+      series.mad = obs::mad_of(series.samples, series.median);
+    }
+  }
+
+  std::printf("--- selftest: identical records ---\n");
+  const int clean = run_diff(baseline, reparsed, {}, true);
+  std::printf("\n--- selftest: injected +20%% vgpu.makespan_ms ---\n");
+  const int gated = run_diff(baseline, regressed, {}, false);
+
+  const obs::CompareReport report = obs::compare_runs(baseline, regressed, {});
+  const bool names_metric =
+      !report.verdicts.empty() &&
+      report.verdicts.front().verdict == obs::Verdict::kRegressed &&
+      report.verdicts.front().name == "vgpu.makespan_ms";
+  if (clean != 0 || gated == 0 || !names_metric) {
+    std::fprintf(stderr,
+                 "selftest FAILED: clean=%d gated=%d names_metric=%d\n",
+                 clean, gated, names_metric);
+    return 1;
+  }
+  std::printf("\nselftest ok: identical -> exit 0, regression -> exit %d "
+              "naming vgpu.makespan_ms\n",
+              gated);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fdet_report [flags] show <file.json>...\n"
+      "       fdet_report [flags] diff <baseline.json> <current.json>\n"
+      "       fdet_report selftest\n"
+      "flags: --threshold=R --mad-mult=M --ignore=prefix1,prefix2\n"
+      "       --show-unchanged\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace fdet
+
+int main(int argc, char** argv) {
+  using namespace fdet;
+  double threshold = obs::CompareOptions{}.relative_threshold;
+  double mad_mult = obs::CompareOptions{}.mad_multiplier;
+  std::string ignore = "bench.wall_seconds,host_wall";
+  bool show_unchanged = false;
+  core::Cli cli("fdet_report");
+  cli.flag("threshold", threshold, "relative shift tolerated before a verdict");
+  cli.flag("mad-mult", mad_mult, "noise band in multiples of the repeat MAD");
+  cli.flag("ignore", ignore, "comma-separated metric-name substrings to skip");
+  cli.flag("show-unchanged", show_unchanged, "list unchanged metrics in diffs");
+  std::vector<std::string> args;
+  if (!cli.parse_known(argc, argv, args)) {
+    return 1;
+  }
+  // args[0] is argv[0]; the subcommand and its operands follow.
+  if (args.size() < 2) {
+    return usage();
+  }
+  const std::string command = args[1];
+  const std::vector<std::string> operands(args.begin() + 2, args.end());
+
+  obs::CompareOptions options;
+  options.relative_threshold = threshold;
+  options.mad_multiplier = mad_mult;
+  options.ignore.clear();
+  std::istringstream prefixes(ignore);
+  for (std::string prefix; std::getline(prefixes, prefix, ',');) {
+    if (!prefix.empty()) {
+      options.ignore.push_back(prefix);
+    }
+  }
+
+  try {
+    if (command == "show") {
+      return run_show(operands);
+    }
+    if (command == "diff") {
+      if (operands.size() != 2) {
+        return usage();
+      }
+      return run_diff(obs::RunRecord::load_file(operands[0]),
+                      obs::RunRecord::load_file(operands[1]), options,
+                      show_unchanged);
+    }
+    if (command == "selftest") {
+      return run_selftest();
+    }
+  } catch (const core::CheckError& error) {
+    std::fprintf(stderr, "fdet_report: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
