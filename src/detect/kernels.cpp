@@ -224,6 +224,11 @@ vgpu::LaunchCost cascade_kernel(const vgpu::DeviceSpec& spec,
       .shared_bytes = static_cast<int>(tile_elems * sizeof(std::int32_t)),
       .regs_per_thread = 32,
       .track_branches = true,
+      // The re-encoded cascade must fit the device's constant memory
+      // (Sec. III-B); execute_kernel enforces this at launch.
+      .constant_bytes = options.constant_memory
+                            ? static_cast<int>(bank.bytes_compressed())
+                            : 0,
   };
 
   // Phase 1 — eqs. (1)-(4): every thread stages 4 integral pixels; the
@@ -247,8 +252,9 @@ vgpu::LaunchCost cascade_kernel(const vgpu::DeviceSpec& spec,
           value = table(gx, gy);
           ctx.global_load(addr_of_i32(w, gx, gy), 4);
         }
-        tile[static_cast<std::size_t>(ly) * tile_dim + lx] = value;
-        ctx.shared_access();
+        auto& cell = tile[static_cast<std::size_t>(ly) * tile_dim + lx];
+        cell = value;
+        ctx.shared_store_at(shared, cell);
       }
     }
   };
@@ -272,8 +278,13 @@ vgpu::LaunchCost cascade_kernel(const vgpu::DeviceSpec& spec,
       return;  // depth stays 0; border anchors cannot host a window
     }
 
-    const auto tile_at = [&tile, tile_dim](int lx, int ly) {
-      return tile[static_cast<std::size_t>(ly) * tile_dim + lx];
+    // Every tile read is an attributed shared access (one per corner, the
+    // same count the previous shared_access(4) bundle charged), so checked
+    // execution can verify the staging protocol of eqs. (1)-(4).
+    const auto tile_at = [&tile, &ctx, &shared, tile_dim](int lx, int ly) {
+      const auto& cell = tile[static_cast<std::size_t>(ly) * tile_dim + lx];
+      ctx.shared_load_at(shared, cell);
+      return cell;
     };
 
     int depth = 0;
@@ -310,7 +321,6 @@ vgpu::LaunchCost cascade_kernel(const vgpu::DeviceSpec& spec,
                       (tile_at(lx + rect.w, ly + rect.h) -
                        tile_at(lx, ly + rect.h) - tile_at(lx + rect.w, ly) +
                        tile_at(lx, ly));
-          ctx.shared_access(4);
           ctx.alu(6);
         }
         score += (static_cast<float>(response) < rec.threshold)

@@ -77,7 +77,7 @@ vgpu::LaunchCost scan_rows_gpu(const vgpu::DeviceSpec& spec,
         ctx.global_load(addr_of(input, idx, row_y), 4);
       }
       views.row[static_cast<std::size_t>(idx)] = value;
-      ctx.shared_access();
+      ctx.shared_store_at(shared, views.row[static_cast<std::size_t>(idx)]);
     }
   });
 
@@ -88,13 +88,16 @@ vgpu::LaunchCost scan_rows_gpu(const vgpu::DeviceSpec& spec,
     const int base = t.thread.x * chunk;
     std::int32_t acc = 0;
     for (int i = 0; i < chunk; ++i) {
-      acc += views.row[static_cast<std::size_t>(base + i)];
-      views.row[static_cast<std::size_t>(base + i)] = acc;
+      auto& cell = views.row[static_cast<std::size_t>(base + i)];
+      acc += cell;
+      ctx.shared_load_at(shared, cell);
+      cell = acc;
+      ctx.shared_store_at(shared, cell);
       ctx.alu(1);
-      ctx.shared_access(2);
     }
     views.sums_a[static_cast<std::size_t>(t.thread.x)] = acc;
-    ctx.shared_access();
+    ctx.shared_store_at(shared,
+                        views.sums_a[static_cast<std::size_t>(t.thread.x)]);
   });
 
   // Phases 3..10: Hillis–Steele inclusive scan over the chunk sums with
@@ -110,15 +113,16 @@ vgpu::LaunchCost scan_rows_gpu(const vgpu::DeviceSpec& spec,
       auto dst = src_is_a ? views.sums_b : views.sums_a;
       const int lane = t.thread.x;
       std::int32_t value = src[static_cast<std::size_t>(lane)];
-      ctx.shared_access();
+      ctx.shared_load_at(shared, src[static_cast<std::size_t>(lane)]);
       ctx.branch(lane >= offset);
       if (lane >= offset) {
         value += src[static_cast<std::size_t>(lane - offset)];
-        ctx.shared_access();
+        ctx.shared_load_at(shared,
+                           src[static_cast<std::size_t>(lane - offset)]);
         ctx.alu(1);
       }
       dst[static_cast<std::size_t>(lane)] = value;
-      ctx.shared_access();
+      ctx.shared_store_at(shared, dst[static_cast<std::size_t>(lane)]);
     });
   }
   // After 8 steps (last destination: sums_a) the inclusive chunk-sum scan
@@ -136,12 +140,14 @@ vgpu::LaunchCost scan_rows_gpu(const vgpu::DeviceSpec& spec,
       return;
     }
     const std::int32_t offset = views.sums_a[static_cast<std::size_t>(lane - 1)];
-    ctx.shared_access();
+    ctx.shared_load_at(shared, views.sums_a[static_cast<std::size_t>(lane - 1)]);
     const int base = lane * chunk;
     for (int i = 0; i < chunk; ++i) {
-      views.row[static_cast<std::size_t>(base + i)] += offset;
+      auto& cell = views.row[static_cast<std::size_t>(base + i)];
+      ctx.shared_load_at(shared, cell);
+      cell += offset;
+      ctx.shared_store_at(shared, cell);
       ctx.alu(1);
-      ctx.shared_access(2);
     }
   });
 
@@ -155,7 +161,7 @@ vgpu::LaunchCost scan_rows_gpu(const vgpu::DeviceSpec& spec,
       ctx.alu(2);
       if (idx < w) {
         output(idx, row_y) = views.row[static_cast<std::size_t>(idx)];
-        ctx.shared_access();
+        ctx.shared_load_at(shared, views.row[static_cast<std::size_t>(idx)]);
         ctx.global_store(addr_of(output, idx, row_y), 4);
       }
     }
@@ -191,10 +197,11 @@ vgpu::LaunchCost transpose_gpu(const vgpu::DeviceSpec& spec,
       const int y = t.block_id.y * kTileDim + t.thread.y + j * kTileRows;
       ctx.alu(3);
       if (x < w && y < h) {
-        tile[static_cast<std::size_t>((t.thread.y + j * kTileRows) * kTileStride +
-                                      t.thread.x)] = input(x, y);
+        auto& cell = tile[static_cast<std::size_t>(
+            (t.thread.y + j * kTileRows) * kTileStride + t.thread.x)];
+        cell = input(x, y);
         ctx.global_load(addr_of(input, x, y), 4);
-        ctx.shared_access();
+        ctx.shared_store_at(shared, cell);
       }
     }
   };
@@ -208,9 +215,10 @@ vgpu::LaunchCost transpose_gpu(const vgpu::DeviceSpec& spec,
       const int y = t.block_id.x * kTileDim + t.thread.y + j * kTileRows;
       ctx.alu(3);
       if (x < h && y < w) {
-        output(x, y) = tile[static_cast<std::size_t>(
+        const auto& cell = tile[static_cast<std::size_t>(
             t.thread.x * kTileStride + t.thread.y + j * kTileRows)];
-        ctx.shared_access();
+        output(x, y) = cell;
+        ctx.shared_load_at(shared, cell);
         ctx.global_store(addr_of(output, x, y), 4);
       }
     }

@@ -22,10 +22,14 @@ void DatasetMatrix::grow(int new_capacity) {
   std::vector<std::int32_t> next(
       static_cast<std::size_t>(kRows) * static_cast<std::size_t>(new_capacity),
       0);
-  for (int r = 0; r < kRows; ++r) {
-    std::memcpy(next.data() + static_cast<std::size_t>(r) * new_capacity,
-                data_.data() + static_cast<std::size_t>(r) * capacity_,
-                static_cast<std::size_t>(cols_) * sizeof(std::int32_t));
+  // First grow() runs on an empty matrix: data_.data() is null there, and
+  // memcpy's pointer arguments must be non-null even for zero sizes.
+  if (cols_ > 0) {
+    for (int r = 0; r < kRows; ++r) {
+      std::memcpy(next.data() + static_cast<std::size_t>(r) * new_capacity,
+                  data_.data() + static_cast<std::size_t>(r) * capacity_,
+                  static_cast<std::size_t>(cols_) * sizeof(std::int32_t));
+    }
   }
   data_ = std::move(next);
   capacity_ = new_capacity;

@@ -134,6 +134,19 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
       << "kernel '" << config.name << "': " << threads_per_block
       << " threads per block";
 
+  // Opt-in verification (vgpu/checker.h): an active CheckScope turns this
+  // launch into a checked execution. The checker absorbs resource-limit
+  // violations as reported hazards; unchecked launches fail fast.
+  Checker* const checker = active_checker();
+  if (checker == nullptr) {
+    FDET_CHECK(config.constant_bytes <= spec.constant_mem_bytes)
+        << "kernel '" << config.name << "' needs " << config.constant_bytes
+        << " bytes of constant memory but device '" << spec.name
+        << "' provides " << spec.constant_mem_bytes;
+  } else {
+    checker->begin_kernel(spec, config);
+  }
+
   LaunchCost result;
   result.config = config;
   result.occupancy = compute_occupancy(spec, threads_per_block,
@@ -165,11 +178,20 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
     coord.block_id.y = static_cast<int>((b / config.grid.x) % config.grid.y);
     coord.block_id.z = static_cast<int>(b / (static_cast<std::int64_t>(config.grid.x) * config.grid.y));
 
-    shared.reset(static_cast<std::size_t>(config.shared_bytes));
+    if (checker == nullptr) {
+      shared.reset(static_cast<std::size_t>(config.shared_bytes));
+    } else {
+      checker->begin_block(coord.block_id);
+      shared.reset_checked(static_cast<std::size_t>(config.shared_bytes),
+                           checker);
+    }
     double block_issue = 0.0;
     double block_stall = 0.0;
 
     for (std::size_t phase = 0; phase < phases.size(); ++phase) {
+      if (checker != nullptr) {
+        checker->begin_phase(static_cast<int>(phase));
+      }
       for (int w = 0; w < warps_per_block; ++w) {
         const int first_thread = w * kWarpSize;
         const int active =
@@ -182,13 +204,23 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
           LaneCtx& lane = scratch.lanes[static_cast<std::size_t>(l)];
           lane.reset();
           lane.set_track_branches(config.track_branches);
+          if (checker != nullptr) {
+            checker->begin_lane(coord.thread);
+            lane.set_checker(checker);
+          }
           shared.rewind();
           phases[phase](coord, lane, shared);
+          if (checker != nullptr) {
+            checker->end_lane(lane);
+          }
         }
         const WarpCost warp = aggregate_warp(spec.cost, config, scratch,
                                              active, result.counters);
         block_issue += warp.issue;
         block_stall += warp.stall;
+      }
+      if (checker != nullptr) {
+        checker->end_phase();  // the block-wide barrier commits writes
       }
       if (phase + 1 < phases.size()) {
         block_issue += warps_per_block * spec.cost.sync;  // __syncthreads
@@ -204,6 +236,9 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
       static_cast<std::uint64_t>(num_blocks) * threads_per_block;
   result.counters.warps = static_cast<std::uint64_t>(num_blocks) *
                           warps_per_block * phases.size();
+  if (checker != nullptr) {
+    checker->end_kernel();
+  }
   return result;
 }
 
@@ -217,6 +252,36 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
                           PhaseFn phase1, PhaseFn phase2) {
   const std::array<PhaseFn, 2> phases{std::move(phase1), std::move(phase2)};
   return execute_kernel(spec, config, std::span<const PhaseFn>(phases));
+}
+
+CheckedExecution execute_kernel_checked(const DeviceSpec& spec,
+                                        const KernelConfig& config,
+                                        std::span<const PhaseFn> phases,
+                                        CheckOptions options) {
+  CheckScope scope(std::move(options));
+  CheckedExecution result;
+  result.cost = execute_kernel(spec, config, phases);
+  result.report = std::move(scope.checker().take_reports().back());
+  return result;
+}
+
+CheckedExecution execute_kernel_checked(const DeviceSpec& spec,
+                                        const KernelConfig& config,
+                                        PhaseFn phase, CheckOptions options) {
+  const std::array<PhaseFn, 1> phases{std::move(phase)};
+  return execute_kernel_checked(spec, config,
+                                std::span<const PhaseFn>(phases),
+                                std::move(options));
+}
+
+CheckedExecution execute_kernel_checked(const DeviceSpec& spec,
+                                        const KernelConfig& config,
+                                        PhaseFn phase1, PhaseFn phase2,
+                                        CheckOptions options) {
+  const std::array<PhaseFn, 2> phases{std::move(phase1), std::move(phase2)};
+  return execute_kernel_checked(spec, config,
+                                std::span<const PhaseFn>(phases),
+                                std::move(options));
 }
 
 }  // namespace fdet::vgpu

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "vgpu/checker.h"
 #include "vgpu/counters.h"
 #include "vgpu/device.h"
 #include "vgpu/dim.h"
@@ -38,6 +39,11 @@ struct KernelConfig {
   int regs_per_thread = 24;   ///< occupancy input; sm_20-era default
   bool track_branches = false;///< enable per-lane branch traces (divergence)
   bool constant_broadcast = true;  ///< false = serialized constant accesses
+  /// Constant-memory footprint the launch depends on (the encoded cascade
+  /// bank for the evaluation kernel). Enforced against
+  /// DeviceSpec::constant_mem_bytes at launch: execute_kernel throws, and
+  /// checked execution reports a constant-overflow hazard instead.
+  int constant_bytes = 0;
 };
 
 /// Per-thread phase body. Runs the thread's real computation and reports
@@ -69,5 +75,29 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
                           PhaseFn phase);
 LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
                           PhaseFn phase1, PhaseFn phase2);
+
+/// Result of one launch under verification (vgpu/checker.h): the normal
+/// cost plus the hazard report.
+struct CheckedExecution {
+  LaunchCost cost;
+  CheckReport report;
+};
+
+/// Runs the launch inside a fresh CheckScope and returns cost + report.
+/// For checking a *sequence* of launches (or the production wrappers in
+/// fdet::integral / fdet::detect), open a CheckScope around the calls
+/// instead and read its per-launch reports.
+CheckedExecution execute_kernel_checked(const DeviceSpec& spec,
+                                        const KernelConfig& config,
+                                        std::span<const PhaseFn> phases,
+                                        CheckOptions options = {});
+CheckedExecution execute_kernel_checked(const DeviceSpec& spec,
+                                        const KernelConfig& config,
+                                        PhaseFn phase,
+                                        CheckOptions options = {});
+CheckedExecution execute_kernel_checked(const DeviceSpec& spec,
+                                        const KernelConfig& config,
+                                        PhaseFn phase1, PhaseFn phase2,
+                                        CheckOptions options = {});
 
 }  // namespace fdet::vgpu

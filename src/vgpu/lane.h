@@ -8,8 +8,11 @@
 // the paper attacks) and derives timing plus profiler-style counters.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "vgpu/checker.h"
 
 namespace fdet::vgpu {
 
@@ -22,6 +25,7 @@ class LaneCtx {
     global_ops_.clear();
     branch_trace_.clear();
     track_branches_ = false;
+    checker_ = nullptr;
   }
 
   // --- arithmetic -----------------------------------------------------
@@ -40,8 +44,43 @@ class LaneCtx {
     global_ops_.push_back({addr, bytes, /*store=*/true});
   }
   /// Conflict-free shared-memory access (bank conflicts are modelled only
-  /// via the kernel's choice of padding; see transpose kernel).
-  void shared_access(int n = 1) { n_shared_ += static_cast<std::uint32_t>(n); }
+  /// via the kernel's choice of padding; see transpose kernel). Carries no
+  /// address, so checked execution counts it but cannot race-check it —
+  /// prefer the addressed shared_load/shared_store below in kernels that
+  /// stage data cooperatively.
+  void shared_access(int n = 1) {
+    n_shared_ += static_cast<std::uint32_t>(n);
+    if (checker_ != nullptr) {
+      checker_->on_unattributed_shared(static_cast<std::uint32_t>(n));
+    }
+  }
+  /// Addressed shared-memory read/write of `bytes` at byte `offset` within
+  /// the block's buffer (SharedMem::offset_of). Costed exactly like one
+  /// shared_access(); additionally feeds the race/memcheck shadow when a
+  /// CheckScope is active.
+  void shared_load(std::size_t offset, std::uint32_t bytes) {
+    ++n_shared_;
+    if (checker_ != nullptr) {
+      checker_->on_shared(offset, bytes, /*store=*/false);
+    }
+  }
+  void shared_store(std::size_t offset, std::uint32_t bytes) {
+    ++n_shared_;
+    if (checker_ != nullptr) {
+      checker_->on_shared(offset, bytes, /*store=*/true);
+    }
+  }
+  /// Convenience: report the access for one element of a SharedMem span,
+  /// deriving offset and size from the element itself:
+  ///   tile[i] = v;  ctx.shared_store_at(shared, tile[i]);
+  template <typename SharedMemT, typename T>
+  void shared_load_at(const SharedMemT& shared, const T& element) {
+    shared_load(shared.offset_of(&element), sizeof(T));
+  }
+  template <typename SharedMemT, typename T>
+  void shared_store_at(const SharedMemT& shared, const T& element) {
+    shared_store(shared.offset_of(&element), sizeof(T));
+  }
   /// Constant-cache access. The cascade kernel keeps all active lanes of a
   /// warp on the same feature record, so accesses broadcast (see paper
   /// Sec. III-C); the serialized case is exercised by the ablation bench
@@ -79,6 +118,9 @@ class LaneCtx {
   };
 
   void set_track_branches(bool on) { track_branches_ = on; }
+  /// Attaches the verification engine for checked execution (reset()
+  /// detaches); the executor wires this when a CheckScope is active.
+  void set_checker(Checker* checker) { checker_ = checker; }
   std::uint32_t alu_count() const { return n_alu_; }
   std::uint32_t fma_count() const { return n_fma_; }
   std::uint32_t sfu_count() const { return n_sfu_; }
@@ -98,6 +140,7 @@ class LaneCtx {
   std::uint32_t n_tex_ = 0;
   std::uint32_t untracked_branches_ = 0;
   bool track_branches_ = false;
+  Checker* checker_ = nullptr;
   std::vector<GlobalOp> global_ops_;
   std::vector<std::uint8_t> branch_trace_;
 };

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "vgpu/checker.h"
 
 namespace fdet::vgpu {
 
@@ -21,6 +22,18 @@ class SharedMem {
   /// Reinitializes for a new block with `bytes` of zeroed storage.
   void reset(std::size_t bytes) {
     buffer_.assign(bytes, std::byte{0});
+    checker_ = nullptr;
+    cursor_ = 0;
+  }
+
+  /// Checked-mode reinitialization: the buffer spans the whole SM capacity
+  /// so carves escaping the declared footprint still land in real storage
+  /// and are *reported* by the checker instead of crashing the run.
+  void reset_checked(std::size_t declared_bytes, Checker* checker) {
+    buffer_.assign(std::max(declared_bytes,
+                            checker->checked_shared_capacity()),
+                   std::byte{0});
+    checker_ = checker;
     cursor_ = 0;
   }
 
@@ -28,8 +41,10 @@ class SharedMem {
   /// allocation-order, so every thread (and every phase) performing the
   /// same sequence of array() calls sees the same arrays — call it with
   /// identical arguments from all lanes, as CUDA's static __shared__
-  /// declarations do. The cursor rewinds automatically when the carve
-  /// sequence restarts (detected by offset 0 request pattern via rewind()).
+  /// declarations do. There is no automatic rewind: the executor calls
+  /// rewind() before every lane so each lane's carve sequence restarts at
+  /// offset 0, and in checked mode (vgpu/checker.h) the checker asserts
+  /// that all lanes request identical carve sequences.
   template <typename T>
   std::span<T> array(std::size_t count) {
     const std::size_t bytes = count * sizeof(T);
@@ -37,6 +52,9 @@ class SharedMem {
     FDET_CHECK(aligned + bytes <= buffer_.size())
         << "shared memory overflow: need " << aligned + bytes << " have "
         << buffer_.size();
+    if (checker_ != nullptr) {
+      checker_->on_carve(aligned, bytes, alignof(T));
+    }
     cursor_ = aligned + bytes;
     return {reinterpret_cast<T*>(buffer_.data() + aligned), count};
   }
@@ -44,6 +62,14 @@ class SharedMem {
   /// Restarts the carve sequence; the executor calls this before every lane
   /// so each lane's array() calls resolve to the same storage.
   void rewind() { cursor_ = 0; }
+
+  /// Byte offset of `p` within the block's buffer — the address the
+  /// checker's shared-access records use. `p` must point into a span
+  /// previously returned by array().
+  std::size_t offset_of(const void* p) const {
+    return static_cast<std::size_t>(static_cast<const std::byte*>(p) -
+                                    buffer_.data());
+  }
 
   std::size_t capacity() const { return buffer_.size(); }
 
@@ -54,6 +80,7 @@ class SharedMem {
 
   std::vector<std::byte> buffer_;
   std::size_t cursor_ = 0;
+  Checker* checker_ = nullptr;
 };
 
 }  // namespace fdet::vgpu

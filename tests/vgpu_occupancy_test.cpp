@@ -45,6 +45,47 @@ TEST(Occupancy, FullOccupancyReachesRatioOne) {
   EXPECT_DOUBLE_EQ(occ.ratio, 1.0);
 }
 
+TEST(Occupancy, SharedMemoryBoundaries) {
+  DeviceSpec spec;
+  // Exactly the SM capacity: one resident block, not zero.
+  EXPECT_EQ(compute_occupancy(spec, 128, spec.shared_mem_per_sm, 0)
+                .blocks_per_sm,
+            1);
+  // Exactly half: two blocks; one byte more drops to one.
+  EXPECT_EQ(
+      compute_occupancy(spec, 128, spec.shared_mem_per_sm / 2, 0).blocks_per_sm,
+      2);
+  EXPECT_EQ(compute_occupancy(spec, 128, spec.shared_mem_per_sm / 2 + 1, 0)
+                .blocks_per_sm,
+            1);
+  // An eighth: the shared limit exactly matches the max-blocks limit.
+  EXPECT_EQ(compute_occupancy(spec, 128, spec.shared_mem_per_sm / 8, 0)
+                .blocks_per_sm,
+            spec.max_blocks_per_sm);
+}
+
+TEST(Occupancy, RegisterFileBoundaries) {
+  DeviceSpec spec;
+  // 32 regs x 1024 threads consume the register file exactly: one block.
+  EXPECT_EQ(compute_occupancy(spec, 1024, 0, 32).blocks_per_sm, 1);
+  // One more register per thread and nothing fits (the executor rejects
+  // such launches as non-resident).
+  EXPECT_EQ(compute_occupancy(spec, 1024, 0, 33).blocks_per_sm, 0);
+}
+
+TEST(Occupancy, ThreadCountBoundaries) {
+  DeviceSpec spec;
+  EXPECT_EQ(compute_occupancy(spec, spec.max_threads_per_block, 0, 0)
+                .blocks_per_sm,
+            1);
+  EXPECT_THROW(compute_occupancy(spec, spec.max_threads_per_block + 1, 0, 0),
+               core::CheckError);
+  // A single-thread block still occupies one warp slot.
+  const Occupancy tiny = compute_occupancy(spec, 1, 0, 0);
+  EXPECT_EQ(tiny.warps_per_block, 1);
+  EXPECT_EQ(tiny.blocks_per_sm, spec.max_blocks_per_sm);
+}
+
 TEST(Occupancy, RejectsOversizedBlocks) {
   DeviceSpec spec;
   EXPECT_THROW(compute_occupancy(spec, 2048, 0, 0), core::CheckError);

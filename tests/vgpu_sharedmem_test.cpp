@@ -1,0 +1,87 @@
+#include "vgpu/shared_mem.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/check.h"
+
+namespace fdet::vgpu {
+namespace {
+
+TEST(SharedMem, MixedTypeCarvesInsertAlignmentPadding) {
+  SharedMem shared;
+  shared.reset(64);
+
+  auto bytes = shared.array<std::uint8_t>(3);   // [0, 3)
+  auto doubles = shared.array<double>(2);       // pads 3 -> 8, [8, 24)
+  auto halves = shared.array<std::uint16_t>(1); // already 2-aligned, [24, 26)
+
+  EXPECT_EQ(shared.offset_of(&bytes[0]), 0u);
+  EXPECT_EQ(shared.offset_of(&doubles[0]), 8u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&doubles[0]) % alignof(double),
+            0u);
+  EXPECT_EQ(shared.offset_of(&halves[0]), 24u);
+
+  // offset_of addresses individual elements, the unit the checker's
+  // shared_load_at/shared_store_at helpers record.
+  EXPECT_EQ(shared.offset_of(&doubles[1]), 16u);
+}
+
+TEST(SharedMem, ExactCapacityCarveSucceedsNextByteThrows) {
+  SharedMem shared;
+  shared.reset(64);
+  auto full = shared.array<double>(8);  // exactly 64 bytes
+  EXPECT_EQ(full.size(), 8u);
+  EXPECT_EQ(shared.offset_of(&full[0]), 0u);
+  EXPECT_THROW(shared.array<std::uint8_t>(1), core::CheckError);
+}
+
+TEST(SharedMem, PaddingCanPushAnOtherwiseFittingCarveOverCapacity) {
+  SharedMem shared;
+  shared.reset(16);
+  shared.array<std::uint8_t>(1);  // cursor 1
+  // 12 bytes would fit from offset 1, but 4-alignment starts them at 4.
+  EXPECT_THROW(shared.array<std::int32_t>(4), core::CheckError);
+  shared.rewind();
+  auto ints = shared.array<std::int32_t>(4);  // from 0 they fit exactly
+  EXPECT_EQ(ints.size(), 4u);
+}
+
+TEST(SharedMem, OverflowMessageNamesNeedAndHave) {
+  SharedMem shared;
+  shared.reset(16);
+  try {
+    shared.array<std::int32_t>(5);  // 20 > 16
+    FAIL() << "expected core::CheckError";
+  } catch (const core::CheckError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("shared memory overflow: need 20 have 16"),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(SharedMem, RewindReplaysTheSameStorage) {
+  SharedMem shared;
+  shared.reset(32);
+  auto first = shared.array<std::int32_t>(4);
+  first[2] = 77;
+  shared.rewind();
+  auto second = shared.array<std::int32_t>(4);
+  EXPECT_EQ(&second[0], &first[0]);
+  EXPECT_EQ(second[2], 77);  // block-lifetime storage survives the rewind
+}
+
+TEST(SharedMem, ResetZeroesAndResizes) {
+  SharedMem shared;
+  shared.reset(8);
+  shared.array<std::int64_t>(1)[0] = -1;
+  shared.reset(8);
+  EXPECT_EQ(shared.array<std::int64_t>(1)[0], 0);
+  shared.reset(128);
+  EXPECT_EQ(shared.capacity(), 128u);
+}
+
+}  // namespace
+}  // namespace fdet::vgpu

@@ -18,6 +18,7 @@
 // 2 regression gate failed.
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,6 +44,7 @@ const char* paper_artifact(const std::string& name) {
   };
   // Ordered longest-prefix-first within a shared stem.
   static constexpr Mapping kMappings[] = {
+      {"vgpu.check.", "kernel verification (racecheck/memcheck)"},
       {"vgpu.makespan_ms", "Table II per-config ms/frame"},
       {"vgpu.multi_makespan_ms", "multi-GPU extension"},
       {"vgpu.sm_utilization", "Fig. 6 occupancy contrast"},
@@ -105,17 +107,58 @@ void show_run_record(const obs::RunRecord& record) {
   std::printf("\n");
 }
 
+/// Per-kernel rollup of the `vgpu.check.*` family (obs/verify.h). Keyed
+/// by the kernel label; filled from whichever of the family's metrics are
+/// present in the export.
+struct KernelVerification {
+  double clean = -1.0;  ///< -1 = no vgpu.check.clean gauge seen
+  double hazards = 0.0;
+  std::string hazard_kinds;
+  double shared_accesses = 0.0;
+  double carves = 0.0;
+  double global_ops = 0.0;
+};
+
+void show_verification_table(
+    const std::map<std::string, KernelVerification>& verification) {
+  std::printf("#### Kernel verification\n\n");
+  core::Table table({"kernel", "verdict", "hazards", "shared accesses",
+                     "carves", "global ops"});
+  for (const auto& [kernel, v] : verification) {
+    std::string verdict = "—";
+    if (v.clean >= 0.0) {
+      verdict = v.clean > 0.0 ? "CLEAN" : "HAZARDS";
+    }
+    std::string hazards = format_number(v.hazards);
+    if (!v.hazard_kinds.empty()) {
+      hazards += " (" + v.hazard_kinds + ")";
+    }
+    table.add_row({kernel, verdict, hazards, format_number(v.shared_accesses),
+                   format_number(v.carves), format_number(v.global_ops)});
+  }
+  table.print_markdown(std::cout);
+  std::printf("\n");
+}
+
 void show_metrics_file(const obs::json::Value& doc) {
   std::printf("### Metrics registry export\n\n");
   core::Table table({"metric", "kind", "labels", "value", "paper artifact"});
+  std::map<std::string, KernelVerification> verification;
   for (const obs::json::Value& entry : doc.at("metrics").as_array()) {
     const std::string& name = entry.at("name").as_string();
     std::string labels;
+    std::string kernel_label;
+    std::string kind_label;
     for (const auto& [key, value] : entry.at("labels").as_object()) {
       if (!labels.empty()) {
         labels += ',';
       }
       labels += key + "=" + value.as_string();
+      if (key == "kernel") {
+        kernel_label = value.as_string();
+      } else if (key == "kind") {
+        kind_label = value.as_string();
+      }
     }
     std::string value;
     if (const obs::json::Value* v = entry.find("value")) {
@@ -127,9 +170,36 @@ void show_metrics_file(const obs::json::Value& doc) {
     }
     table.add_row({name, entry.at("kind").as_string(), labels, value,
                    paper_artifact(name)});
+
+    if (name.starts_with("vgpu.check.") && !kernel_label.empty()) {
+      KernelVerification& v = verification[kernel_label];
+      const obs::json::Value* raw = entry.find("value");
+      const double number =
+          raw != nullptr && !raw->is_null() ? raw->as_number() : 0.0;
+      if (name == "vgpu.check.clean") {
+        v.clean = number;
+      } else if (name == "vgpu.check.hazards") {
+        v.hazards += number;
+        if (!kind_label.empty()) {
+          if (!v.hazard_kinds.empty()) {
+            v.hazard_kinds += ", ";
+          }
+          v.hazard_kinds += kind_label;
+        }
+      } else if (name == "vgpu.check.shared_accesses") {
+        v.shared_accesses = number;
+      } else if (name == "vgpu.check.carves") {
+        v.carves = number;
+      } else if (name == "vgpu.check.global_ops") {
+        v.global_ops = number;
+      }
+    }
   }
   table.print_markdown(std::cout);
   std::printf("\n");
+  if (!verification.empty()) {
+    show_verification_table(verification);
+  }
 }
 
 int run_show(const std::vector<std::string>& files) {
