@@ -145,8 +145,10 @@ class RunRecorder {
   }
 
   /// Writes the requested artifacts (validating each by re-parsing) and
-  /// runs the baseline gate. Returns the process exit code: 0, or 2 when
-  /// --baseline comparison found a regressed or missing metric.
+  /// runs the baseline gate. Returns the process exit code: 0; 2 when
+  /// --baseline comparison found a regressed or missing metric; 3 when
+  /// the --baseline file is missing or corrupt (distinct from a gate
+  /// failure so CI can tell "perf regressed" from "baseline is broken").
   int finish() {
     // A bench that accepts --repeat but never runs the begin_repeat()
     // loop would silently write a 1-repeat record claiming fewer
@@ -201,7 +203,18 @@ class RunRecorder {
       return 0;
     }
     if (!baseline_.empty()) {
-      const obs::RunRecord baseline = obs::RunRecord::load_file(baseline_);
+      obs::RunRecord baseline;
+      try {
+        baseline = obs::RunRecord::load_file(baseline_);
+      } catch (const core::CheckError& error) {
+        std::fprintf(stderr,
+                     "[%s] cannot load baseline: %s\n"
+                     "[%s] run with --baseline=%s --update-baseline to "
+                     "(re)create it\n",
+                     artifact_.c_str(), error.what(), artifact_.c_str(),
+                     baseline_.c_str());
+        return 3;
+      }
       const obs::CompareReport report = obs::compare_runs(baseline, record);
       std::printf("\n[%s] baseline gate vs %s:\n%s", artifact_.c_str(),
                   baseline_.c_str(),

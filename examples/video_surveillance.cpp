@@ -1,17 +1,20 @@
-// Video surveillance scenario: run the full paper pipeline — hardware
-// H.264 decode (mocked), pyramid scaling, filtering, integral images,
-// concurrent cascade evaluation, grouping, display — over a synthetic
-// 1080p trailer, report per-frame latency/fps against the 24 fps display
-// deadline, and write annotated keyframes.
+// Video surveillance scenario on the fault-tolerant serving layer: the
+// full paper pipeline — hardware H.264 decode (mocked), pyramid scaling,
+// filtering, integral images, concurrent cascade evaluation, grouping —
+// served through serve::StreamingService, which adds a bounded frame
+// queue with backpressure, per-frame deadline budgets with graceful
+// degradation, retry with backoff, and per-stage circuit breakers.
+// Optionally injects a fault plan (--faults) to watch the recovery
+// machinery work; writes an annotated keyframe.
 //
 // Uses the trained cascade pair (trains once into --cache-dir on first
 // use; expect a few minutes on a cache miss).
 #include <cstdio>
 
 #include "core/cli.h"
-#include "detect/pipeline.h"
 #include "img/draw.h"
 #include "img/io.h"
+#include "serve/service.h"
 #include "train/pretrained.h"
 #include "video/decoder.h"
 
@@ -20,12 +23,19 @@ int main(int argc, char** argv) {
   int frames = 6;
   int width = 1280;
   int height = 720;
+  double fps = 24.0;
+  double deadline_ms = 40.0;  // the 24 fps display deadline
+  std::string faults;
   std::string cache_dir = "fdet_cache";
   std::string trailer_name = "50/50";
   core::Cli cli("video_surveillance");
   cli.flag("frames", frames, "frames to process");
   cli.flag("width", width, "stream width");
   cli.flag("height", height, "stream height");
+  cli.flag("fps", fps, "stream arrival rate");
+  cli.flag("deadline-ms", deadline_ms, "per-frame latency budget");
+  cli.flag("faults", faults,
+           "fault plan, e.g. decode@2x2,corrupt@4 (see serve/faults.h)");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
   cli.flag("trailer", trailer_name, "trailer preset title");
   if (!cli.parse(argc, argv)) {
@@ -34,10 +44,8 @@ int main(int argc, char** argv) {
 
   const train::CascadePair pair = train::get_or_train_cascades(cache_dir);
   const vgpu::DeviceSpec device;
-  detect::PipelineOptions options;
-  options.run_display = true;
-  options.min_neighbors = 3;  // prune isolated windows (OpenCV-style)
-  const detect::Pipeline pipeline(device, pair.ours, options);
+  detect::PipelineOptions pipeline_options;
+  pipeline_options.min_neighbors = 3;  // prune isolated windows (OpenCV-style)
 
   // Pick the requested preset.
   video::TrailerSpec spec;
@@ -60,44 +68,56 @@ int main(int argc, char** argv) {
 
   const video::SyntheticTrailer trailer(spec);
   const video::MockH264Decoder decoder(trailer);
-  std::printf("processing %d frames of \"%s\" at %dx%d with cascade '%s' "
-              "(%d stages, %d classifiers)\n\n",
+  std::printf("serving %d frames of \"%s\" at %dx%d with cascade '%s' "
+              "(%d stages, %d classifiers), deadline %.0f ms\n\n",
               frames, spec.title.c_str(), width, height,
               pair.ours.name().c_str(), pair.ours.stage_count(),
-              pair.ours.classifier_count());
+              pair.ours.classifier_count(), deadline_ms);
 
-  double total_detect = 0.0;
-  double total_decode = 0.0;
+  serve::ServiceOptions service_options;
+  service_options.fps = fps;
+  service_options.deadline_ms = deadline_ms;
+  serve::StreamingService service(device, pair.ours, pipeline_options,
+                                  service_options);
+  const serve::FaultPlan plan = serve::FaultPlan::parse(faults, 20120926);
+  if (!plan.empty()) {
+    std::printf("fault plan: %s\n\n", plan.describe().c_str());
+  }
+  const serve::ServiceReport report =
+      service.run(decoder, frames, plan.empty() ? nullptr : &plan);
+
   int matched_frames = 0;
-  for (int f = 0; f < frames; ++f) {
-    const video::DecodedFrame frame = decoder.decode(f);
-    const detect::FrameResult result = pipeline.process(frame.frame.luma());
-    total_detect += result.detect_ms;
-    total_decode += frame.decode_ms;
-
+  for (const serve::ServedFrame& frame : report.frames) {
     // Count ground-truth faces recovered (loose box-overlap check).
+    const auto gt = decoder.decode(frame.index).ground_truth;
     int recovered = 0;
-    for (const auto& gt : frame.ground_truth) {
-      for (const auto& det : result.detections) {
-        if (detect::s_square(det.box, gt.box) > 0.3) {
+    for (const auto& face : gt) {
+      for (const auto& det : frame.detections) {
+        if (detect::s_square(det.box, face.box) > 0.3) {
           ++recovered;
           break;
         }
       }
     }
-    matched_frames += (!frame.ground_truth.empty() && recovered > 0);
-    std::printf("frame %3d: decode %.1f ms + detect %.2f ms | faces %zu, "
-                "detections %zu, recovered %d\n",
-                f, frame.decode_ms, result.detect_ms,
-                frame.ground_truth.size(), result.detections.size(),
-                recovered);
+    matched_frames += (!gt.empty() && recovered > 0);
+    std::printf("frame %3d: %-8s level %d | decode %.1f ms + detect %.2f ms "
+                "-> latency %.2f ms | faces %zu, detections %zu, recovered %d%s\n",
+                frame.index, serve::frame_status_name(frame.status),
+                frame.degradation_level, frame.decode_ms, frame.detect_ms,
+                frame.latency_ms, gt.size(), frame.detections.size(),
+                recovered,
+                frame.error ? ("  [" + frame.error->stage + ": " +
+                               frame.error->message + "]")
+                                  .c_str()
+                            : "");
 
-    if (f == 0) {
+    if (frame.index == 0 &&
+        frame.status != serve::FrameStatus::kDropped) {
       img::ImageU8 r;
       img::ImageU8 g;
       img::ImageU8 b;
-      frame.frame.to_rgb(r, g, b);
-      for (const auto& det : result.detections) {
+      decoder.decode(0).frame.to_rgb(r, g, b);
+      for (const auto& det : frame.detections) {
         img::draw_rect(r, det.box, 255, 3);
         img::draw_rect(g, det.box, 32, 3);
         img::draw_rect(b, det.box, 32, 3);
@@ -107,13 +127,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  const double avg_detect = total_detect / frames;
-  const double avg_decode = total_decode / frames;
-  std::printf("\naverages: decode %.1f ms, detect %.2f ms -> %.0f fps with "
-              "decode offloaded to fixed-function logic\n",
-              avg_decode, avg_detect,
-              1000.0 / std::max(avg_decode, avg_detect));
-  std::printf("24 fps display deadline (40 ms): %s\n",
-              avg_detect + avg_decode < 40.0 ? "met" : "MISSED");
+  std::printf("\nserved %d/%d frames (%d ok, %d degraded, %d dropped, "
+              "%d failed), %d deadline misses, max latency %.2f ms\n",
+              report.ok + report.degraded, frames, report.ok, report.degraded,
+              report.dropped, report.failed, report.deadline_misses,
+              report.max_latency_ms);
+  std::printf("recovery: %d retries, %d faults injected, %d breaker trips, "
+              "%d ladder shifts, final level %d\n",
+              report.retries, report.faults_injected, report.breaker_trips,
+              report.degradation_shifts, report.final_degradation_level);
+  std::printf("deadline (%.0f ms): %s\n", deadline_ms,
+              report.deadline_misses == 0 ? "met on every served frame"
+                                          : "MISSED");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/cli.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <sstream>
@@ -38,35 +39,61 @@ bool parse_bool(std::string_view text, bool& out) {
   return false;
 }
 
+/// Levenshtein distance, for "did you mean" flag suggestions. Flag names
+/// are short, so the quadratic table is negligible.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
 }  // namespace
 
 void Cli::add(std::string name, std::string help, std::string default_repr,
-              std::function<bool(std::string_view)> set) {
-  flags_.push_back(
-      {std::move(name), std::move(help), std::move(default_repr), std::move(set)});
+              std::string type_name, std::function<bool(std::string_view)> set) {
+  flags_.push_back({std::move(name), std::move(help), std::move(default_repr),
+                    std::move(type_name), std::move(set)});
 }
 
 void Cli::flag(std::string name, int& value, std::string help) {
-  add(std::move(name), std::move(help), std::to_string(value),
+  add(std::move(name), std::move(help), std::to_string(value), "int",
       [&value](std::string_view text) { return parse_int(text, value); });
 }
 
 void Cli::flag(std::string name, double& value, std::string help) {
-  add(std::move(name), std::move(help), std::to_string(value),
+  add(std::move(name), std::move(help), std::to_string(value), "double",
       [&value](std::string_view text) { return parse_double(text, value); });
 }
 
 void Cli::flag(std::string name, bool& value, std::string help) {
-  add(std::move(name), std::move(help), value ? "true" : "false",
+  add(std::move(name), std::move(help), value ? "true" : "false", "bool",
       [&value](std::string_view text) { return parse_bool(text, value); });
 }
 
 void Cli::flag(std::string name, std::string& value, std::string help) {
-  add(std::move(name), std::move(help), value,
+  add(std::move(name), std::move(help), value, "string",
       [&value](std::string_view text) {
         value = std::string(text);
         return true;
       });
+}
+
+bool Cli::fail(const std::string& message) {
+  last_error_ = message;
+  std::fputs(message.c_str(), stderr);
+  return false;
 }
 
 bool Cli::parse(int argc, char** argv) {
@@ -82,6 +109,7 @@ bool Cli::parse_known(int argc, char** argv,
 
 bool Cli::parse_impl(int argc, char** argv,
                      std::vector<std::string>* remaining) {
+  last_error_.clear();
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.rfind("--benchmark_", 0) == 0) {
@@ -99,9 +127,8 @@ bool Cli::parse_impl(int argc, char** argv,
         remaining->push_back(argv[i]);
         continue;
       }
-      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n%s",
-                   program_.c_str(), argv[i], usage().c_str());
-      return false;
+      return fail(program_ + ": unexpected positional argument '" + argv[i] +
+                  "' (flags are --name=value or --name value)\n" + usage());
     }
     arg.remove_prefix(2);
     std::string_view name = arg;
@@ -126,19 +153,38 @@ bool Cli::parse_impl(int argc, char** argv,
         remaining->push_back(argv[i]);
         continue;
       }
-      std::fprintf(stderr, "%s: unknown flag '--%.*s'\n%s", program_.c_str(),
-                   static_cast<int>(name.size()), name.data(), usage().c_str());
-      return false;
+      std::string message = program_ + ": unknown flag '--" +
+                            std::string(name) + "'";
+      const Flag* closest = nullptr;
+      std::size_t best = 3;  // suggest only close misspellings
+      for (const auto& flag : flags_) {
+        const std::size_t distance = edit_distance(name, flag.name);
+        if (distance < best) {
+          best = distance;
+          closest = &flag;
+        }
+      }
+      if (closest != nullptr) {
+        message += " (did you mean '--" + closest->name + "'?)";
+      }
+      return fail(message + "\n" + usage());
     }
     if (!has_value && i + 1 < argc && argv[i + 1][0] != '-') {
       value = argv[++i];
       has_value = true;
     }
+    if (!has_value && match->type_name != "bool") {
+      // Without this check the empty value would fall through to the
+      // parser and report a confusing "bad value: ''".
+      return fail(program_ + ": flag '--" + match->name + "' needs a " +
+                  match->type_name + " value: use --" + match->name +
+                  "=<" + match->type_name + "> or --" + match->name +
+                  " <" + match->type_name + ">\n");
+    }
     if (!match->set(value)) {
-      std::fprintf(stderr, "%s: bad value for '--%s': '%.*s'\n",
-                   program_.c_str(), match->name.c_str(),
-                   static_cast<int>(value.size()), value.data());
-      return false;
+      return fail(program_ + ": bad value for '--" + match->name + "': '" +
+                  std::string(value) + "' (expected " + match->type_name +
+                  ", default " + match->default_repr + ")\n");
     }
   }
   return true;

@@ -28,6 +28,8 @@ class Cli {
 
   /// Parses argv; prints a diagnostic and returns false on unknown flags or
   /// malformed values. `--help` prints usage and also returns false.
+  /// Diagnostics name the offending token, the expected value type, and —
+  /// for unknown flags — the closest registered flag name.
   bool parse(int argc, char** argv);
 
   /// Like parse(), but unknown flags and positionals are collected into
@@ -38,16 +40,25 @@ class Cli {
 
   std::string usage() const;
 
+  /// The diagnostic of the most recent parse()/parse_known() failure
+  /// (empty after a success or `--help`). The same text goes to stderr;
+  /// this accessor exists so callers and tests can assert on it.
+  const std::string& last_error() const { return last_error_; }
+
  private:
   struct Flag {
     std::string name;
     std::string help;
     std::string default_repr;
+    std::string type_name;  ///< "int" | "double" | "bool" | "string"
     std::function<bool(std::string_view)> set;
   };
 
   void add(std::string name, std::string help, std::string default_repr,
-           std::function<bool(std::string_view)> set);
+           std::string type_name, std::function<bool(std::string_view)> set);
+
+  /// Records the diagnostic in last_error_ and prints it to stderr.
+  bool fail(const std::string& message);
 
   /// Shared loop: `remaining == nullptr` makes unknown arguments an error
   /// (parse), otherwise they are collected (parse_known).
@@ -55,6 +66,7 @@ class Cli {
 
   std::string program_;
   std::vector<Flag> flags_;
+  std::string last_error_;
 };
 
 }  // namespace fdet::core

@@ -1,5 +1,6 @@
 #include "detect/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/check.h"
@@ -90,8 +91,19 @@ Pipeline::Pipeline(const vgpu::DeviceSpec& spec, haar::Cascade cascade,
 
 Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
   const obs::ScopedSpan build_span("pipeline.build");
+  FDET_CHECK(!luma.empty()) << "detect::Pipeline: empty input frame "
+                            << "(expected a decoded luma plane)";
+  FDET_CHECK(luma.width() >= haar::kWindowSize &&
+             luma.height() >= haar::kWindowSize)
+      << "detect::Pipeline: frame " << luma.width() << "x" << luma.height()
+      << " is smaller than the " << haar::kWindowSize << "x"
+      << haar::kWindowSize << " detection window";
   const img::PyramidPlan plan = img::plan_pyramid(
       luma.width(), luma.height(), options_.pyramid_step, haar::kWindowSize);
+  // Degradation: shed the finest (most expensive) levels first, but never
+  // all of them — the coarsest level always runs.
+  const int skip = std::clamp(options_.skip_finest_levels, 0,
+                              static_cast<int>(plan.levels.size()) - 1);
   const int stage_count = cascade_.stage_count();
 
   Built built;
@@ -104,6 +116,9 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
   }
 
   for (const img::PyramidLevel& level : plan.levels) {
+    if (level.index < skip) {
+      continue;
+    }
     const int stream = level.index;
     const std::string suffix = "_s" + std::to_string(level.index);
 

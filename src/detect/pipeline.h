@@ -31,6 +31,11 @@ struct PipelineOptions {
   /// dropped (OpenCV's classic min-neighbors filter; 1 keeps everything).
   int min_neighbors = 1;
   bool run_display = false;  ///< draw accepted windows into FrameResult::display
+  /// Load-shedding hook for the serving layer's degradation ladder
+  /// (serve/policy.h): skip the N finest pyramid levels — the largest,
+  /// most expensive scales, which detect the smallest faces. Clamped so
+  /// at least one level always runs. 0 = full pyramid.
+  int skip_finest_levels = 0;
 };
 
 /// Per-scale statistics for the Fig. 7 rejection study.
@@ -73,7 +78,10 @@ class Pipeline {
   Pipeline(const vgpu::DeviceSpec& spec, haar::Cascade cascade,
            PipelineOptions options);
 
-  /// Runs the whole pipeline on one decoded luma plane.
+  /// Runs the whole pipeline on one decoded luma plane. The frame must be
+  /// at least the 24x24 detection window in both dimensions (throws
+  /// core::CheckError with the offending geometry otherwise — undersized
+  /// or empty frames cannot host a single detection window).
   FrameResult process(const img::ImageU8& luma) const;
 
   /// Runs the functional pipeline once and schedules it under both

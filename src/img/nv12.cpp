@@ -6,15 +6,30 @@
 #include "core/check.h"
 
 namespace fdet::img {
+namespace {
 
-Nv12Frame::Nv12Frame(int width, int height)
-    : width_(width), height_(height), luma_(width, height),
-      chroma_(width, height / 2) {
-  FDET_CHECK(width > 0 && height > 0 && width % 2 == 0 && height % 2 == 0)
-      << "NV12 requires even dimensions, got " << width << "x" << height;
+/// Validated before any plane is allocated, so a bad geometry fails with
+/// this message instead of an opaque error from the plane constructors
+/// (e.g. "image dimensions 640x0" for an odd height of 1).
+int checked_nv12_width(int width, int height) {
+  FDET_CHECK(width > 0 && height > 0)
+      << "NV12 frame dimensions must be positive, got " << width << "x"
+      << height;
+  FDET_CHECK(width % 2 == 0 && height % 2 == 0)
+      << "NV12 frame dimensions must be even (4:2:0 chroma subsampling "
+         "halves both axes), got "
+      << width << "x" << height;
+  return width;
 }
 
+}  // namespace
+
+Nv12Frame::Nv12Frame(int width, int height)
+    : width_(checked_nv12_width(width, height)), height_(height),
+      luma_(width, height), chroma_(width, height / 2) {}
+
 Nv12Frame Nv12Frame::from_gray(const ImageU8& gray) {
+  FDET_CHECK(!gray.empty()) << "NV12 from_gray: empty source image";
   Nv12Frame frame(gray.width(), gray.height());
   frame.luma_ = gray;
   frame.chroma_.fill(128);  // neutral chroma

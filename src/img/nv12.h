@@ -16,7 +16,9 @@ class Nv12Frame {
  public:
   Nv12Frame() = default;
 
-  /// Allocates a zeroed frame. Dimensions must be even (4:2:0 sampling).
+  /// Allocates a zeroed frame. Dimensions must be positive and even
+  /// (4:2:0 sampling); throws core::CheckError naming the offending
+  /// geometry otherwise.
   Nv12Frame(int width, int height);
 
   int width() const { return width_; }

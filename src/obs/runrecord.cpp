@@ -142,7 +142,17 @@ RunRecord RunRecord::parse(std::string_view text) {
 }
 
 RunRecord RunRecord::load_file(const std::string& path) {
-  return from_json(json::parse_file(path));
+  try {
+    return from_json(json::parse_file(path));
+  } catch (const core::CheckError& error) {
+    // Parse/schema failures name the defect but not the file; re-raise
+    // with the path so "which baseline was bad" is never a mystery.
+    const std::string what = error.what();
+    if (what.find(path) == std::string::npos) {
+      FDET_CHECK(false) << "run record '" << path << "': " << what;
+    }
+    throw;
+  }
 }
 
 RunRecord build_run_record(std::string artifact, std::string variant,

@@ -1,0 +1,224 @@
+#include "serve/faults.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace fdet::serve {
+namespace {
+
+/// Distinguishes the per-kind hash streams of one plan seed.
+std::uint64_t kind_salt(FaultKind kind) {
+  return 0x9e37u + static_cast<std::uint64_t>(kind);
+}
+
+std::optional<FaultKind> kind_from_token(std::string_view token) {
+  if (token == "decode") return FaultKind::kDecodeFail;
+  if (token == "corrupt") return FaultKind::kCorruptLuma;
+  if (token == "launch") return FaultKind::kLaunchTransient;
+  if (token == "const") return FaultKind::kConstantOverflow;
+  if (token == "shared") return FaultKind::kSharedOverflow;
+  return std::nullopt;
+}
+
+bool is_hard(FaultKind kind) {
+  return kind == FaultKind::kConstantOverflow ||
+         kind == FaultKind::kSharedOverflow;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDecodeFail: return "decode";
+    case FaultKind::kCorruptLuma: return "corrupt";
+    case FaultKind::kLaunchTransient: return "launch";
+    case FaultKind::kConstantOverflow: return "const";
+    case FaultKind::kSharedOverflow: return "shared";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs)
+    : seed_(seed), specs_(std::move(specs)) {
+  for (const FaultSpec& spec : specs_) {
+    FDET_CHECK(spec.frame >= 0 || (spec.probability > 0.0 &&
+                                   spec.probability <= 1.0))
+        << "fault spec '" << fault_kind_name(spec.kind)
+        << "' needs a frame index or a probability in (0, 1]";
+    FDET_CHECK(spec.burst >= 1) << "fault burst must be >= 1";
+  }
+}
+
+FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
+  std::vector<FaultSpec> specs;
+  std::istringstream stream(text);
+  for (std::string token; std::getline(stream, token, ',');) {
+    if (token.empty()) {
+      continue;
+    }
+    const auto at = token.find('@');
+    FDET_CHECK(at != std::string::npos)
+        << "fault token '" << token << "' is not <kind>@<frame|prob>[xN]";
+    const auto kind = kind_from_token(token.substr(0, at));
+    FDET_CHECK(kind.has_value())
+        << "unknown fault kind '" << token.substr(0, at)
+        << "' in '" << token
+        << "' (kinds: decode, corrupt, launch, const, shared)";
+    FaultSpec spec;
+    spec.kind = *kind;
+    std::string target = token.substr(at + 1);
+    if (const auto x = target.find('x'); x != std::string::npos) {
+      const std::string burst = target.substr(x + 1);
+      try {
+        spec.burst = std::stoi(burst);
+      } catch (const std::exception&) {
+        spec.burst = 0;  // rejected below with the token in the message
+      }
+      FDET_CHECK(spec.burst >= 1)
+          << "fault burst '" << burst << "' in '" << token
+          << "' must be a positive integer";
+      target.resize(x);
+    }
+    try {
+      if (target.find('.') != std::string::npos) {
+        spec.probability = std::stod(target);
+        spec.frame = -1;
+      } else {
+        spec.frame = std::stoi(target);
+      }
+    } catch (const std::exception&) {
+      FDET_CHECK(false) << "fault target '" << target << "' in '" << token
+                        << "' is neither a frame index nor a probability";
+    }
+    specs.push_back(spec);
+  }
+  return FaultPlan(seed, std::move(specs));
+}
+
+bool FaultPlan::fires(FaultKind kind, int frame, int attempt) const {
+  for (const FaultSpec& spec : specs_) {
+    if (spec.kind != kind) {
+      continue;
+    }
+    bool targeted;
+    if (spec.frame >= 0) {
+      targeted = spec.frame == frame;
+    } else {
+      core::Rng rng(core::hash_combine(
+          core::hash_combine(seed_, kind_salt(kind)),
+          static_cast<std::uint64_t>(frame)));
+      targeted = rng.bernoulli(spec.probability);
+    }
+    if (!targeted) {
+      continue;
+    }
+    if (is_hard(kind) || kind == FaultKind::kCorruptLuma ||
+        attempt < spec.burst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::targets_frame(int frame) const {
+  for (const FaultSpec& spec : specs_) {
+    if (fires(spec.kind, frame, 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> FaultPlan::targeted_frames() const {
+  std::vector<int> frames;
+  for (const FaultSpec& spec : specs_) {
+    if (spec.frame >= 0) {
+      frames.push_back(spec.frame);
+    }
+  }
+  std::sort(frames.begin(), frames.end());
+  frames.erase(std::unique(frames.begin(), frames.end()), frames.end());
+  return frames;
+}
+
+std::string FaultPlan::describe() const {
+  if (specs_.empty()) {
+    return "(no faults)";
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << fault_kind_name(spec.kind) << "@";
+    if (spec.frame >= 0) {
+      out << spec.frame;
+    } else {
+      out << spec.probability;
+    }
+    if (spec.burst > 1) {
+      out << "x" << spec.burst;
+    }
+  }
+  return out.str();
+}
+
+void corrupt_luma(img::ImageU8& luma, std::uint64_t seed) {
+  FDET_CHECK(!luma.empty()) << "cannot corrupt an empty luma plane";
+  core::Rng rng(seed);
+  const int band = std::max(1, luma.height() / 4);
+  const int y0 = rng.uniform_int(0, luma.height() - band);
+  for (int y = y0; y < y0 + band; ++y) {
+    for (std::uint8_t& px : luma.row(y)) {
+      px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+  }
+}
+
+vgpu::LaunchFaultHook make_launch_fault_hook(const FaultPlan& plan, int frame,
+                                             int attempt) {
+  const bool transient =
+      plan.fires(FaultKind::kLaunchTransient, frame, attempt);
+  const bool constant = plan.fires(FaultKind::kConstantOverflow, frame, attempt);
+  const bool shared = plan.fires(FaultKind::kSharedOverflow, frame, attempt);
+  if (!transient && !constant && !shared) {
+    return {};
+  }
+  // One injected failure per armed attempt: the first matching launch
+  // throws, the retry re-arms with attempt+1.
+  auto fired = std::make_shared<bool>(false);
+  return [=](const vgpu::KernelConfig& config) {
+    if (*fired) {
+      return;
+    }
+    if (transient) {
+      *fired = true;
+      throw vgpu::LaunchError("injected transient launch failure on '" +
+                                  config.name + "' (frame " +
+                                  std::to_string(frame) + ", attempt " +
+                                  std::to_string(attempt) + ")",
+                              /*transient=*/true);
+    }
+    if (constant && config.constant_bytes > 0) {
+      *fired = true;
+      throw vgpu::LaunchError("injected constant-memory overflow on '" +
+                                  config.name + "' (frame " +
+                                  std::to_string(frame) + ")",
+                              /*transient=*/false);
+    }
+    if (shared && config.shared_bytes > 0) {
+      *fired = true;
+      throw vgpu::LaunchError("injected shared-memory overflow on '" +
+                                  config.name + "' (frame " +
+                                  std::to_string(frame) + ")",
+                              /*transient=*/false);
+    }
+  };
+}
+
+}  // namespace fdet::serve

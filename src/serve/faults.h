@@ -1,0 +1,110 @@
+// Fault-injection seam for the streaming serving layer.
+//
+// A FaultPlan is a seeded, deterministic description of when and how the
+// pipeline misbehaves: decode failures and corrupt NV12 luma (the mock
+// equivalent of bitstream damage and macroblock corruption), transient
+// vgpu launch failures (driver hiccups), and constant/shared-memory
+// overflow faults (hard resource errors). Faults target either an exact
+// frame index or fire probabilistically per frame; probabilistic decisions
+// hash (seed, kind, frame) so two runs of the same plan inject identical
+// faults — the chaos harness relies on that to compare a faulted run
+// against its fault-free twin frame by frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "img/image.h"
+#include "vgpu/kernel.h"
+
+namespace fdet::serve {
+
+enum class FaultKind {
+  kDecodeFail,        ///< decode attempt throws DecodeError (transient)
+  kCorruptLuma,       ///< decode succeeds but a luma band is noise
+  kLaunchTransient,   ///< first kernel launch of the attempt fails, retryable
+  kConstantOverflow,  ///< cascade launch reports constant-memory overflow (hard)
+  kSharedOverflow,    ///< shared-memory-using launch reports overflow (hard)
+};
+
+/// Stable lower-case token, also the spec-string name: "decode", "corrupt",
+/// "launch", "const", "shared".
+const char* fault_kind_name(FaultKind kind);
+
+/// Thrown by FaultInjector::decode on an injected decode failure — the
+/// mock equivalent of NVCUVID reporting a damaged access unit. Always
+/// transient: a later attempt (attempt >= burst) succeeds.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDecodeFail;
+  /// Exact frame index this fault targets; -1 = probabilistic per frame.
+  int frame = -1;
+  /// Per-frame firing probability when frame < 0 (ignored otherwise).
+  double probability = 0.0;
+  /// Retryable kinds fail the first `burst` attempts of the frame and
+  /// succeed afterwards; hard kinds (const/shared overflow) fail every
+  /// attempt regardless. Corruption ignores it (applies once).
+  int burst = 1;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs);
+
+  /// Parses a compact plan spec, comma-separated:
+  ///
+  ///   decode@4        decode failure at frame 4 (1 failing attempt)
+  ///   launch@9x2      launch faults at frame 9, first 2 attempts fail
+  ///   corrupt@12      corrupt the luma plane of frame 12
+  ///   const@17        constant-overflow fault at frame 17 (hard)
+  ///   shared@21       shared-overflow fault at frame 21 (hard)
+  ///   launch@0.05     probabilistic: each frame fails with p = 0.05
+  ///
+  /// A target with a '.' parses as a probability, otherwise as a frame
+  /// index. Throws core::CheckError naming the offending token.
+  static FaultPlan parse(const std::string& text, std::uint64_t seed);
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// True when `kind` fires for this (frame, attempt) — deterministic.
+  bool fires(FaultKind kind, int frame, int attempt = 0) const;
+
+  /// True when any spec fires at this frame for any attempt: the chaos
+  /// harness excludes such frames from clean-frame comparisons.
+  bool targets_frame(int frame) const;
+
+  /// Frame indices of all deterministic (frame-targeted) specs, sorted
+  /// ascending and deduplicated — the burst schedule the chaos harness
+  /// checks recovery between.
+  std::vector<int> targeted_frames() const;
+
+  std::string describe() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultSpec> specs_;
+};
+
+/// Overwrites a deterministic horizontal band (~1/4 of the frame) with
+/// seeded noise — the corruption model for FaultKind::kCorruptLuma.
+void corrupt_luma(img::ImageU8& luma, std::uint64_t seed);
+
+/// Builds the vgpu launch-fault hook arming the plan's launch-stage faults
+/// for one (frame, attempt). Returns an empty function when nothing fires.
+/// The hook throws vgpu::LaunchError: transient for kLaunchTransient, hard
+/// for the overflow kinds (thrown on the first launch that actually uses
+/// constant or shared memory, respectively).
+vgpu::LaunchFaultHook make_launch_fault_hook(const FaultPlan& plan, int frame,
+                                             int attempt);
+
+}  // namespace fdet::serve

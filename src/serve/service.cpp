@@ -1,0 +1,355 @@
+#include "serve/service.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "obs/trace.h"
+
+namespace fdet::serve {
+
+const char* frame_status_name(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kDegraded: return "degraded";
+    case FrameStatus::kDropped: return "dropped";
+    case FrameStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+StreamingService::StreamingService(const vgpu::DeviceSpec& spec,
+                                   haar::Cascade cascade,
+                                   detect::PipelineOptions base,
+                                   ServiceOptions options,
+                                   obs::Registry* registry)
+    : spec_(spec), cascade_(std::move(cascade)), base_(base),
+      options_(options), registry_(registry),
+      ladder_(options_.degrade, options_.deadline_ms),
+      decode_breaker_(options_.breaker), detect_breaker_(options_.breaker),
+      jitter_rng_(options_.seed) {
+  FDET_CHECK(options_.fps > 0.0) << "service fps must be positive";
+  FDET_CHECK(options_.deadline_ms > 0.0) << "deadline budget must be positive";
+  FDET_CHECK(options_.queue_capacity >= 1)
+      << "queue capacity must be >= 1, got " << options_.queue_capacity;
+  FDET_CHECK(options_.retry.max_attempts >= 1)
+      << "retry.max_attempts must be >= 1";
+}
+
+void StreamingService::count(const char* name, const obs::Labels& labels,
+                             double delta) {
+  if (registry_ != nullptr) {
+    registry_->counter(name, labels).add(delta);
+  }
+}
+
+void StreamingService::gauge(const char* name, double value,
+                             const obs::Labels& labels) {
+  if (registry_ != nullptr) {
+    registry_->gauge(name, labels).set(value);
+  }
+}
+
+void StreamingService::observe_histogram(const char* name,
+                                         std::vector<double> bounds,
+                                         double value) {
+  if (registry_ != nullptr) {
+    registry_->histogram(name, std::move(bounds)).observe(value);
+  }
+}
+
+void StreamingService::trace_instant(const std::string& text) {
+  if (obs::TraceSession* session = obs::TraceSession::current()) {
+    session->instant(text);
+  }
+}
+
+const detect::Pipeline& StreamingService::pipeline_for_level(int level) {
+  auto it = pipelines_.find(level);
+  if (it == pipelines_.end()) {
+    const DegradationStep& step = DegradationLadder::step_at(level);
+    detect::PipelineOptions options = base_;
+    options.skip_finest_levels = base_.skip_finest_levels +
+                                 step.skip_finest_levels;
+    options.min_neighbors = base_.min_neighbors + step.min_neighbors_boost;
+    if (step.serial_exec) {
+      options.mode = vgpu::ExecMode::kSerial;
+    }
+    it = pipelines_
+             .emplace(level, std::make_unique<detect::Pipeline>(
+                                 spec_, cascade_, options))
+             .first;
+  }
+  return *it->second;
+}
+
+void StreamingService::reset() {
+  ladder_ = DegradationLadder(options_.degrade, options_.deadline_ms);
+  decode_breaker_ = CircuitBreaker(options_.breaker);
+  detect_breaker_ = CircuitBreaker(options_.breaker);
+  jitter_rng_ = core::Rng(options_.seed);
+}
+
+ServedFrame StreamingService::serve_frame(
+    const video::MockH264Decoder& decoder, int index, const FaultPlan* plan) {
+  ServedFrame sf;
+  sf.index = index;
+  sf.degradation_level = ladder_.level();
+
+  const auto fail = [&](const char* stage, ErrorClass cls,
+                        const std::string& message, int attempts,
+                        CircuitBreaker& breaker) {
+    sf.status = FrameStatus::kFailed;
+    sf.error = FrameError{index, stage, cls, message, attempts};
+    count("serve.frame_errors", {{"stage", stage},
+                                 {"class", error_class_name(cls)}});
+    const int trips_before = breaker.trips();
+    breaker.record_failure();
+    if (breaker.trips() != trips_before) {
+      count("serve.breaker.trips", {{"stage", stage}});
+      trace_instant(std::string("serve.breaker ") + stage + " open");
+      // A tripped stage is unhealthy: the simplest failure domain while it
+      // cools down is the serial-exec rung of the ladder.
+      const int before = ladder_.level();
+      ladder_.force_serial_fallback();
+      if (ladder_.level() != before) {
+        count("serve.degradation.shifts");
+        trace_instant("serve.degrade -> level " +
+                      std::to_string(ladder_.level()) + " (" +
+                      ladder_.step().name + ")");
+      }
+    }
+  };
+
+  const auto backoff = [&](const char* stage, int retry) {
+    const double wait = retry_backoff_ms(options_.retry, retry, jitter_rng_);
+    sf.backoff_ms += wait;
+    ++sf.retries;
+    count("serve.retries", {{"stage", stage}});
+    observe_histogram("serve.backoff_ms", {0.5, 1, 2, 4, 8, 16, 32, 64},
+                      wait);
+    trace_instant(std::string("serve.retry ") + stage + " frame " +
+                  std::to_string(index) + " retry " + std::to_string(retry));
+  };
+
+  // ---- Decode stage: bounded retry behind its circuit breaker. ----
+  if (!decode_breaker_.allows()) {
+    fail("decode", ErrorClass::kTransient, "decode circuit breaker open", 0,
+         decode_breaker_);
+    // Rejected without running: does not touch the breaker's cooldown
+    // counters beyond the frame clock (run() advances it).
+    sf.error->message = "decode circuit breaker open";
+    return sf;
+  }
+  video::DecodedFrame decoded;
+  {
+    const obs::ScopedSpan span("serve.decode");
+    int attempt = 0;
+    while (true) {
+      try {
+        if (plan != nullptr &&
+            plan->fires(FaultKind::kDecodeFail, index, attempt)) {
+          count("serve.faults.injected", {{"kind", "decode"}});
+          sf.fault_injected = true;
+          throw DecodeError("injected decode failure (frame " +
+                            std::to_string(index) + ", attempt " +
+                            std::to_string(attempt) + ")");
+        }
+        decoded = decoder.decode(index);
+        sf.decode_ms += decoded.decode_ms;
+        break;
+      } catch (const DecodeError& error) {
+        sf.decode_ms += decoder.decode_latency_ms(index);
+        if (attempt + 1 >= options_.retry.max_attempts) {
+          fail("decode", ErrorClass::kTransient,
+               std::string(error.what()) + " (retries exhausted)",
+               attempt + 1, decode_breaker_);
+          return sf;
+        }
+        backoff("decode", ++attempt);
+      }
+    }
+    decode_breaker_.record_success();
+    if (sf.retries > 0) {
+      count("serve.faults.recovered", {{"stage", "decode"}});
+    }
+  }
+  if (plan != nullptr && plan->fires(FaultKind::kCorruptLuma, index)) {
+    // Undetectable input damage: flows through like real bitstream
+    // corruption would — the service must survive it, not spot it.
+    count("serve.faults.injected", {{"kind", "corrupt"}});
+    sf.fault_injected = true;
+    corrupt_luma(decoded.frame.luma(),
+                 core::hash_combine(plan->seed(),
+                                    static_cast<std::uint64_t>(index)));
+  }
+
+  // ---- Detect stage: retry transient launch faults, quarantine hard ones. ----
+  if (!detect_breaker_.allows()) {
+    fail("detect", ErrorClass::kTransient, "detect circuit breaker open", 0,
+         detect_breaker_);
+    return sf;
+  }
+  const detect::Pipeline& pipeline = pipeline_for_level(sf.degradation_level);
+  const obs::ScopedSpan span("serve.detect");
+  const int detect_retries_before = sf.retries;
+  int attempt = 0;
+  while (true) {
+    std::optional<vgpu::ScopedLaunchFaultHook> hook;
+    if (plan != nullptr) {
+      hook.emplace(make_launch_fault_hook(*plan, index, attempt));
+    }
+    try {
+      detect::FrameResult result = pipeline.process(decoded.frame.luma());
+      sf.detect_ms = result.detect_ms;
+      sf.detections = std::move(result.detections);
+      break;
+    } catch (const vgpu::LaunchError& error) {
+      if (error.transient()) {
+        count("serve.faults.injected", {{"kind", "launch"}});
+        sf.fault_injected = true;
+        if (attempt + 1 >= options_.retry.max_attempts) {
+          fail("detect", ErrorClass::kTransient,
+               std::string(error.what()) + " (retries exhausted)",
+               attempt + 1, detect_breaker_);
+          return sf;
+        }
+        hook.reset();
+        backoff("detect", ++attempt);
+        continue;
+      }
+      // Hard resource fault: retrying would fail identically. Quarantine.
+      const bool constant =
+          plan != nullptr &&
+          plan->fires(FaultKind::kConstantOverflow, index, attempt);
+      count("serve.faults.injected", {{"kind", constant ? "const" : "shared"}});
+      sf.fault_injected = true;
+      fail("detect", ErrorClass::kResource, error.what(), attempt + 1,
+           detect_breaker_);
+      return sf;
+    } catch (const std::exception& error) {
+      // Anything unexpected from a stage: quarantine the frame, keep the
+      // service alive.
+      fail("detect", ErrorClass::kFatal, error.what(), attempt + 1,
+           detect_breaker_);
+      return sf;
+    }
+  }
+  detect_breaker_.record_success();
+  if (sf.retries > detect_retries_before) {
+    count("serve.faults.recovered", {{"stage", "detect"}});
+  }
+
+  sf.status = sf.degradation_level > 0 ? FrameStatus::kDegraded
+                                       : FrameStatus::kOk;
+  return sf;
+}
+
+ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
+                                    int count_frames, const FaultPlan* plan) {
+  FDET_CHECK(count_frames >= 1) << "run() needs at least one frame";
+  FDET_CHECK(count_frames <= decoder.frame_count())
+      << "run(" << count_frames << ") exceeds the stream's "
+      << decoder.frame_count() << " frames";
+  reset();
+
+  ServiceReport report;
+  report.frames.reserve(static_cast<std::size_t>(count_frames));
+  std::vector<double> pending;  ///< completion times of in-flight frames
+  double last_completion_s = 0.0;
+  int unserved_streak = 0;
+
+  for (int i = 0; i < count_frames; ++i) {
+    const double arrival_s = i / options_.fps;
+    decode_breaker_.on_frame();
+    detect_breaker_.on_frame();
+    std::erase_if(pending, [&](double done) { return done <= arrival_s; });
+    const int depth = static_cast<int>(pending.size());
+    observe_histogram(
+        "serve.queue_depth",
+        obs::linear_buckets(0.0, 1.0, options_.queue_capacity + 1),
+        static_cast<double>(depth));
+
+    ServedFrame sf;
+    const DegradationStep& step = ladder_.step();
+    if (depth >= options_.queue_capacity) {
+      sf.index = i;
+      sf.status = FrameStatus::kDropped;
+      sf.degradation_level = ladder_.level();
+      count("serve.dropped", {{"reason", "backpressure"}});
+      trace_instant("serve.drop frame " + std::to_string(i) +
+                    " (queue full)");
+    } else if (step.shed_queued_frames && depth > 0) {
+      sf.index = i;
+      sf.status = FrameStatus::kDropped;
+      sf.degradation_level = ladder_.level();
+      count("serve.dropped", {{"reason", "shed"}});
+      trace_instant("serve.drop frame " + std::to_string(i) +
+                    " (load shedding)");
+    } else {
+      sf = serve_frame(decoder, i, plan);
+    }
+    sf.arrival_s = arrival_s;
+    sf.queue_depth = depth;
+
+    const bool served = sf.status == FrameStatus::kOk ||
+                        sf.status == FrameStatus::kDegraded;
+    if (sf.status == FrameStatus::kDropped) {
+      sf.completion_s = arrival_s;  // dropped instantly, no service time
+    } else {
+      const double start_s = std::max(arrival_s, last_completion_s);
+      sf.completion_s =
+          start_s + (sf.decode_ms + sf.detect_ms + sf.backoff_ms) * 1e-3;
+      pending.push_back(sf.completion_s);
+      last_completion_s = sf.completion_s;
+    }
+    sf.latency_ms = (sf.completion_s - arrival_s) * 1e3;
+
+    if (served) {
+      observe_histogram("serve.latency_ms",
+                        {1, 2, 5, 10, 20, 30, 40, 50, 75, 100, 150, 200},
+                        sf.latency_ms);
+      if (sf.latency_ms > options_.deadline_ms) {
+        ++report.deadline_misses;
+        count("serve.deadline_misses");
+      }
+      const int level_before = ladder_.level();
+      ladder_.observe(sf.latency_ms);
+      if (ladder_.level() != level_before) {
+        count("serve.degradation.shifts");
+        trace_instant("serve.degrade -> level " +
+                      std::to_string(ladder_.level()) + " (" +
+                      ladder_.step().name + ")");
+      }
+    }
+
+    count("serve.frames", {{"status", frame_status_name(sf.status)}});
+    gauge("serve.degradation.level", static_cast<double>(ladder_.level()));
+    gauge("serve.breaker.state",
+          static_cast<double>(decode_breaker_.state()),
+          {{"stage", "decode"}});
+    gauge("serve.breaker.state",
+          static_cast<double>(detect_breaker_.state()),
+          {{"stage", "detect"}});
+
+    switch (sf.status) {
+      case FrameStatus::kOk: ++report.ok; break;
+      case FrameStatus::kDegraded: ++report.degraded; break;
+      case FrameStatus::kDropped: ++report.dropped; break;
+      case FrameStatus::kFailed: ++report.failed; break;
+    }
+    report.retries += sf.retries;
+    report.faults_injected += sf.fault_injected ? 1 : 0;
+    report.max_latency_ms = std::max(report.max_latency_ms, sf.latency_ms);
+    unserved_streak = served ? 0 : unserved_streak + 1;
+    report.max_consecutive_unserved =
+        std::max(report.max_consecutive_unserved, unserved_streak);
+    report.frames.push_back(std::move(sf));
+  }
+
+  report.breaker_trips = decode_breaker_.trips() + detect_breaker_.trips();
+  report.degradation_shifts = ladder_.shifts();
+  report.final_degradation_level = ladder_.level();
+  return report;
+}
+
+}  // namespace fdet::serve

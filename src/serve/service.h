@@ -1,0 +1,139 @@
+// Fault-tolerant streaming detection service (the serving layer of
+// ROADMAP's "heavy traffic" north star).
+//
+// StreamingService wraps decoder -> detect::Pipeline behind a bounded
+// frame queue with backpressure and a per-frame deadline budget, all in
+// *virtual* time: frames arrive at the stream fps, service occupancy is
+// the modeled decode + detect (+ retry backoff) latency, and the queue
+// depth is derived from arrivals vs completions — deterministic, like the
+// rest of the simulator, so chaos runs are exactly reproducible.
+//
+// Recovery behavior (serve/policy.h):
+//   * transient faults (decode glitches, vgpu launch hiccups) retry with
+//     exponential backoff + jitter, bounded by RetryOptions;
+//   * repeated per-stage frame failures trip a circuit breaker that
+//     rejects the stage for a cooldown and forces the serial-exec rung of
+//     the degradation ladder;
+//   * hard resource faults (constant/shared overflow) and unexpected
+//     errors quarantine the frame with a structured FrameError — the
+//     service never crashes;
+//   * blowing the deadline budget walks the degradation ladder down
+//     (shed finest scales -> raise min_neighbors -> serial exec -> shed
+//     queued frames); sustained in-budget frames climb back up.
+//
+// Everything is observable: serve.* metrics in an obs::Registry and trace
+// spans/instants per recovery action on the ambient obs::TraceSession.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "detect/pipeline.h"
+#include "obs/metrics.h"
+#include "serve/faults.h"
+#include "serve/policy.h"
+#include "video/decoder.h"
+
+namespace fdet::serve {
+
+enum class FrameStatus { kOk, kDegraded, kDropped, kFailed };
+const char* frame_status_name(FrameStatus status);
+
+/// Outcome of one frame through the service.
+struct ServedFrame {
+  int index = 0;
+  FrameStatus status = FrameStatus::kOk;
+  int degradation_level = 0;  ///< ladder level the frame was served at
+  int retries = 0;            ///< retry attempts spent across both stages
+  bool fault_injected = false;
+  double arrival_s = 0.0;     ///< virtual stream time the frame arrived
+  double completion_s = 0.0;  ///< virtual time the service finished it
+  double decode_ms = 0.0;
+  double detect_ms = 0.0;
+  double backoff_ms = 0.0;    ///< total retry backoff charged to the frame
+  double latency_ms = 0.0;    ///< end-to-end: completion - arrival
+  int queue_depth = 0;        ///< backlog when the frame arrived
+  std::vector<detect::Detection> detections;  ///< empty unless served
+  std::optional<FrameError> error;            ///< kFailed only
+};
+
+struct ServiceOptions {
+  double fps = 24.0;          ///< stream arrival rate
+  double deadline_ms = 40.0;  ///< per-frame latency budget (24 fps display)
+  int queue_capacity = 4;     ///< arrivals beyond this backlog are dropped
+  RetryOptions retry;
+  BreakerOptions breaker;
+  DegradeOptions degrade;
+  std::uint64_t seed = 0x5e12e;  ///< backoff-jitter stream
+};
+
+/// Aggregate of one run(): the per-frame records plus the summary the
+/// chaos harness asserts on.
+struct ServiceReport {
+  std::vector<ServedFrame> frames;
+  int ok = 0;
+  int degraded = 0;
+  int dropped = 0;
+  int failed = 0;
+  int deadline_misses = 0;
+  int retries = 0;
+  int faults_injected = 0;
+  int breaker_trips = 0;
+  int degradation_shifts = 0;
+  int final_degradation_level = 0;
+  /// Longest streak of frames that produced no detections output
+  /// (dropped or failed) — the chaos harness bounds this.
+  int max_consecutive_unserved = 0;
+  double max_latency_ms = 0.0;
+};
+
+class StreamingService {
+ public:
+  /// `base` is the level-0 pipeline configuration; the degradation ladder
+  /// derives the shed configurations from it. `registry` may be null
+  /// (no metrics).
+  StreamingService(const vgpu::DeviceSpec& spec, haar::Cascade cascade,
+                   detect::PipelineOptions base, ServiceOptions options,
+                   obs::Registry* registry = nullptr);
+
+  /// Serves frames [0, count) of the decoder's stream under an optional
+  /// fault plan (null = fault-free). Resets service state (ladder,
+  /// breakers, virtual clock) so consecutive runs are independent.
+  ServiceReport run(const video::MockH264Decoder& decoder, int count,
+                    const FaultPlan* plan = nullptr);
+
+  const ServiceOptions& options() const { return options_; }
+  int degradation_level() const { return ladder_.level(); }
+  BreakerState decode_breaker() const { return decode_breaker_.state(); }
+  BreakerState detect_breaker() const { return detect_breaker_.state(); }
+
+ private:
+  const detect::Pipeline& pipeline_for_level(int level);
+  ServedFrame serve_frame(const video::MockH264Decoder& decoder, int index,
+                          const FaultPlan* plan);
+  void reset();
+
+  // Metrics helpers; no-ops when registry_ is null.
+  void count(const char* name, const obs::Labels& labels = {},
+             double delta = 1.0);
+  void gauge(const char* name, double value, const obs::Labels& labels = {});
+  void observe_histogram(const char* name, std::vector<double> bounds,
+                         double value);
+  void trace_instant(const std::string& text);
+
+  vgpu::DeviceSpec spec_;
+  haar::Cascade cascade_;
+  detect::PipelineOptions base_;
+  ServiceOptions options_;
+  obs::Registry* registry_;
+
+  std::map<int, std::unique_ptr<detect::Pipeline>> pipelines_;  ///< per level
+  DegradationLadder ladder_;
+  CircuitBreaker decode_breaker_;
+  CircuitBreaker detect_breaker_;
+  core::Rng jitter_rng_;
+};
+
+}  // namespace fdet::serve

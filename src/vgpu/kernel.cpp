@@ -122,10 +122,26 @@ WarpCost aggregate_warp(const CostModel& cost, const KernelConfig& config,
   return warp;
 }
 
+/// Process-wide fault hook (see ScopedLaunchFaultHook). Plain pointer-free
+/// static: installed and consumed on the launching thread only.
+LaunchFaultHook g_launch_fault_hook;
+
 }  // namespace
+
+ScopedLaunchFaultHook::ScopedLaunchFaultHook(LaunchFaultHook hook)
+    : previous_(std::move(g_launch_fault_hook)) {
+  g_launch_fault_hook = std::move(hook);
+}
+
+ScopedLaunchFaultHook::~ScopedLaunchFaultHook() {
+  g_launch_fault_hook = std::move(previous_);
+}
 
 LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
                           std::span<const PhaseFn> phases) {
+  if (g_launch_fault_hook) {
+    g_launch_fault_hook(config);  // may throw to inject a launch failure
+  }
   FDET_CHECK(!phases.empty()) << "kernel '" << config.name << "' has no phases";
   FDET_CHECK(config.grid.count() > 0 && config.block.count() > 0)
       << "kernel '" << config.name << "' has an empty launch";

@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,43 @@ struct KernelConfig {
 /// costed operations through LaneCtx. SharedMem::array views are stable
 /// across lanes and phases of one block.
 using PhaseFn = std::function<void(const ThreadCoord&, LaneCtx&, SharedMem&)>;
+
+/// Launch-time failure of the virtual device — the analogue of a CUDA
+/// launch error (cudaErrorLaunchFailure and friends). `transient()`
+/// distinguishes glitches a caller may retry (driver hiccup, ECC retry)
+/// from hard resource faults (constant/shared overflow) that will fail
+/// identically on every attempt.
+class LaunchError : public std::runtime_error {
+ public:
+  LaunchError(const std::string& what, bool transient)
+      : std::runtime_error(what), transient_(transient) {}
+  bool transient() const { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// Fault-injection seam: when a hook is installed, execute_kernel calls it
+/// with the launch config before running any thread. The hook may throw
+/// (typically LaunchError) to make the launch fail — this is how the
+/// serving layer (serve/faults.h) injects transient launch failures and
+/// resource-overflow faults without touching kernel code.
+using LaunchFaultHook = std::function<void(const KernelConfig&)>;
+
+/// RAII installer for the process-wide launch-fault hook. Installation is
+/// not synchronized: install from the thread that issues the launches,
+/// before any concurrent kernel execution. Restores the previously
+/// installed hook (hooks nest) on destruction.
+class ScopedLaunchFaultHook {
+ public:
+  explicit ScopedLaunchFaultHook(LaunchFaultHook hook);
+  ~ScopedLaunchFaultHook();
+  ScopedLaunchFaultHook(const ScopedLaunchFaultHook&) = delete;
+  ScopedLaunchFaultHook& operator=(const ScopedLaunchFaultHook&) = delete;
+
+ private:
+  LaunchFaultHook previous_;
+};
 
 /// Cost of one executed kernel launch, ready for scheduling.
 struct LaunchCost {

@@ -135,6 +135,74 @@ TEST(Cli, IgnoresBenchmarkFlags) {
   EXPECT_TRUE(cli.parse(2, const_cast<char**>(argv)));
 }
 
+TEST(Cli, UnknownFlagDiagnosticNamesTokenAndSuggestsClosest) {
+  Cli cli("test");
+  int frames = 8;
+  double scale = 1.25;
+  cli.flag("frames", frames, "");
+  cli.flag("scale", scale, "");
+  const char* argv[] = {"test", "--frmaes=16"};
+  ASSERT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(cli.last_error().find("--frmaes"), std::string::npos);
+  EXPECT_NE(cli.last_error().find("did you mean '--frames'"),
+            std::string::npos);
+}
+
+TEST(Cli, UnknownFlagWithoutACloseMatchOffersNoSuggestion) {
+  Cli cli("test");
+  int frames = 8;
+  cli.flag("frames", frames, "");
+  const char* argv[] = {"test", "--quux=1"};
+  ASSERT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(cli.last_error().find("--quux"), std::string::npos);
+  EXPECT_EQ(cli.last_error().find("did you mean"), std::string::npos);
+}
+
+TEST(Cli, BadValueDiagnosticNamesTokenAndExpectedType) {
+  Cli cli("test");
+  int frames = 8;
+  cli.flag("frames", frames, "");
+  const char* argv[] = {"test", "--frames=abc"};
+  ASSERT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(cli.last_error().find("'abc'"), std::string::npos);
+  EXPECT_NE(cli.last_error().find("expected int"), std::string::npos);
+  EXPECT_EQ(frames, 8);  // value untouched on failure
+}
+
+TEST(Cli, MissingValueDiagnosticShowsBothAcceptedForms) {
+  Cli cli("test");
+  double scale = 1.25;
+  cli.flag("scale", scale, "");
+  const char* argv[] = {"test", "--scale"};
+  ASSERT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(cli.last_error().find("needs a double value"), std::string::npos);
+  EXPECT_NE(cli.last_error().find("--scale=<double>"), std::string::npos);
+  // A flag followed by another flag is also a missing value, not a value.
+  const char* argv2[] = {"test", "--scale", "--other"};
+  ASSERT_FALSE(cli.parse(3, const_cast<char**>(argv2)));
+  EXPECT_NE(cli.last_error().find("needs a double value"), std::string::npos);
+}
+
+TEST(Cli, LastErrorClearsOnASubsequentSuccessfulParse) {
+  Cli cli("test");
+  int frames = 8;
+  cli.flag("frames", frames, "");
+  const char* bad[] = {"test", "--frames=abc"};
+  ASSERT_FALSE(cli.parse(2, const_cast<char**>(bad)));
+  EXPECT_FALSE(cli.last_error().empty());
+  const char* good[] = {"test", "--frames=12"};
+  ASSERT_TRUE(cli.parse(2, const_cast<char**>(good)));
+  EXPECT_TRUE(cli.last_error().empty());
+  EXPECT_EQ(frames, 12);
+}
+
+TEST(Cli, PositionalArgumentDiagnosticNamesTheToken) {
+  Cli cli("test");
+  const char* argv[] = {"test", "stray"};
+  ASSERT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(cli.last_error().find("'stray'"), std::string::npos);
+}
+
 TEST(Table, PrintsAlignedColumns) {
   Table table({"name", "value"});
   table.add_row({"alpha", "1.00"});

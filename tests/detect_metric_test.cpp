@@ -93,6 +93,47 @@ TEST(Grouping, EmptyInputYieldsEmptyOutput) {
   EXPECT_TRUE(group_detections({}).empty());
 }
 
+TEST(Grouping, SingleWindowPassesThroughUnchanged) {
+  const std::vector<Detection> raw{{{100, 100, 48, 48}, 3.5f, 1, 2}};
+  const auto grouped = group_detections(raw);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].box, raw[0].box);
+  EXPECT_EQ(grouped[0].neighbors, 1);
+  EXPECT_FLOAT_EQ(grouped[0].score, 3.5f);
+  EXPECT_EQ(grouped[0].scale_index, 2);
+}
+
+TEST(Grouping, NeighborsNeverExceedTheRawWindowCount) {
+  // min_neighbors filters compare against `neighbors`, so its ceiling is
+  // the raw count: a min_neighbors above the number of raw windows must
+  // be able to reject everything, never underflow or wrap.
+  std::vector<Detection> raw;
+  for (int d = 0; d < 3; ++d) {
+    raw.push_back({{100 + d, 100, 48, 48}, 0.0f, 1, 0});
+  }
+  const auto grouped = group_detections(raw);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].neighbors, 3);
+
+  const int min_neighbors = static_cast<int>(raw.size()) + 1;
+  std::vector<Detection> filtered = grouped;
+  std::erase_if(filtered, [&](const Detection& d) {
+    return d.neighbors < min_neighbors;
+  });
+  EXPECT_TRUE(filtered.empty());
+}
+
+TEST(Grouping, ThresholdZeroKeepsEveryWindowSeparate) {
+  // s_eyes >= 0 always, so nothing clusters at threshold 0 — each window
+  // survives as its own single-member group.
+  std::vector<Detection> raw{{{100, 100, 48, 48}, 0.0f, 1, 0},
+                             {{101, 100, 48, 48}, 1.0f, 1, 0}};
+  const auto grouped = group_detections(raw, 0.0);
+  ASSERT_EQ(grouped.size(), 2u);
+  EXPECT_EQ(grouped[0].neighbors, 1);
+  EXPECT_EQ(grouped[1].neighbors, 1);
+}
+
 TEST(Grouping, TransitiveChainsCollapse) {
   // a~b and b~c but a!~c directly (s_eyes(a, c) = 8/16.32 ≈ 0.98 > 0.5):
   // union-find must still merge all three.

@@ -166,6 +166,73 @@ TEST(Pipeline, RejectsEmptyCascade) {
                core::CheckError);
 }
 
+TEST(Pipeline, RejectsEmptyFrame) {
+  const vgpu::DeviceSpec spec;
+  const Pipeline pipeline(spec, test_cascade(),
+                          fast_options(vgpu::ExecMode::kSerial));
+  EXPECT_THROW(pipeline.process(img::ImageU8()), core::CheckError);
+}
+
+TEST(Pipeline, RejectsFramesSmallerThanTheWindowNamingTheGeometry) {
+  const vgpu::DeviceSpec spec;
+  const Pipeline pipeline(spec, test_cascade(),
+                          fast_options(vgpu::ExecMode::kSerial));
+  try {
+    pipeline.process(img::ImageU8(haar::kWindowSize - 1, haar::kWindowSize));
+    FAIL() << "expected CheckError";
+  } catch (const core::CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(std::to_string(haar::kWindowSize - 1) + "x" +
+                        std::to_string(haar::kWindowSize)),
+              std::string::npos)
+        << what;
+  }
+  // A window-sized frame is the boundary: exactly one valid position.
+  const FrameResult result =
+      pipeline.process(img::ImageU8(haar::kWindowSize, haar::kWindowSize, 90));
+  ASSERT_EQ(result.scales.size(), 1u);
+  std::int64_t windows = 0;
+  for (const auto count : result.scales[0].depth_histogram) {
+    windows += count;
+  }
+  EXPECT_EQ(windows, 1);
+}
+
+TEST(Pipeline, SkipFinestLevelsShedsTheNativeScale) {
+  const vgpu::DeviceSpec spec;
+  PipelineOptions options = fast_options(vgpu::ExecMode::kConcurrent);
+  options.skip_finest_levels = 1;
+  const Pipeline degraded(spec, test_cascade(), options);
+  core::Rng rng(9);
+  img::ImageU8 frame(120, 90);
+  for (auto& p : frame.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const FrameResult result = degraded.process(frame);
+
+  const auto plan = img::plan_pyramid(120, 90, 1.25, haar::kWindowSize);
+  ASSERT_EQ(result.scales.size(), plan.levels.size() - 1);
+  for (const auto& stats : result.scales) {
+    EXPECT_GE(stats.scale_index, 1);
+  }
+  for (const Detection& det : result.raw_detections) {
+    EXPECT_GE(det.scale_index, 1);
+  }
+}
+
+TEST(Pipeline, AbsurdSkipClampsSoTheCoarsestLevelStillRuns) {
+  const vgpu::DeviceSpec spec;
+  PipelineOptions options = fast_options(vgpu::ExecMode::kSerial);
+  options.skip_finest_levels = 1000;
+  const Pipeline degraded(spec, test_cascade(), options);
+  const FrameResult result = degraded.process(img::ImageU8(120, 90, 120));
+
+  const auto plan = img::plan_pyramid(120, 90, 1.25, haar::kWindowSize);
+  ASSERT_EQ(result.scales.size(), 1u);
+  EXPECT_EQ(result.scales[0].scale_index,
+            static_cast<int>(plan.levels.size()) - 1);
+}
+
 TEST(Pipeline, DeterministicAcrossRuns) {
   const vgpu::DeviceSpec spec;
   const Pipeline pipeline(spec, test_cascade(),

@@ -1,0 +1,73 @@
+// Boundary validation of the NV12 frame container: the decoder hands its
+// output straight to the detection pipeline, so geometry errors must be
+// rejected here with the offending dimensions named — not surface later
+// as opaque plane-allocation failures.
+#include "img/nv12.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/check.h"
+
+namespace fdet::img {
+namespace {
+
+TEST(Nv12Frame, AllocatesZeroedPlanesWithHalfHeightChroma) {
+  const Nv12Frame frame(64, 48);
+  EXPECT_EQ(frame.width(), 64);
+  EXPECT_EQ(frame.height(), 48);
+  EXPECT_EQ(frame.luma().width(), 64);
+  EXPECT_EQ(frame.luma().height(), 48);
+  EXPECT_EQ(frame.chroma().width(), 64);   // interleaved CbCr
+  EXPECT_EQ(frame.chroma().height(), 24);  // half vertical resolution
+  for (const auto px : frame.luma().pixels()) {
+    ASSERT_EQ(px, 0);
+  }
+}
+
+TEST(Nv12Frame, DefaultConstructedFrameIsEmpty) {
+  const Nv12Frame frame;
+  EXPECT_EQ(frame.width(), 0);
+  EXPECT_EQ(frame.height(), 0);
+  EXPECT_TRUE(frame.luma().empty());
+}
+
+TEST(Nv12Frame, RejectsZeroAndNegativeDimensionsNamingTheGeometry) {
+  for (const auto [w, h] : {std::pair{0, 48}, {64, 0}, {-2, 48}, {64, -4}}) {
+    try {
+      const Nv12Frame frame(w, h);
+      FAIL() << "expected CheckError for " << w << "x" << h;
+    } catch (const core::CheckError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(std::to_string(w) + "x" + std::to_string(h)),
+                std::string::npos)
+          << what;
+    }
+  }
+}
+
+TEST(Nv12Frame, RejectsOddDimensionsBecauseOf420Sampling) {
+  EXPECT_THROW(Nv12Frame(63, 48), core::CheckError);
+  EXPECT_THROW(Nv12Frame(64, 47), core::CheckError);
+  try {
+    const Nv12Frame frame(63, 47);
+    FAIL() << "expected CheckError";
+  } catch (const core::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("even"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Nv12Frame, FromGrayRejectsEmptyAndOddInputs) {
+  EXPECT_THROW(Nv12Frame::from_gray(ImageU8()), core::CheckError);
+  EXPECT_THROW(Nv12Frame::from_gray(ImageU8(63, 48)), core::CheckError);
+
+  const ImageU8 gray(32, 24, 128);
+  const Nv12Frame frame = Nv12Frame::from_gray(gray);
+  EXPECT_EQ(frame.luma(), gray);
+  EXPECT_EQ(frame.chroma().at(0, 0), 128);  // neutral chroma
+}
+
+}  // namespace
+}  // namespace fdet::img

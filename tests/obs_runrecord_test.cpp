@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/check.h"
@@ -141,6 +142,44 @@ TEST(RunRecordJson, RejectsWrongSchemaVersionAndMalformedRecords) {
       RunRecord::parse("{\"schema_version\":1,\"artifact\":\"\",\"variant\":"
                        "\"d\",\"repeats\":1,\"labels\":{},\"metrics\":[]}"),
       core::CheckError);
+}
+
+TEST(RunRecordJson, LoadFileDiagnosticsNameThePath) {
+  // Missing file: the path must appear in the error.
+  const std::string missing = testing::TempDir() + "fdet_no_such_record.json";
+  try {
+    RunRecord::load_file(missing);
+    FAIL() << "expected CheckError";
+  } catch (const core::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find(missing), std::string::npos);
+  }
+
+  // Corrupt file (truncated JSON): ditto — a bare parse error without the
+  // file name would leave the operator guessing which baseline was bad.
+  const std::string corrupt = testing::TempDir() + "fdet_corrupt_record.json";
+  {
+    std::ofstream out(corrupt);
+    out << "{\"schema_version\":1,\"artifact\":\"fig5\",\"metri";
+  }
+  try {
+    RunRecord::load_file(corrupt);
+    FAIL() << "expected CheckError";
+  } catch (const core::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find(corrupt), std::string::npos);
+  }
+
+  // Well-formed JSON that is not a run record: same contract.
+  {
+    std::ofstream out(corrupt);
+    out << "{\"metrics\":[]}";
+  }
+  try {
+    RunRecord::load_file(corrupt);
+    FAIL() << "expected CheckError";
+  } catch (const core::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find(corrupt), std::string::npos);
+  }
+  std::remove(corrupt.c_str());
 }
 
 TEST(RunRecordJson, NonFiniteSamplesSerializeAsNullAndParseAsNaN) {

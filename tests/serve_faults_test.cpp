@@ -1,0 +1,157 @@
+#include "serve/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "vgpu/kernel.h"
+
+namespace fdet::serve {
+namespace {
+
+TEST(FaultPlan, ParsesEveryKindAndRoundTrips) {
+  const FaultPlan plan =
+      FaultPlan::parse("decode@4,corrupt@12,launch@9x2,const@17,shared@21", 1);
+  ASSERT_EQ(plan.specs().size(), 5u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::kDecodeFail);
+  EXPECT_EQ(plan.specs()[0].frame, 4);
+  EXPECT_EQ(plan.specs()[2].kind, FaultKind::kLaunchTransient);
+  EXPECT_EQ(plan.specs()[2].burst, 2);
+  EXPECT_EQ(plan.describe(),
+            "decode@4,corrupt@12,launch@9x2,const@17,shared@21");
+  EXPECT_EQ(plan.targeted_frames(), (std::vector<int>{4, 9, 12, 17, 21}));
+}
+
+TEST(FaultPlan, ParseNamesTheOffendingToken) {
+  try {
+    FaultPlan::parse("decode@4,warp@7", 1);
+    FAIL() << "expected CheckError";
+  } catch (const core::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("warp"), std::string::npos);
+  }
+  EXPECT_THROW(FaultPlan::parse("decode", 1), core::CheckError);
+  EXPECT_THROW(FaultPlan::parse("decode@", 1), core::CheckError);
+  EXPECT_THROW(FaultPlan::parse("decode@4x0", 1), core::CheckError);
+  EXPECT_THROW(FaultPlan::parse("launch@xyz", 1), core::CheckError);
+}
+
+TEST(FaultPlan, BurstGatesRetryableKindsButNotHardOnes) {
+  const FaultPlan plan = FaultPlan::parse("decode@5x2,const@5", 1);
+  EXPECT_TRUE(plan.fires(FaultKind::kDecodeFail, 5, 0));
+  EXPECT_TRUE(plan.fires(FaultKind::kDecodeFail, 5, 1));
+  EXPECT_FALSE(plan.fires(FaultKind::kDecodeFail, 5, 2));  // retry succeeds
+  EXPECT_FALSE(plan.fires(FaultKind::kDecodeFail, 6, 0));
+  // Hard kinds fail every attempt: retrying cannot clear them.
+  EXPECT_TRUE(plan.fires(FaultKind::kConstantOverflow, 5, 0));
+  EXPECT_TRUE(plan.fires(FaultKind::kConstantOverflow, 5, 7));
+}
+
+TEST(FaultPlan, ProbabilisticFaultsAreDeterministicInSeedAndFrame) {
+  const FaultPlan a = FaultPlan::parse("launch@0.25", 42);
+  const FaultPlan b = FaultPlan::parse("launch@0.25", 42);
+  const FaultPlan other_seed = FaultPlan::parse("launch@0.25", 43);
+  int fired = 0;
+  int diverged = 0;
+  for (int frame = 0; frame < 2000; ++frame) {
+    const bool hit = a.fires(FaultKind::kLaunchTransient, frame, 0);
+    EXPECT_EQ(hit, b.fires(FaultKind::kLaunchTransient, frame, 0));
+    fired += hit ? 1 : 0;
+    diverged +=
+        hit != other_seed.fires(FaultKind::kLaunchTransient, frame, 0) ? 1 : 0;
+  }
+  EXPECT_NEAR(fired, 500, 120);  // ~Binomial(2000, 0.25)
+  EXPECT_GT(diverged, 0);        // a different seed is a different plan
+}
+
+TEST(CorruptLuma, IsSeededAndChangesThePlane) {
+  img::ImageU8 a(64, 48, 100);
+  img::ImageU8 b(64, 48, 100);
+  img::ImageU8 c(64, 48, 100);
+  corrupt_luma(a, 7);
+  corrupt_luma(b, 7);
+  corrupt_luma(c, 8);
+  EXPECT_EQ(a, b);                       // deterministic in the seed
+  EXPECT_NE(a, img::ImageU8(64, 48, 100));  // actually corrupted
+  EXPECT_NE(a, c);
+}
+
+TEST(LaunchFaultHook, TransientFiresOnceAndClearsOnNextAttempt) {
+  const FaultPlan plan = FaultPlan::parse("launch@3", 1);
+  const vgpu::DeviceSpec spec;
+  const vgpu::KernelConfig config{
+      .name = "probe", .grid = {1, 1, 1}, .block = {32, 1, 1}};
+  const auto noop = [](const vgpu::ThreadCoord&, vgpu::LaneCtx& ctx,
+                       vgpu::SharedMem&) { ctx.alu(); };
+
+  {
+    const vgpu::ScopedLaunchFaultHook hook(make_launch_fault_hook(plan, 3, 0));
+    try {
+      vgpu::execute_kernel(spec, config, noop);
+      FAIL() << "expected LaunchError";
+    } catch (const vgpu::LaunchError& error) {
+      EXPECT_TRUE(error.transient());
+    }
+    // The armed fault fired; the in-scope retry launches clean.
+    EXPECT_NO_THROW(vgpu::execute_kernel(spec, config, noop));
+  }
+  // attempt 1 is past the burst (default 1): nothing is armed.
+  const vgpu::ScopedLaunchFaultHook hook(make_launch_fault_hook(plan, 3, 1));
+  EXPECT_NO_THROW(vgpu::execute_kernel(spec, config, noop));
+}
+
+TEST(LaunchFaultHook, OverflowKindsTargetMatchingLaunchesOnly) {
+  const FaultPlan plan = FaultPlan::parse("const@2,shared@2", 1);
+  const vgpu::DeviceSpec spec;
+  const auto noop = [](const vgpu::ThreadCoord&, vgpu::LaneCtx& ctx,
+                       vgpu::SharedMem&) { ctx.alu(); };
+  const vgpu::ScopedLaunchFaultHook hook(make_launch_fault_hook(plan, 2, 0));
+
+  // No constant or shared usage: the hook lets the launch through.
+  vgpu::KernelConfig plain{
+      .name = "plain", .grid = {1, 1, 1}, .block = {32, 1, 1}};
+  EXPECT_NO_THROW(vgpu::execute_kernel(spec, plain, noop));
+
+  vgpu::KernelConfig uses_const = plain;
+  uses_const.name = "const_user";
+  uses_const.constant_bytes = 128;
+  try {
+    vgpu::execute_kernel(spec, uses_const, noop);
+    FAIL() << "expected LaunchError";
+  } catch (const vgpu::LaunchError& error) {
+    EXPECT_FALSE(error.transient());
+    EXPECT_NE(std::string(error.what()).find("constant"), std::string::npos);
+  }
+}
+
+TEST(LaunchFaultHook, UntargetedFrameArmsNothing) {
+  const FaultPlan plan = FaultPlan::parse("launch@3", 1);
+  EXPECT_FALSE(static_cast<bool>(make_launch_fault_hook(plan, 4, 0)));
+  EXPECT_TRUE(static_cast<bool>(make_launch_fault_hook(plan, 3, 0)));
+}
+
+TEST(ScopedLaunchFaultHook, RestoresThePreviousHookOnExit) {
+  const vgpu::DeviceSpec spec;
+  const vgpu::KernelConfig config{
+      .name = "probe", .grid = {1, 1, 1}, .block = {32, 1, 1}};
+  const auto noop = [](const vgpu::ThreadCoord&, vgpu::LaneCtx& ctx,
+                       vgpu::SharedMem&) { ctx.alu(); };
+  int outer_calls = 0;
+  {
+    const vgpu::ScopedLaunchFaultHook outer(
+        [&](const vgpu::KernelConfig&) { ++outer_calls; });
+    vgpu::execute_kernel(spec, config, noop);
+    EXPECT_EQ(outer_calls, 1);
+    {
+      const vgpu::ScopedLaunchFaultHook inner(
+          [](const vgpu::KernelConfig&) {});
+      vgpu::execute_kernel(spec, config, noop);
+      EXPECT_EQ(outer_calls, 1);  // inner shadowed outer
+    }
+    vgpu::execute_kernel(spec, config, noop);
+    EXPECT_EQ(outer_calls, 2);  // outer restored
+  }
+  vgpu::execute_kernel(spec, config, noop);
+  EXPECT_EQ(outer_calls, 2);  // cleared after the outermost scope
+}
+
+}  // namespace
+}  // namespace fdet::serve

@@ -1,0 +1,154 @@
+#include "serve/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace fdet::serve {
+namespace {
+
+TEST(RetryBackoff, GrowsExponentiallyAndCaps) {
+  RetryOptions options;
+  options.base_backoff_ms = 2.0;
+  options.multiplier = 2.0;
+  options.max_backoff_ms = 10.0;
+  options.jitter = 0.0;
+  core::Rng rng(1);
+  EXPECT_DOUBLE_EQ(retry_backoff_ms(options, 1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_ms(options, 2, rng), 4.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_ms(options, 3, rng), 8.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_ms(options, 4, rng), 10.0);  // capped
+  EXPECT_THROW(retry_backoff_ms(options, 0, rng), core::CheckError);
+}
+
+TEST(RetryBackoff, JitterStaysWithinTheConfiguredBand) {
+  RetryOptions options;
+  options.base_backoff_ms = 8.0;
+  options.jitter = 0.25;
+  core::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double ms = retry_backoff_ms(options, 1, rng);
+    EXPECT_GE(ms, 6.0);
+    EXPECT_LE(ms, 10.0);
+  }
+  // Deterministic: an identically seeded stream reproduces the draws.
+  core::Rng a(3);
+  core::Rng b(3);
+  EXPECT_DOUBLE_EQ(retry_backoff_ms(options, 2, a),
+                   retry_backoff_ms(options, 2, b));
+}
+
+TEST(CircuitBreaker, TripsAtThresholdAndProbesAfterCooldown) {
+  CircuitBreaker breaker(BreakerOptions{.failure_threshold = 3,
+                                        .cooldown_frames = 2});
+  EXPECT_TRUE(breaker.allows());
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_TRUE(breaker.allows());  // below threshold
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allows());
+  EXPECT_EQ(breaker.trips(), 1);
+
+  breaker.on_frame();
+  EXPECT_FALSE(breaker.allows());  // still cooling down
+  breaker.on_frame();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allows());  // the probe frame
+
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  CircuitBreaker breaker(BreakerOptions{.failure_threshold = 1,
+                                        .cooldown_frames = 1});
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  breaker.on_frame();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_failure();  // probe failed
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveFailureCount) {
+  CircuitBreaker breaker(BreakerOptions{.failure_threshold = 2,
+                                        .cooldown_frames = 1});
+  breaker.record_failure();
+  breaker.record_success();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // streak broken
+}
+
+TEST(DegradationLadder, ShedsOneLevelPerDeadlineMiss) {
+  DegradationLadder ladder(DegradeOptions{}, /*deadline_ms=*/10.0);
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_STREQ(ladder.step().name, "full");
+  ladder.observe(12.0);
+  EXPECT_EQ(ladder.level(), 1);
+  ladder.observe(15.0);
+  ladder.observe(15.0);
+  ladder.observe(15.0);
+  ladder.observe(15.0);
+  EXPECT_EQ(ladder.level(), DegradationLadder::max_level());  // clamped
+  EXPECT_TRUE(ladder.step().shed_queued_frames);
+}
+
+TEST(DegradationLadder, ClimbsBackAfterARecoveryStreak) {
+  DegradationLadder ladder(
+      DegradeOptions{.recover_after = 3, .recover_fraction = 0.75},
+      /*deadline_ms=*/10.0);
+  ladder.observe(12.0);
+  ASSERT_EQ(ladder.level(), 1);
+  ladder.observe(5.0);
+  ladder.observe(5.0);
+  EXPECT_EQ(ladder.level(), 1);  // streak not complete
+  ladder.observe(5.0);
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_EQ(ladder.shifts(), 2);
+}
+
+TEST(DegradationLadder, NearDeadlineFramesResetTheRecoveryStreak) {
+  DegradationLadder ladder(
+      DegradeOptions{.recover_after = 2, .recover_fraction = 0.5},
+      /*deadline_ms=*/10.0);
+  ladder.observe(12.0);
+  ASSERT_EQ(ladder.level(), 1);
+  ladder.observe(4.0);
+  ladder.observe(8.0);  // in budget but above the recovery fraction
+  ladder.observe(4.0);
+  EXPECT_EQ(ladder.level(), 1);  // 8.0 broke the streak
+  ladder.observe(4.0);
+  EXPECT_EQ(ladder.level(), 0);
+}
+
+TEST(DegradationLadder, ForceSerialFallbackNeverClimbs) {
+  DegradationLadder ladder(DegradeOptions{}, 10.0);
+  ladder.force_serial_fallback();
+  const int serial_level = ladder.level();
+  EXPECT_TRUE(DegradationLadder::step_at(serial_level).serial_exec);
+  // Already deeper: the forced fallback must not *reduce* shedding.
+  ladder.observe(20.0);
+  const int deeper = ladder.level();
+  ladder.force_serial_fallback();
+  EXPECT_EQ(ladder.level(), deeper);
+}
+
+TEST(DegradationLadder, StepsShedMonotonically) {
+  for (int level = 1; level <= DegradationLadder::max_level(); ++level) {
+    const DegradationStep& prev = DegradationLadder::step_at(level - 1);
+    const DegradationStep& step = DegradationLadder::step_at(level);
+    EXPECT_GE(step.skip_finest_levels, prev.skip_finest_levels);
+    EXPECT_GE(step.min_neighbors_boost, prev.min_neighbors_boost);
+    EXPECT_GE(step.serial_exec, prev.serial_exec);
+    EXPECT_GE(step.shed_queued_frames, prev.shed_queued_frames);
+  }
+  EXPECT_THROW(DegradationLadder::step_at(-1), core::CheckError);
+  EXPECT_THROW(DegradationLadder::step_at(DegradationLadder::max_level() + 1),
+               core::CheckError);
+}
+
+}  // namespace
+}  // namespace fdet::serve

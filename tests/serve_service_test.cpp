@@ -1,0 +1,248 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "facegen/dataset.h"
+#include "obs/metrics.h"
+#include "train/boost.h"
+#include "video/decoder.h"
+
+namespace fdet::serve {
+namespace {
+
+/// Small trained cascade shared by the service tests (trained once).
+const haar::Cascade& service_cascade() {
+  static const haar::Cascade cascade = [] {
+    const auto set = facegen::build_training_set(200, 30, 64, 2024);
+    train::TrainOptions options;
+    options.stage_sizes = {6, 10, 14};
+    options.feature_pool = 300;
+    options.negatives_per_stage = 250;
+    options.stage_hit_target = 0.99;
+    options.seed = 11;
+    return train::train_cascade(set, options, "serve-test").cascade;
+  }();
+  return cascade;
+}
+
+video::MockH264Decoder test_decoder() {
+  static const video::SyntheticTrailer trailer = [] {
+    video::TrailerSpec spec;
+    spec.title = "serve-test";
+    spec.width = 160;
+    spec.height = 120;
+    spec.frames = 24;
+    spec.shot_frames = 8;
+    spec.face_density = 1.5;
+    spec.seed = 9;
+    return video::SyntheticTrailer(spec);
+  }();
+  return video::MockH264Decoder(trailer);
+}
+
+ServiceOptions generous_options() {
+  ServiceOptions options;
+  options.deadline_ms = 50.0;  // far above the tiny-frame latency envelope
+  return options;
+}
+
+TEST(StreamingService, FaultFreeRunServesEveryFrameDeterministically) {
+  const video::MockH264Decoder decoder = test_decoder();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const ServiceReport a = service.run(decoder, 8);
+  const ServiceReport b = service.run(decoder, 8);
+
+  ASSERT_EQ(a.frames.size(), 8u);
+  EXPECT_EQ(a.ok, 8);
+  EXPECT_EQ(a.failed + a.dropped + a.degraded, 0);
+  EXPECT_EQ(a.faults_injected, 0);
+  EXPECT_EQ(a.final_degradation_level, 0);
+  ASSERT_EQ(b.frames.size(), a.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].status, b.frames[i].status);
+    EXPECT_DOUBLE_EQ(a.frames[i].latency_ms, b.frames[i].latency_ms);
+    ASSERT_EQ(a.frames[i].detections.size(), b.frames[i].detections.size());
+    for (std::size_t d = 0; d < a.frames[i].detections.size(); ++d) {
+      EXPECT_EQ(a.frames[i].detections[d].box, b.frames[i].detections[d].box);
+    }
+  }
+}
+
+TEST(StreamingService, TransientDecodeFaultRetriesAndRecovers) {
+  const video::MockH264Decoder decoder = test_decoder();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const FaultPlan plan = FaultPlan::parse("decode@2x2", 1);
+  const ServiceReport report = service.run(decoder, 6, &plan);
+
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.faults_injected, 1);
+  const ServedFrame& frame = report.frames[2];
+  EXPECT_EQ(frame.status, FrameStatus::kOk);
+  EXPECT_EQ(frame.retries, 2);
+  EXPECT_GT(frame.backoff_ms, 0.0);
+  EXPECT_TRUE(frame.fault_injected);
+}
+
+TEST(StreamingService, ExhaustedRetriesQuarantineTheFrame) {
+  const video::MockH264Decoder decoder = test_decoder();
+  ServiceOptions options = generous_options();
+  options.retry.max_attempts = 2;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           options);
+  const FaultPlan plan = FaultPlan::parse("decode@1x2", 1);
+  const ServiceReport report = service.run(decoder, 4, &plan);
+
+  const ServedFrame& frame = report.frames[1];
+  EXPECT_EQ(frame.status, FrameStatus::kFailed);
+  ASSERT_TRUE(frame.error.has_value());
+  EXPECT_EQ(frame.error->stage, "decode");
+  EXPECT_EQ(frame.error->cls, ErrorClass::kTransient);
+  EXPECT_EQ(frame.error->attempts, 2);
+  // Quarantine is per frame: the stream carries on.
+  EXPECT_EQ(report.frames[2].status, FrameStatus::kOk);
+  EXPECT_EQ(report.frames[3].status, FrameStatus::kOk);
+}
+
+TEST(StreamingService, HardOverflowFaultQuarantinesWithoutRetry) {
+  const video::MockH264Decoder decoder = test_decoder();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const FaultPlan plan = FaultPlan::parse("const@1", 1);
+  const ServiceReport report = service.run(decoder, 4, &plan);
+
+  const ServedFrame& frame = report.frames[1];
+  EXPECT_EQ(frame.status, FrameStatus::kFailed);
+  ASSERT_TRUE(frame.error.has_value());
+  EXPECT_EQ(frame.error->stage, "detect");
+  EXPECT_EQ(frame.error->cls, ErrorClass::kResource);
+  EXPECT_EQ(frame.retries, 0);  // hard faults are not retried
+  EXPECT_EQ(report.frames[2].status, FrameStatus::kOk);
+}
+
+TEST(StreamingService, CorruptLumaStillServesTheFrame) {
+  const video::MockH264Decoder decoder = test_decoder();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const FaultPlan plan = FaultPlan::parse("corrupt@1", 1);
+  const ServiceReport report = service.run(decoder, 3, &plan);
+
+  EXPECT_EQ(report.frames[1].status, FrameStatus::kOk);
+  EXPECT_TRUE(report.frames[1].fault_injected);
+  EXPECT_EQ(report.failed, 0);
+}
+
+TEST(StreamingService, BreakerTripsFailsFastAndRecoversToFullQuality) {
+  const video::MockH264Decoder decoder = test_decoder();
+  ServiceOptions options = generous_options();
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_frames = 2;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           options);
+  // Three consecutive frames exhaust their decode retries -> breaker trips.
+  const FaultPlan plan =
+      FaultPlan::parse("decode@2x3,decode@3x3,decode@4x3", 1);
+  const ServiceReport report = service.run(decoder, 20, &plan);
+
+  EXPECT_EQ(report.breaker_trips, 1);
+  // Cooling down: the frame after the trip is rejected without running.
+  const ServedFrame& rejected = report.frames[5];
+  EXPECT_EQ(rejected.status, FrameStatus::kFailed);
+  ASSERT_TRUE(rejected.error.has_value());
+  EXPECT_NE(rejected.error->message.find("breaker"), std::string::npos);
+  // The trip forces the serial-exec rung while the stage is unhealthy.
+  EXPECT_TRUE(DegradationLadder::step_at(report.frames[6].degradation_level)
+                  .serial_exec);
+  // The half-open probe succeeds and the ladder climbs all the way back.
+  EXPECT_EQ(report.final_degradation_level, 0);
+  EXPECT_EQ(service.decode_breaker(), BreakerState::kClosed);
+  EXPECT_EQ(report.frames.back().status, FrameStatus::kOk);
+  EXPECT_LE(report.max_consecutive_unserved, 4);
+}
+
+TEST(StreamingService, DeadlineMissesWalkTheDegradationLadder) {
+  const video::MockH264Decoder decoder = test_decoder();
+  ServiceOptions options;
+  options.deadline_ms = 1e-3;  // unmeetable: every served frame misses
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           options);
+  const ServiceReport report = service.run(decoder, 10);
+
+  EXPECT_EQ(report.final_degradation_level, DegradationLadder::max_level());
+  EXPECT_GT(report.deadline_misses, 0);
+  EXPECT_GT(report.degraded, 0);
+  // Level rises monotonically here (nothing ever recovers).
+  for (std::size_t i = 1; i < report.frames.size(); ++i) {
+    EXPECT_GE(report.frames[i].degradation_level,
+              report.frames[i - 1].degradation_level);
+  }
+}
+
+TEST(StreamingService, BackpressureDropsFramesWhenTheQueueFills) {
+  const video::MockH264Decoder decoder = test_decoder();
+  ServiceOptions options = generous_options();
+  options.fps = 100000.0;  // arrivals far faster than service time
+  options.queue_capacity = 2;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           options);
+  const ServiceReport report = service.run(decoder, 12);
+
+  EXPECT_GT(report.dropped, 0);
+  EXPECT_GT(report.ok + report.degraded, 0);  // not everything is shed
+  for (const ServedFrame& frame : report.frames) {
+    if (frame.status == FrameStatus::kDropped) {
+      EXPECT_GE(frame.queue_depth, options.queue_capacity);
+      EXPECT_TRUE(frame.detections.empty());
+    }
+  }
+}
+
+TEST(StreamingService, PublishesServeMetrics) {
+  const video::MockH264Decoder decoder = test_decoder();
+  obs::Registry registry;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options(), &registry);
+  const FaultPlan plan = FaultPlan::parse("decode@1x2,const@3", 1);
+  service.run(decoder, 6, &plan);
+
+  EXPECT_GT(registry.counter("serve.frames", {{"status", "ok"}}).value(), 0.0);
+  EXPECT_GT(registry.counter("serve.retries", {{"stage", "decode"}}).value(),
+            0.0);
+  EXPECT_GT(
+      registry.counter("serve.faults.injected", {{"kind", "decode"}}).value(),
+      0.0);
+  EXPECT_GT(
+      registry.counter("serve.faults.recovered", {{"stage", "decode"}})
+          .value(),
+      0.0);
+  EXPECT_GT(registry
+                .counter("serve.frame_errors",
+                         {{"stage", "detect"}, {"class", "resource"}})
+                .value(),
+            0.0);
+  EXPECT_EQ(registry.gauge("serve.degradation.level").value(), 0.0);
+}
+
+TEST(StreamingService, RejectsUnusableOptions) {
+  ServiceOptions bad_fps;
+  bad_fps.fps = 0.0;
+  EXPECT_THROW(StreamingService(vgpu::DeviceSpec{}, service_cascade(), {},
+                                bad_fps),
+               core::CheckError);
+  ServiceOptions bad_queue;
+  bad_queue.queue_capacity = 0;
+  EXPECT_THROW(StreamingService(vgpu::DeviceSpec{}, service_cascade(), {},
+                                bad_queue),
+               core::CheckError);
+  const video::MockH264Decoder decoder = test_decoder();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  EXPECT_THROW(service.run(decoder, 0), core::CheckError);
+  EXPECT_THROW(service.run(decoder, decoder.frame_count() + 1),
+               core::CheckError);
+}
+
+}  // namespace
+}  // namespace fdet::serve

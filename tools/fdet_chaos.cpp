@@ -1,0 +1,291 @@
+// Chaos soak for the streaming serving layer (serve::StreamingService).
+//
+// Trains a small cascade in-process, streams a SyntheticTrailer through the
+// service twice — once fault-free, once under a seeded FaultPlan — and
+// asserts the serving-layer invariants:
+//
+//   1. the service never crashes: every frame yields a ServedFrame record;
+//   2. the fault-free run is healthy (no failures, no drops, level 0);
+//   3. the faulted run injects the plan (it actually fired);
+//   4. consecutive unserved frames (failed or dropped) stay bounded;
+//   5. after each deterministic fault burst the service recovers: a frame
+//      is served clean at degradation level 0 before the next burst, and
+//      the run ends back at level 0;
+//   6. clean frames — served at level 0 in both runs and not targeted by
+//      the plan — produce detections identical to the fault-free run.
+//
+// Exit codes: 0 all invariants hold, 1 usage error, 2 invariant violated
+// (or the harness itself crashed, which is invariant 1 failing).
+//
+// The default plan exercises every fault kind: transient decode failures,
+// a decode burst long enough to trip the circuit breaker, luma corruption,
+// transient launch faults (whose backoff blows the deadline and walks the
+// degradation ladder), and the two hard overflow kinds.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+#include "facegen/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/service.h"
+#include "train/boost.h"
+#include "video/decoder.h"
+
+namespace fdet {
+namespace {
+
+haar::Cascade chaos_cascade() {
+  const auto set = facegen::build_training_set(200, 30, 64, 31337);
+  train::TrainOptions options;
+  options.stage_sizes = {6, 10, 14, 18};
+  options.feature_pool = 300;
+  options.negatives_per_stage = 250;
+  options.stage_hit_target = 0.99;
+  options.seed = 13;
+  return train::train_cascade(set, options, "chaos").cascade;
+}
+
+struct Violation {
+  std::string what;
+};
+
+void check(bool ok, const std::string& what, std::vector<Violation>& out) {
+  if (!ok) {
+    out.push_back({what});
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what.c_str());
+  }
+}
+
+/// Deterministic fault bursts, clustered: targeted frames closer than 3
+/// apart count as one burst (e.g. the breaker-tripping decode run).
+std::vector<std::pair<int, int>> burst_clusters(const std::vector<int>& t) {
+  std::vector<std::pair<int, int>> clusters;
+  for (const int frame : t) {
+    if (!clusters.empty() && frame - clusters.back().second <= 3) {
+      clusters.back().second = frame;
+    } else {
+      clusters.emplace_back(frame, frame);
+    }
+  }
+  return clusters;
+}
+
+int run_chaos(int argc, char** argv) {
+  int frames = 72;
+  int width = 320;
+  int height = 240;
+  double fps = 24.0;
+  double deadline_ms = 0.0;  // 0 = auto from the fault-free run
+  std::string faults =
+      "decode@6x2,corrupt@12,launch@18x2,const@26,shared@34,"
+      "decode@44x3,decode@45x3,decode@46x3";
+  double seed = 20120926;
+  int max_unserved = 8;
+  std::string metrics_out;
+  std::string trace_out;
+  bool verbose = false;
+
+  core::Cli cli("fdet_chaos");
+  cli.flag("frames", frames, "frames to stream through the service");
+  cli.flag("width", width, "trailer width");
+  cli.flag("height", height, "trailer height");
+  cli.flag("fps", fps, "stream arrival rate");
+  cli.flag("deadline-ms", deadline_ms,
+           "per-frame latency budget (0 = derive from the fault-free run)");
+  cli.flag("faults", faults, "fault plan spec (see serve/faults.h)");
+  cli.flag("seed", seed, "fault-plan + jitter seed");
+  cli.flag("max-unserved", max_unserved,
+           "invariant: longest tolerated failed/dropped streak");
+  cli.flag("metrics-out", metrics_out, "write serve.* metrics JSON/CSV here");
+  cli.flag("trace-out", trace_out, "write the chaos-run Chrome trace here");
+  cli.flag("verbose", verbose, "per-frame log of the faulted run");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+
+  const auto plan =
+      serve::FaultPlan::parse(faults, static_cast<std::uint64_t>(seed));
+  std::printf("fault plan: %s\n", plan.describe().c_str());
+
+  video::TrailerSpec spec;
+  spec.title = "chaos";
+  spec.width = width;
+  spec.height = height;
+  spec.frames = frames;
+  spec.shot_frames = 12;
+  spec.face_density = 1.5;
+  spec.seed = 7;
+  const video::SyntheticTrailer trailer(spec);
+  const video::MockH264Decoder decoder(trailer);
+  const vgpu::DeviceSpec device;
+  const haar::Cascade cascade = chaos_cascade();
+
+  serve::ServiceOptions options;
+  options.fps = fps;
+  options.seed = static_cast<std::uint64_t>(seed);
+
+  // Fault-free calibration run: find the healthy latency envelope, then
+  // place the deadline above it (so the clean run sits at level 0) but
+  // low enough that retry backoff pushes a faulted frame over it. The
+  // deadline must also clear the *serial* envelope, or a breaker-forced
+  // serial fallback could never recover: every serial frame would miss the
+  // deadline and pin the ladder at its deepest rung.
+  {
+    serve::StreamingService probe(device, cascade, {}, options);
+    const serve::ServiceReport calib = probe.run(decoder, frames);
+    double max_ms = 0.0;
+    for (const auto& frame : calib.frames) {
+      max_ms = std::max(max_ms, frame.latency_ms);
+    }
+    detect::PipelineOptions serial_opts;
+    serial_opts.mode = vgpu::ExecMode::kSerial;
+    const detect::Pipeline serial_probe(device, cascade, serial_opts);
+    const double serial_ms =
+        serial_probe.process(decoder.decode(0).frame.luma()).detect_ms +
+        decoder.decode_latency_ms(0);
+    if (deadline_ms <= 0.0) {
+      deadline_ms = std::max(2.0 * max_ms, serial_ms / 0.6);
+    }
+    // Retry backoff must overshoot the budget: one retry's worth of
+    // backoff on top of a healthy frame has to cross the deadline.
+    options.retry.base_backoff_ms = deadline_ms;
+    options.retry.max_backoff_ms = 4.0 * deadline_ms;
+    std::printf(
+        "calibration: healthy max %.3f ms, serial %.3f ms -> deadline %.3f ms\n",
+        max_ms, serial_ms, deadline_ms);
+  }
+  options.deadline_ms = deadline_ms;
+
+  obs::Registry registry;
+  obs::TraceSession trace;
+  trace.install();
+
+  serve::StreamingService service(device, cascade, {}, options, &registry);
+  const serve::ServiceReport clean = service.run(decoder, frames);
+  const serve::ServiceReport chaos = service.run(decoder, frames, &plan);
+
+  std::printf(
+      "fault-free: ok=%d degraded=%d dropped=%d failed=%d misses=%d\n",
+      clean.ok, clean.degraded, clean.dropped, clean.failed,
+      clean.deadline_misses);
+  std::printf(
+      "chaos:      ok=%d degraded=%d dropped=%d failed=%d misses=%d "
+      "retries=%d faults=%d trips=%d shifts=%d max_unserved=%d level=%d\n",
+      chaos.ok, chaos.degraded, chaos.dropped, chaos.failed,
+      chaos.deadline_misses, chaos.retries, chaos.faults_injected,
+      chaos.breaker_trips, chaos.degradation_shifts,
+      chaos.max_consecutive_unserved, chaos.final_degradation_level);
+  if (verbose) {
+    for (const auto& frame : chaos.frames) {
+      std::printf(
+          "  frame %3d %-8s level=%d retries=%d latency=%7.3f ms dets=%zu%s\n",
+          frame.index, serve::frame_status_name(frame.status),
+          frame.degradation_level, frame.retries, frame.latency_ms,
+          frame.detections.size(),
+          frame.error ? ("  [" + frame.error->stage + "/" +
+                         serve::error_class_name(frame.error->cls) + ": " +
+                         frame.error->message + "]")
+                            .c_str()
+                      : "");
+    }
+  }
+
+  std::vector<Violation> violations;
+  const auto expect = [&](bool ok, const std::string& what) {
+    check(ok, what, violations);
+  };
+
+  // 1. Every frame produced a record, in order.
+  expect(static_cast<int>(clean.frames.size()) == frames &&
+             static_cast<int>(chaos.frames.size()) == frames,
+         "every frame must yield a ServedFrame record");
+
+  // 2. The fault-free run is healthy.
+  expect(clean.failed == 0 && clean.dropped == 0 &&
+             clean.final_degradation_level == 0 && clean.faults_injected == 0,
+         "fault-free run must serve every frame at level 0");
+
+  // 3. The plan actually fired.
+  expect(plan.empty() || chaos.faults_injected > 0,
+         "fault plan injected nothing");
+
+  // 4. Bounded consecutive unserved frames.
+  expect(chaos.max_consecutive_unserved <= max_unserved,
+         "unserved streak " + std::to_string(chaos.max_consecutive_unserved) +
+             " exceeds bound " + std::to_string(max_unserved));
+
+  // 5. Recovery after each deterministic burst, and at end of stream.
+  expect(chaos.final_degradation_level == 0,
+         "service must end back at degradation level 0, ended at level " +
+             std::to_string(chaos.final_degradation_level));
+  for (const auto& [first, last] : burst_clusters(plan.targeted_frames())) {
+    bool recovered = false;
+    for (int i = last + 1; i < frames && !recovered; ++i) {
+      if (plan.targets_frame(i)) {
+        break;  // next burst started first: judged by its own window
+      }
+      const serve::ServedFrame& frame = chaos.frames[i];
+      recovered = frame.status == serve::FrameStatus::kOk &&
+                  frame.degradation_level == 0;
+    }
+    expect(recovered, "no clean level-0 frame after fault burst [" +
+                          std::to_string(first) + ", " +
+                          std::to_string(last) + "]");
+  }
+
+  // 6. Clean frames detect identically to the fault-free run.
+  int compared = 0;
+  for (int i = 0; i < frames && i < static_cast<int>(chaos.frames.size());
+       ++i) {
+    const serve::ServedFrame& a = clean.frames[i];
+    const serve::ServedFrame& b = chaos.frames[i];
+    if (plan.targets_frame(i) || a.status != serve::FrameStatus::kOk ||
+        b.status != serve::FrameStatus::kOk || b.degradation_level != 0) {
+      continue;
+    }
+    ++compared;
+    bool same = a.detections.size() == b.detections.size();
+    for (std::size_t d = 0; same && d < a.detections.size(); ++d) {
+      same = a.detections[d].box == b.detections[d].box &&
+             a.detections[d].neighbors == b.detections[d].neighbors;
+    }
+    expect(same, "clean frame " + std::to_string(i) +
+                     " detections diverge from the fault-free run");
+  }
+  expect(compared > 0, "no clean frames were comparable");
+  std::printf("clean-frame comparison: %d frames identical\n", compared);
+
+  if (!metrics_out.empty()) {
+    registry.write_file(metrics_out);
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    trace.write_file(trace_out);
+    std::printf("trace -> %s\n", trace_out.c_str());
+  }
+
+  if (violations.empty()) {
+    std::printf("chaos soak PASSED (%d frames, plan %s)\n", frames,
+                plan.describe().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "chaos soak FAILED: %zu invariant(s) violated\n",
+               violations.size());
+  return 2;
+}
+
+}  // namespace
+}  // namespace fdet
+
+int main(int argc, char** argv) {
+  try {
+    return fdet::run_chaos(argc, argv);
+  } catch (const std::exception& error) {
+    // Invariant 1: the serving layer must never let an exception escape.
+    std::fprintf(stderr, "chaos harness crashed: %s\n", error.what());
+    return 2;
+  }
+}

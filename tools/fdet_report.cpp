@@ -14,8 +14,9 @@
 //                                          the bench_regression_gate
 //                                          ctest target
 //
-// Exit codes: 0 success/gate-clean, 1 usage or unreadable input,
-// 2 regression gate failed.
+// Exit codes: 0 success/gate-clean, 1 usage error, 2 regression gate
+// failed, 3 a run-record operand is missing or corrupt (distinct from 2
+// so CI can tell "perf regressed" from "baseline file is broken").
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -383,9 +384,17 @@ int main(int argc, char** argv) {
       if (operands.size() != 2) {
         return usage();
       }
-      return run_diff(obs::RunRecord::load_file(operands[0]),
-                      obs::RunRecord::load_file(operands[1]), options,
-                      show_unchanged);
+      obs::RunRecord baseline;
+      obs::RunRecord current;
+      try {
+        baseline = obs::RunRecord::load_file(operands[0]);
+        current = obs::RunRecord::load_file(operands[1]);
+      } catch (const core::CheckError& error) {
+        std::fprintf(stderr, "fdet_report: cannot load run record: %s\n",
+                     error.what());
+        return 3;
+      }
+      return run_diff(baseline, current, options, show_unchanged);
     }
     if (command == "selftest") {
       return run_selftest();
