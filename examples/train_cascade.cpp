@@ -18,14 +18,23 @@ int main(int argc, char** argv) {
   int faces = 600;
   int stages = 8;
   int pool = 600;
+  int threads = 0;
   std::string algorithm = "gentle";
   std::string out = "trained.cascade";
+  std::string checkpoint_dir;
+  bool resume = true;
   core::Cli cli("train_cascade");
   cli.flag("faces", faces, "training faces");
   cli.flag("stages", stages, "cascade stages");
   cli.flag("pool", pool, "hypothesis pool size");
+  cli.flag("threads", threads, "OpenMP threads (0 = library default)");
   cli.flag("algorithm", algorithm, "'gentle' or 'ada'");
   cli.flag("out", out, "output cascade file");
+  cli.flag("checkpoint-dir", checkpoint_dir,
+           "persist a checkpoint after every stage into this directory "
+           "(empty = off)");
+  cli.flag("resume", resume,
+           "resume from the newest matching checkpoint in --checkpoint-dir");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -45,6 +54,12 @@ int main(int argc, char** argv) {
   options.feature_pool = pool;
   options.negatives_per_stage = 600;
   options.seed = 2012;
+  options.threads = threads;
+  // With --checkpoint-dir, a killed run (Ctrl-C, OOM, power loss) restarts
+  // from the last completed stage and still produces the byte-identical
+  // cascade an uninterrupted run would have — see DESIGN.md §7.
+  options.checkpoint_dir = checkpoint_dir;
+  options.resume = resume;
 
   std::printf("training %d stages with %s on %d faces / %zu backgrounds...\n",
               stages, algorithm.c_str(), faces, set.backgrounds.size());

@@ -1,0 +1,316 @@
+#include "core/artifact.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace fdet::core {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+WriteFaultHook& fault_hook() {
+  static WriteFaultHook hook;
+  return hook;
+}
+
+WriteFault consult_hook(const std::string& path, WriteOp op) {
+  if (const WriteFaultHook& hook = fault_hook()) {
+    return hook(path, op);
+  }
+  return WriteFault::kNone;
+}
+
+/// RAII for the staging FILE*: closes and removes the tmp file unless
+/// explicitly released (after a successful rename) or abandoned (a torn
+/// write simulates a crash, which leaves the tmp file behind on purpose —
+/// that is exactly the debris a real crash produces).
+class TmpFile {
+ public:
+  TmpFile(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+  ~TmpFile() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+    if (remove_on_exit_) {
+      std::remove(path_.c_str());
+    }
+  }
+  TmpFile(const TmpFile&) = delete;
+  TmpFile& operator=(const TmpFile&) = delete;
+
+  std::FILE* get() { return file_; }
+  void close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+  /// Rename succeeded: the tmp path no longer exists.
+  void release() { remove_on_exit_ = false; }
+  /// Simulated crash: keep the torn tmp file on disk, as a crash would.
+  void abandon() {
+    close();
+    remove_on_exit_ = false;
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  bool remove_on_exit_ = true;
+};
+
+std::string hex32(std::uint32_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrcTable[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32(std::string_view data) {
+  return crc32(data.data(), data.size());
+}
+
+ScopedWriteFaultHook::ScopedWriteFaultHook(WriteFaultHook hook)
+    : previous_(std::move(fault_hook())) {
+  fault_hook() = std::move(hook);
+}
+
+ScopedWriteFaultHook::~ScopedWriteFaultHook() {
+  fault_hook() = std::move(previous_);
+}
+
+std::string tmp_path_for(const std::string& path) { return path + ".tmp"; }
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = tmp_path_for(path);
+  // A leftover tmp from an earlier crash/fault is dead weight; replace it.
+  std::remove(tmp.c_str());
+
+  std::FILE* raw = std::fopen(tmp.c_str(), "wb");
+  if (raw == nullptr) {
+    throw ArtifactError(path, std::string("cannot open staging file: ") +
+                                  std::strerror(errno));
+  }
+  TmpFile file(tmp, raw);
+
+  switch (consult_hook(path, WriteOp::kWrite)) {
+    case WriteFault::kNone:
+      if (std::fwrite(contents.data(), 1, contents.size(), file.get()) !=
+          contents.size()) {
+        throw ArtifactError(path, "short write to staging file");
+      }
+      break;
+    case WriteFault::kShortWrite:
+      std::fwrite(contents.data(), 1, contents.size() / 2, file.get());
+      throw ArtifactError(path, "injected fault: short write (ENOSPC tail)");
+    case WriteFault::kTornWrite:
+      std::fwrite(contents.data(), 1, contents.size() / 2, file.get());
+      file.abandon();  // the "crash": torn bytes stay under the tmp name
+      throw ArtifactError(path, "injected fault: torn write (crash mid-write)");
+    case WriteFault::kNoSpace:
+      throw ArtifactError(path, "injected fault: no space left on device");
+  }
+
+  switch (consult_hook(path, WriteOp::kFlush)) {
+    case WriteFault::kNone:
+      break;
+    case WriteFault::kTornWrite:
+      file.abandon();
+      throw ArtifactError(path, "injected fault: crash before flush");
+    default:
+      throw ArtifactError(path, "injected fault: flush failed");
+  }
+  if (std::fflush(file.get()) != 0 || fsync(fileno(file.get())) != 0) {
+    throw ArtifactError(path, std::string("flush failed: ") +
+                                  std::strerror(errno));
+  }
+  file.close();
+
+  switch (consult_hook(path, WriteOp::kRename)) {
+    case WriteFault::kNone:
+      break;
+    case WriteFault::kTornWrite:
+      file.abandon();
+      throw ArtifactError(path, "injected fault: crash before rename");
+    default:
+      throw ArtifactError(path, "injected fault: rename failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw ArtifactError(path, std::string("rename failed: ") +
+                                  std::strerror(errno));
+  }
+  file.release();
+}
+
+std::string frame_artifact(const std::string& kind, int payload_version,
+                           std::string_view payload) {
+  FDET_CHECK(!kind.empty() &&
+             kind.find_first_of(" \t\n") == std::string::npos)
+      << "artifact kind must be a single token, got '" << kind << "'";
+  FDET_CHECK(payload_version >= 0);
+  std::ostringstream out;
+  out << "fdet-artifact " << kArtifactContainerVersion << "\n"
+      << "kind " << kind << "\n"
+      << "payload-version " << payload_version << "\n"
+      << "payload-bytes " << payload.size() << "\n"
+      << "payload-crc32 " << hex32(crc32(payload)) << "\n"
+      << "---\n";
+  out.write(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+  return std::move(out).str();
+}
+
+void write_artifact(const std::string& path, const std::string& kind,
+                    int payload_version, std::string_view payload) {
+  atomic_write_file(path, frame_artifact(kind, payload_version, payload));
+}
+
+namespace {
+
+/// Reads one "key value" header line; throws naming the field on mismatch.
+std::string header_field(const std::string& path, std::istream& in,
+                         const std::string& key) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ArtifactError(path, "truncated container: missing '" + key +
+                                  "' header line");
+  }
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos || line.substr(0, space) != key) {
+    throw ArtifactError(path, "malformed container: expected '" + key +
+                                  " <value>', got '" + line + "'");
+  }
+  return line.substr(space + 1);
+}
+
+std::uint64_t parse_u64_field(const std::string& path, const std::string& key,
+                              const std::string& text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw ArtifactError(path, "malformed container: field '" + key +
+                                  "' is not an integer: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Artifact parse_artifact(const std::string& path, std::string_view contents) {
+  std::istringstream in{std::string(contents)};
+
+  const std::string magic = header_field(path, in, "fdet-artifact");
+  if (parse_u64_field(path, "fdet-artifact", magic) !=
+      static_cast<std::uint64_t>(kArtifactContainerVersion)) {
+    throw ArtifactError(path, "unsupported container version '" + magic + "'");
+  }
+
+  Artifact artifact;
+  artifact.header.kind = header_field(path, in, "kind");
+  artifact.header.payload_version = static_cast<int>(
+      parse_u64_field(path, "payload-version",
+                      header_field(path, in, "payload-version")));
+  artifact.header.payload_bytes =
+      parse_u64_field(path, "payload-bytes",
+                      header_field(path, in, "payload-bytes"));
+  const std::string crc_text = header_field(path, in, "payload-crc32");
+  if (crc_text.size() != 8 ||
+      crc_text.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    throw ArtifactError(path, "malformed container: field 'payload-crc32' is "
+                              "not 8 hex digits: '" + crc_text + "'");
+  }
+  artifact.header.payload_crc32 =
+      static_cast<std::uint32_t>(std::stoul(crc_text, nullptr, 16));
+
+  std::string separator;
+  if (!std::getline(in, separator) || separator != "---") {
+    throw ArtifactError(path, "malformed container: missing '---' separator");
+  }
+
+  // tellg() is -1 once eofbit is set (separator line without a trailing
+  // newline) — in that case the payload region is empty.
+  const std::size_t payload_start =
+      in.eof() ? contents.size() : static_cast<std::size_t>(in.tellg());
+  const std::size_t available = contents.size() - payload_start;
+  if (available < artifact.header.payload_bytes) {
+    std::ostringstream msg;
+    msg << "truncated payload: header promises "
+        << artifact.header.payload_bytes << " bytes, file holds "
+        << available;
+    throw ArtifactError(path, msg.str());
+  }
+  if (available > artifact.header.payload_bytes) {
+    std::ostringstream msg;
+    msg << "trailing garbage: header promises "
+        << artifact.header.payload_bytes << " payload bytes, file holds "
+        << available;
+    throw ArtifactError(path, msg.str());
+  }
+  artifact.payload.assign(contents.substr(payload_start));
+
+  const std::uint32_t actual = crc32(artifact.payload);
+  if (actual != artifact.header.payload_crc32) {
+    throw ArtifactError(path, "payload CRC mismatch: header " +
+                                  hex32(artifact.header.payload_crc32) +
+                                  ", computed " + hex32(actual));
+  }
+  return artifact;
+}
+
+Artifact read_artifact(const std::string& path,
+                       const std::string& expect_kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw ArtifactError(path, "cannot open file");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Artifact artifact = parse_artifact(path, buffer.str());
+  if (!expect_kind.empty() && artifact.header.kind != expect_kind) {
+    throw ArtifactError(path, "wrong artifact kind: expected '" + expect_kind +
+                                  "', found '" + artifact.header.kind + "'");
+  }
+  return artifact;
+}
+
+std::string quarantine_file(const std::string& path) noexcept {
+  const std::string target = path + ".corrupt";
+  std::remove(target.c_str());
+  std::rename(path.c_str(), target.c_str());
+  return target;
+}
+
+}  // namespace fdet::core

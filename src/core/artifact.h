@@ -1,0 +1,154 @@
+// Durable-file primitives shared by everything the system persists:
+// trained cascades, training checkpoints, cache manifests.
+//
+// Three guarantees, layered:
+//
+//   1. Atomicity — atomic_write_file() writes to `<path>.tmp`, flushes
+//      through the OS (fflush + fsync), and renames into place. A crash
+//      or write fault at any point leaves the destination either absent
+//      or holding its previous complete contents; a torn file can only
+//      ever exist under the `.tmp` name, which every reader ignores.
+//   2. Integrity — the artifact container frames a payload with a
+//      versioned section header carrying the payload byte count and its
+//      CRC32, so truncation and bit rot are detected at read time with a
+//      typed error instead of being parsed into garbage.
+//   3. Testability — every write/flush/rename goes through a process-wide
+//      WriteFaultHook seam. The chaos harness (tools/fdet_train_chaos)
+//      injects torn writes, short writes, and ENOSPC there to prove the
+//      crash-consistency argument instead of assuming it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "core/check.h"
+
+namespace fdet::core {
+
+/// Error thrown by durable-file primitives: failed writes, CRC mismatches,
+/// malformed or truncated containers. Derives CheckError so existing
+/// call sites that catch the library error type keep working.
+class ArtifactError : public CheckError {
+ public:
+  ArtifactError(std::string path, const std::string& detail)
+      : CheckError("artifact error [" + path + "]: " + detail),
+        path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+/// crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+std::uint32_t crc32(const void* data, std::size_t size);
+
+// ---------------------------------------------------------------------------
+// Write-fault injection seam.
+
+/// The filesystem operations atomic_write_file performs, in order.
+enum class WriteOp {
+  kWrite,   ///< payload bytes going into the tmp file
+  kFlush,   ///< fflush + fsync of the tmp file
+  kRename,  ///< rename(tmp, final)
+};
+
+/// What an installed hook may inject for one operation.
+enum class WriteFault {
+  kNone,        ///< proceed normally
+  kShortWrite,  ///< only a prefix of the payload reaches the tmp file,
+                ///< then the write reports failure (classic ENOSPC tail)
+  kTornWrite,   ///< a prefix reaches the tmp file and the process "dies"
+                ///< there: no error return, no flush, no rename
+  kNoSpace,     ///< the operation fails outright with no bytes written
+};
+
+/// Consulted before each WriteOp on each path. Return kNone to proceed.
+using WriteFaultHook = std::function<WriteFault(const std::string& path,
+                                                WriteOp op)>;
+
+/// Installs `hook` process-wide and restores the previous hook on
+/// destruction. Not thread-safe: the seam exists for single-threaded
+/// chaos harnesses and tests.
+class ScopedWriteFaultHook {
+ public:
+  explicit ScopedWriteFaultHook(WriteFaultHook hook);
+  ~ScopedWriteFaultHook();
+  ScopedWriteFaultHook(const ScopedWriteFaultHook&) = delete;
+  ScopedWriteFaultHook& operator=(const ScopedWriteFaultHook&) = delete;
+
+ private:
+  WriteFaultHook previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Atomic file replacement.
+
+/// Name of the staging file atomic_write_file uses for `path`; readers
+/// (and directory scans looking for durable artifacts) must skip it.
+std::string tmp_path_for(const std::string& path);
+
+/// Writes `contents` to `path` atomically: stage into tmp_path_for(path),
+/// flush + fsync, rename over `path`. On any failure (including injected
+/// write faults) throws ArtifactError; the destination is untouched and
+/// the stale tmp file, when one survives a simulated torn write, is
+/// removed on the next atomic_write_file to the same path.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+// ---------------------------------------------------------------------------
+// Versioned, checksummed artifact container.
+
+/// Section header shared by all durable container files. On disk:
+///
+///   fdet-artifact 1
+///   kind <token>
+///   payload-version <int>
+///   payload-bytes <N>
+///   payload-crc32 <8 hex digits>
+///   ---
+///   <exactly N payload bytes>
+struct ArtifactHeader {
+  std::string kind;          ///< e.g. "train-checkpoint", "pretrained-manifest"
+  int payload_version = 1;   ///< schema version of the payload, per kind
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t payload_crc32 = 0;
+};
+
+inline constexpr int kArtifactContainerVersion = 1;
+
+/// Serializes header + payload into the container framing (no I/O).
+std::string frame_artifact(const std::string& kind, int payload_version,
+                           std::string_view payload);
+
+/// Atomically writes a framed artifact to `path`.
+void write_artifact(const std::string& path, const std::string& kind,
+                    int payload_version, std::string_view payload);
+
+struct Artifact {
+  ArtifactHeader header;
+  std::string payload;
+};
+
+/// Parses a framed artifact from `contents` (as read from `path`, named in
+/// diagnostics). Validates the container version, header fields, payload
+/// byte count, and CRC32; throws ArtifactError on any mismatch.
+Artifact parse_artifact(const std::string& path, std::string_view contents);
+
+/// Reads and validates the artifact at `path`. When `expect_kind` is
+/// non-empty the kind must match; throws ArtifactError otherwise (a
+/// missing file is also an ArtifactError).
+Artifact read_artifact(const std::string& path,
+                       const std::string& expect_kind = "");
+
+/// Renames a corrupt/stale durable file to `<path>.corrupt` (replacing any
+/// previous quarantine of the same path) so it can be inspected without
+/// ever being picked up by a reader again. Returns the quarantine path;
+/// never throws — quarantining is best-effort cleanup on an error path.
+std::string quarantine_file(const std::string& path) noexcept;
+
+}  // namespace fdet::core

@@ -6,6 +6,8 @@
 // recommend, which keeps independent streams cheap to derive.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -87,6 +89,19 @@ class Rng {
 
   /// Derives an independent child generator (stream splitting).
   constexpr Rng split() { return Rng(hash_combine((*this)(), (*this)())); }
+
+  /// Raw xoshiro256** state, for durable checkpoints: restoring it with
+  /// set_state() resumes the exact stream, which the training resume path
+  /// needs for bit-identical replays.
+  constexpr std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  constexpr void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = state[static_cast<std::size_t>(i)];
+    }
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

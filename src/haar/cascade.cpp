@@ -1,8 +1,15 @@
 #include "haar/cascade.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
+#include "core/artifact.h"
 #include "core/check.h"
 
 namespace fdet::haar {
@@ -45,6 +52,9 @@ Cascade Cascade::prefix(int stages) const {
 }
 
 void write_cascade(std::ostream& out, const Cascade& cascade) {
+  // max_digits10 makes every float round-trip bit-exactly through the
+  // text form — the checkpoint/resume identity invariant depends on it.
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
   out << "fdet-cascade 1\n";
   out << "name " << (cascade.name().empty() ? "unnamed" : cascade.name())
       << "\n";
@@ -63,68 +73,236 @@ void write_cascade(std::ostream& out, const Cascade& cascade) {
   }
 }
 
+std::string cascade_to_string(const Cascade& cascade) {
+  std::ostringstream out;
+  write_cascade(out, cascade);
+  return std::move(out).str();
+}
+
+namespace {
+
+/// Line-oriented tokenizer for the validating parser: tracks the 1-based
+/// line number every diagnostic carries.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next line split into whitespace tokens; false at EOF.
+  bool next(std::vector<std::string>& tokens) {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      return false;
+    }
+    ++line_number_;
+    tokens.clear();
+    std::istringstream split(line);
+    std::string token;
+    while (split >> token) {
+      tokens.push_back(token);
+    }
+    return true;
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istream& in_;
+  int line_number_ = 0;
+};
+
+[[noreturn]] void parse_fail(const LineReader& reader,
+                             const std::string& field,
+                             const std::string& detail) {
+  throw CascadeParseError(reader.line_number(), field, detail);
+}
+
+/// Strict integer token: the whole token must parse.
+int parse_int(const LineReader& reader, const std::string& field,
+              const std::string& token) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size() || token.empty() ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    parse_fail(reader, field, "not an integer: '" + token + "'");
+  }
+  return static_cast<int>(value);
+}
+
+/// Strict finite-float token: whole-token parse, NaN/Inf rejected.
+float parse_finite_float(const LineReader& reader, const std::string& field,
+                         const std::string& token) {
+  char* end = nullptr;
+  errno = 0;
+  const float value = std::strtof(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty()) {
+    parse_fail(reader, field, "not a number: '" + token + "'");
+  }
+  if (!std::isfinite(value)) {
+    parse_fail(reader, field, "non-finite value: '" + token + "'");
+  }
+  return value;
+}
+
+void expect_tokens(const LineReader& reader, const std::string& field,
+                   const std::vector<std::string>& tokens,
+                   std::size_t count) {
+  if (tokens.size() != count) {
+    std::ostringstream msg;
+    msg << "expected " << count << " fields, got " << tokens.size();
+    parse_fail(reader, field, msg.str());
+  }
+}
+
+}  // namespace
+
 Cascade read_cascade(std::istream& in) {
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  FDET_CHECK(magic == "fdet-cascade" && version == 1)
-      << "bad cascade header: '" << magic << " " << version << "'";
+  LineReader reader(in);
+  std::vector<std::string> tokens;
 
-  std::string key;
-  std::string name;
-  in >> key >> name;
-  FDET_CHECK(key == "name") << "expected 'name', got '" << key << "'";
+  if (!reader.next(tokens)) {
+    throw CascadeParseError(1, "header", "empty input");
+  }
+  expect_tokens(reader, "header", tokens, 2);
+  if (tokens[0] != "fdet-cascade") {
+    parse_fail(reader, "header", "bad magic '" + tokens[0] + "'");
+  }
+  if (parse_int(reader, "header.version", tokens[1]) != 1) {
+    parse_fail(reader, "header.version",
+               "unsupported format version '" + tokens[1] + "'");
+  }
 
-  int stage_count = 0;
-  in >> key >> stage_count;
-  FDET_CHECK(key == "stages" && stage_count >= 0 && stage_count < 10000)
-      << "bad stage count";
+  if (!reader.next(tokens)) {
+    parse_fail(reader, "name", "truncated: missing 'name' line");
+  }
+  if (tokens.size() != 2 || tokens[0] != "name") {
+    parse_fail(reader, "name", "expected 'name <token>'");
+  }
+  const std::string name = tokens[1];
+
+  if (!reader.next(tokens)) {
+    parse_fail(reader, "stages", "truncated: missing 'stages' line");
+  }
+  if (tokens.size() != 2 || tokens[0] != "stages") {
+    parse_fail(reader, "stages", "expected 'stages <count>'");
+  }
+  const int stage_count = parse_int(reader, "stages", tokens[1]);
+  if (stage_count < 0 || stage_count >= 10000) {
+    parse_fail(reader, "stages",
+               "implausible stage count " + std::to_string(stage_count));
+  }
 
   Cascade cascade(name);
   for (int s = 0; s < stage_count; ++s) {
-    std::size_t classifier_count = 0;
+    const std::string stage_field = "stage[" + std::to_string(s) + "]";
+    if (!reader.next(tokens)) {
+      parse_fail(reader, stage_field,
+                 "truncated: expected " + std::to_string(stage_count) +
+                     " stages, file ends after " + std::to_string(s));
+    }
+    if (tokens.size() != 3 || tokens[0] != "stage") {
+      parse_fail(reader, stage_field,
+                 "expected 'stage <classifiers> <threshold>'");
+    }
+    const int classifier_count =
+        parse_int(reader, stage_field + ".classifiers", tokens[1]);
+    if (classifier_count < 0 || classifier_count >= 1000000) {
+      parse_fail(reader, stage_field + ".classifiers",
+                 "implausible classifier count " + tokens[1]);
+    }
     Stage stage;
-    in >> key >> classifier_count >> stage.threshold;
-    FDET_CHECK(key == "stage" && in.good())
-        << "bad stage record at index " << s;
-    FDET_CHECK(classifier_count < 1000000) << "implausible classifier count";
-    stage.classifiers.reserve(classifier_count);
-    for (std::size_t c = 0; c < classifier_count; ++c) {
-      int type = 0;
-      int vertical = 0;
-      int x = 0;
-      int y = 0;
-      int cw = 0;
-      int ch = 0;
+    stage.threshold =
+        parse_finite_float(reader, stage_field + ".threshold", tokens[2]);
+    stage.classifiers.reserve(static_cast<std::size_t>(classifier_count));
+
+    for (int c = 0; c < classifier_count; ++c) {
+      const std::string field =
+          stage_field + ".classifier[" + std::to_string(c) + "]";
+      if (!reader.next(tokens)) {
+        parse_fail(reader, field,
+                   "truncated: stage " + std::to_string(s) + " promises " +
+                       std::to_string(classifier_count) +
+                       " classifiers, file ends after " + std::to_string(c));
+      }
+      expect_tokens(reader, field, tokens, 9);
+      const int type = parse_int(reader, field + ".type", tokens[0]);
+      if (type < 0 || type > 3) {
+        parse_fail(reader, field + ".type",
+                   "feature type must be 0..3, got " + tokens[0]);
+      }
+      const int vertical = parse_int(reader, field + ".vertical", tokens[1]);
+      if (vertical != 0 && vertical != 1) {
+        parse_fail(reader, field + ".vertical",
+                   "orientation must be 0 or 1, got " + tokens[1]);
+      }
+      const int x = parse_int(reader, field + ".x", tokens[2]);
+      const int y = parse_int(reader, field + ".y", tokens[3]);
+      const int cw = parse_int(reader, field + ".cw", tokens[4]);
+      const int ch = parse_int(reader, field + ".ch", tokens[5]);
+      if (x < 0 || x >= kWindowSize || y < 0 || y >= kWindowSize) {
+        parse_fail(reader, field + ".anchor",
+                   "anchor (" + std::to_string(x) + ", " + std::to_string(y) +
+                       ") outside the " + std::to_string(kWindowSize) + "x" +
+                       std::to_string(kWindowSize) + " detection window");
+      }
+      if (cw < 1 || cw > kWindowSize || ch < 1 || ch > kWindowSize) {
+        parse_fail(reader, field + ".cell",
+                   "cell size (" + std::to_string(cw) + ", " +
+                       std::to_string(ch) + ") outside 1.." +
+                       std::to_string(kWindowSize));
+      }
       WeakClassifier wc;
-      in >> type >> vertical >> x >> y >> cw >> ch >> wc.threshold >>
-          wc.left_vote >> wc.right_vote;
-      FDET_CHECK(in.good()) << "truncated classifier record";
-      FDET_CHECK(type >= 0 && type <= 3) << "bad feature type " << type;
       wc.feature = HaarFeature{static_cast<HaarType>(type), vertical != 0,
                                static_cast<std::uint8_t>(x),
                                static_cast<std::uint8_t>(y),
                                static_cast<std::uint8_t>(cw),
                                static_cast<std::uint8_t>(ch)};
-      FDET_CHECK(wc.feature.valid()) << "feature outside window";
+      if (!wc.feature.valid()) {
+        parse_fail(reader, field + ".rect",
+                   "rectangle (" + std::to_string(wc.feature.extent_w()) +
+                       "x" + std::to_string(wc.feature.extent_h()) +
+                       " at " + std::to_string(x) + "," + std::to_string(y) +
+                       ") extends outside the " + std::to_string(kWindowSize) +
+                       "x" + std::to_string(kWindowSize) +
+                       " detection window");
+      }
+      wc.threshold =
+          parse_finite_float(reader, field + ".threshold", tokens[6]);
+      wc.left_vote =
+          parse_finite_float(reader, field + ".left_vote", tokens[7]);
+      wc.right_vote =
+          parse_finite_float(reader, field + ".right_vote", tokens[8]);
       stage.classifiers.push_back(wc);
     }
     cascade.add_stage(std::move(stage));
+  }
+
+  // Anything but trailing whitespace after the last declared record is
+  // corruption (concatenated files, appended garbage).
+  while (reader.next(tokens)) {
+    if (!tokens.empty()) {
+      parse_fail(reader, "trailer",
+                 "trailing garbage after the last declared stage: '" +
+                     tokens[0] + "...'");
+    }
   }
   return cascade;
 }
 
 void save_cascade(const std::string& path, const Cascade& cascade) {
-  std::ofstream out(path);
-  FDET_CHECK(out.good()) << "cannot open " << path;
-  write_cascade(out, cascade);
-  FDET_CHECK(out.good()) << "write failed for " << path;
+  core::atomic_write_file(path, cascade_to_string(cascade));
 }
 
 Cascade load_cascade(const std::string& path) {
   std::ifstream in(path);
   FDET_CHECK(in.good()) << "cannot open " << path;
-  return read_cascade(in);
+  try {
+    return read_cascade(in);
+  } catch (const CascadeParseError& error) {
+    throw CascadeParseError(error.line(), error.field(), error.detail(),
+                            path);
+  }
 }
 
 }  // namespace fdet::haar

@@ -15,9 +15,37 @@
 #include <string>
 #include <vector>
 
+#include "core/check.h"
 #include "haar/feature.h"
 
 namespace fdet::haar {
+
+/// Error thrown by the validating cascade parser. Carries the 1-based line
+/// number and the field being parsed so diagnostics can name the exact
+/// offending token ("line 12, field 'threshold': non-finite value").
+/// Derives core::CheckError, so callers catching the library error type
+/// (and pre-existing tests) keep working.
+class CascadeParseError : public core::CheckError {
+ public:
+  CascadeParseError(int line, std::string field, std::string detail,
+                    const std::string& path = "")
+      : core::CheckError("cascade parse error" +
+                         (path.empty() ? std::string() : " [" + path + "]") +
+                         " at line " + std::to_string(line) + ", field '" +
+                         field + "': " + detail),
+        line_(line),
+        field_(std::move(field)),
+        detail_(std::move(detail)) {}
+
+  int line() const { return line_; }
+  const std::string& field() const { return field_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  int line_;
+  std::string field_;
+  std::string detail_;
+};
 
 struct WeakClassifier {
   HaarFeature feature;
@@ -77,9 +105,27 @@ class Cascade {
 };
 
 /// Text (de)serialization — a simple line format, stable across versions.
+/// Floats are written with max_digits10 precision so a write/read round
+/// trip is bit-exact (the training checkpoint layer relies on this).
 void write_cascade(std::ostream& out, const Cascade& cascade);
+
+/// Renders write_cascade() into a string — the canonical byte
+/// representation used for on-disk files and artifact digests.
+std::string cascade_to_string(const Cascade& cascade);
+
+/// Validating parser: rejects truncation, malformed records, non-finite
+/// thresholds/votes, and rectangles outside the 24x24 detection window
+/// with a CascadeParseError naming the line and field. Never crashes on
+/// hostile input.
 Cascade read_cascade(std::istream& in);
+
+/// Atomic save (tmp + flush + rename via core::atomic_write_file): a crash
+/// mid-save never leaves a torn .cascade visible under `path`. Throws
+/// core::ArtifactError on I/O failure.
 void save_cascade(const std::string& path, const Cascade& cascade);
+
+/// Loads and validates; CascadeParseError diagnostics are prefixed with
+/// `path`. Throws core::CheckError when the file cannot be opened.
 Cascade load_cascade(const std::string& path);
 
 }  // namespace fdet::haar

@@ -4,14 +4,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <optional>
 
+#include "core/artifact.h"
 #include "core/check.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 #include "facegen/background.h"
 #include "haar/enumerate.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "train/checkpoint.h"
 #include "train/dataset_matrix.h"
 #include "train/stump.h"
 
@@ -210,12 +215,42 @@ TrainResult train_cascade(const facegen::TrainingSet& set,
   TrainResult result;
   result.cascade = haar::Cascade(name);
 
+  const int total_stages = static_cast<int>(options.stage_sizes.size());
+  const std::string digest = train_options_digest(options, name);
+  std::optional<CheckpointStore> store;
+  int start_stage = 0;
+  if (!options.checkpoint_dir.empty()) {
+    store.emplace(options.checkpoint_dir, options.checkpoint_keep,
+                  options.metrics);
+    if (options.resume) {
+      const obs::ScopedSpan span("train.checkpoint.resume");
+      if (std::optional<TrainCheckpoint> checkpoint =
+              store->load_latest(digest)) {
+        result.cascade = std::move(checkpoint->cascade);
+        result.cascade.set_name(name);
+        result.stages = std::move(checkpoint->stats);
+        rng.set_state(checkpoint->rng_state);
+        start_stage = result.cascade.stage_count();
+        std::fprintf(stderr,
+                     "[fdet] resuming '%s' from checkpoint: %d/%d stages "
+                     "already trained\n",
+                     name.c_str(), start_stage, total_stages);
+        if (options.metrics != nullptr) {
+          options.metrics->gauge("train.checkpoint.resumed_stage")
+              .set(start_stage);
+        }
+      }
+    }
+  }
+
   const int pos = static_cast<int>(set.faces.size());
 
-  int stage_index = 0;
-  for (const int stage_size : options.stage_sizes) {
+  for (int stage_index = start_stage; stage_index < total_stages;
+       ++stage_index) {
+    const int stage_size =
+        options.stage_sizes[static_cast<std::size_t>(stage_index)];
     const obs::ScopedSpan stage_span("train.stage" +
-                                     std::to_string(stage_index++));
+                                     std::to_string(stage_index));
     core::Stopwatch stage_watch;
     StageStats stats;
     stats.classifiers = stage_size;
@@ -349,6 +384,39 @@ TrainResult train_cascade(const facegen::TrainingSet& set,
 
     result.cascade.add_stage(std::move(stage));
     result.stages.push_back(stats);
+
+    if (store) {
+      const obs::ScopedSpan save_span("train.checkpoint.save");
+      TrainCheckpoint checkpoint;
+      checkpoint.options_digest = digest;
+      checkpoint.name = name;
+      checkpoint.rng_state = rng.state();
+      checkpoint.total_stages = total_stages;
+      checkpoint.cascade = result.cascade;
+      checkpoint.stats = result.stages;
+      checkpoint.weights = weights;
+      try {
+        store->save(checkpoint);
+        if (options.metrics != nullptr) {
+          options.metrics->counter("train.checkpoint.saved").increment();
+        }
+      } catch (const core::ArtifactError& error) {
+        // Non-fatal by design: the atomic write left every previous
+        // checkpoint intact, so training keeps going and the run stays
+        // resumable from the last durable stage.
+        std::fprintf(stderr,
+                     "[fdet] checkpoint save after stage %d failed "
+                     "(training continues): %s\n",
+                     stage_index, error.what());
+        if (options.metrics != nullptr) {
+          options.metrics->counter("train.checkpoint.save_failed")
+              .increment();
+        }
+      }
+    }
+    if (options.after_stage) {
+      options.after_stage(stage_index);
+    }
   }
 
   result.total_seconds = total_watch.elapsed_seconds();

@@ -14,11 +14,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "facegen/dataset.h"
 #include "haar/cascade.h"
+
+namespace fdet::obs {
+class Registry;
+}
 
 namespace fdet::train {
 
@@ -43,6 +48,24 @@ struct TrainOptions {
   int histogram_bins = 64;
   int threads = 0;                    ///< OpenMP threads; 0 = library default
   std::uint64_t seed = 1;
+
+  // --- durability (train/checkpoint.h) -----------------------------------
+  /// When non-empty, a checkpoint is persisted into this directory after
+  /// every completed stage (atomic, CRC-framed, last-`checkpoint_keep`
+  /// rotation) and — with `resume` — training continues from the newest
+  /// intact checkpoint whose options digest matches. The invariant: a
+  /// resumed run produces a bit-identical final cascade to an
+  /// uninterrupted one, regardless of which stage a crash landed on and
+  /// of thread count.
+  std::string checkpoint_dir;
+  int checkpoint_keep = 3;
+  bool resume = true;
+  /// Optional metrics sink for train.checkpoint.* counters/gauges.
+  obs::Registry* metrics = nullptr;
+  /// Test seam: invoked after each stage is trained and checkpointed
+  /// (argument = completed-stage index). The chaos harness throws from
+  /// here to simulate a crash at a stage boundary. Not part of the digest.
+  std::function<void(int)> after_stage;
 };
 
 struct StageStats {

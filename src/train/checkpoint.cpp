@@ -1,0 +1,377 @@
+#include "train/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/artifact.h"
+#include "core/rng.h"
+#include "obs/metrics.h"
+
+namespace fdet::train {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCheckpointPrefix = "checkpoint-";
+constexpr const char* kCheckpointSuffix = ".fdetckpt";
+
+std::string hex64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::uint64_t parse_hex64(const std::string& path, const std::string& field,
+                          const std::string& token) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      token.data(), token.data() + token.size(), value, 16);
+  if (ec != std::errc() || ptr != token.data() + token.size() ||
+      token.empty()) {
+    throw core::ArtifactError(path, "checkpoint field '" + field +
+                                        "' is not a hex64 token: '" + token +
+                                        "'");
+  }
+  return value;
+}
+
+/// Line-oriented payload reader with field-naming diagnostics.
+class PayloadReader {
+ public:
+  PayloadReader(const std::string& path, const std::string& payload)
+      : path_(path), in_(payload) {}
+
+  std::string line(const std::string& field) {
+    std::string text;
+    if (!std::getline(in_, text)) {
+      throw core::ArtifactError(path_, "checkpoint truncated: missing '" +
+                                           field + "' line");
+    }
+    return text;
+  }
+
+  /// "key value..." line; returns the value part.
+  std::string keyed(const std::string& key) {
+    const std::string text = line(key);
+    const std::size_t space = text.find(' ');
+    if (space == std::string::npos || text.substr(0, space) != key) {
+      throw core::ArtifactError(path_, "checkpoint field '" + key +
+                                           "': malformed line '" + text + "'");
+    }
+    return text.substr(space + 1);
+  }
+
+  std::int64_t keyed_int(const std::string& key) {
+    const std::string value = keyed(key);
+    std::int64_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(
+        value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+      throw core::ArtifactError(path_, "checkpoint field '" + key +
+                                           "' is not an integer: '" + value +
+                                           "'");
+    }
+    return parsed;
+  }
+
+  /// Reads exactly `bytes` raw payload bytes (the embedded cascade blob).
+  std::string raw(const std::string& field, std::size_t bytes) {
+    std::string blob(bytes, '\0');
+    in_.read(blob.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(in_.gcount()) != bytes) {
+      throw core::ArtifactError(path_, "checkpoint truncated inside '" +
+                                           field + "' blob");
+    }
+    return blob;
+  }
+
+  /// Rejects any non-whitespace content left after the declared payload —
+  /// a length mismatch the byte counts alone would silently swallow.
+  void expect_exhausted() {
+    std::string text;
+    while (std::getline(in_, text)) {
+      if (text.find_first_not_of(" \t\r") != std::string::npos) {
+        throw core::ArtifactError(
+            path_, "checkpoint has trailing garbage after the cascade blob: '" +
+                       text + "'");
+      }
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::istringstream in_;
+};
+
+int stage_of_filename(const std::string& filename) {
+  const std::string prefix = kCheckpointPrefix;
+  const std::string suffix = kCheckpointSuffix;
+  if (filename.size() <= prefix.size() + suffix.size() ||
+      filename.compare(0, prefix.size(), prefix) != 0 ||
+      filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return -1;
+  }
+  const std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::stoi(digits);
+}
+
+}  // namespace
+
+std::string train_options_digest(const TrainOptions& options,
+                                 const std::string& name) {
+  std::uint64_t h = core::hash_combine(
+      options.seed, static_cast<std::uint64_t>(kTrainerVersion));
+  h = core::hash_combine(
+      h, static_cast<std::uint64_t>(options.algorithm ==
+                                    BoostAlgorithm::kGentleBoost));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(options.feature_pool));
+  h = core::hash_combine(
+      h, static_cast<std::uint64_t>(options.negatives_per_stage));
+  h = core::hash_combine(
+      h, static_cast<std::uint64_t>(options.stage_hit_target * 1e6));
+  h = core::hash_combine(
+      h, static_cast<std::uint64_t>(options.stage_fp_floor * 1e6));
+  h = core::hash_combine(h,
+                         static_cast<std::uint64_t>(options.histogram_bins));
+  h = core::hash_combine(h,
+                         static_cast<std::uint64_t>(options.stage_sizes.size()));
+  for (const int size : options.stage_sizes) {
+    h = core::hash_combine(h, static_cast<std::uint64_t>(size));
+  }
+  for (const char c : name) {
+    h = core::hash_combine(h, static_cast<std::uint64_t>(
+                                  static_cast<unsigned char>(c)));
+  }
+  std::ostringstream out;
+  out << std::hex << h;
+  return std::move(out).str();
+}
+
+std::string serialize_checkpoint(const TrainCheckpoint& checkpoint) {
+  FDET_CHECK(static_cast<int>(checkpoint.stats.size()) ==
+             checkpoint.stages_done())
+      << "checkpoint stats/stage count mismatch";
+  std::ostringstream out;
+  out << "digest " << checkpoint.options_digest << "\n";
+  out << "name " << checkpoint.name << "\n";
+  out << "rng " << hex64(checkpoint.rng_state[0]) << " "
+      << hex64(checkpoint.rng_state[1]) << " "
+      << hex64(checkpoint.rng_state[2]) << " "
+      << hex64(checkpoint.rng_state[3]) << "\n";
+  out << "total-stages " << checkpoint.total_stages << "\n";
+  out << "stats " << checkpoint.stats.size() << "\n";
+  for (const StageStats& s : checkpoint.stats) {
+    // seconds is diagnostic wall time; bit patterns keep the round trip
+    // exact so re-serialized checkpoints are byte-stable.
+    out << s.classifiers << " "
+        << hex64(std::bit_cast<std::uint64_t>(s.hit_rate)) << " "
+        << hex64(std::bit_cast<std::uint64_t>(s.false_positive_rate)) << " "
+        << s.negatives_mined << " "
+        << hex64(std::bit_cast<std::uint64_t>(s.seconds)) << "\n";
+  }
+  out << "weights " << checkpoint.weights.size() << "\n";
+  for (std::size_t i = 0; i < checkpoint.weights.size(); ++i) {
+    out << hex64(std::bit_cast<std::uint64_t>(checkpoint.weights[i]))
+        << ((i + 1) % 8 == 0 || i + 1 == checkpoint.weights.size() ? "\n"
+                                                                   : " ");
+  }
+  const std::string cascade_text = haar::cascade_to_string(checkpoint.cascade);
+  out << "cascade-bytes " << cascade_text.size() << "\n";
+  out << cascade_text;
+  return std::move(out).str();
+}
+
+TrainCheckpoint parse_checkpoint(const std::string& path,
+                                 const std::string& payload) {
+  PayloadReader reader(path, payload);
+  TrainCheckpoint checkpoint;
+  checkpoint.options_digest = reader.keyed("digest");
+  checkpoint.name = reader.keyed("name");
+
+  std::istringstream rng_tokens(reader.keyed("rng"));
+  for (auto& word : checkpoint.rng_state) {
+    std::string token;
+    if (!(rng_tokens >> token)) {
+      throw core::ArtifactError(path, "checkpoint field 'rng': expected 4 "
+                                      "hex64 tokens");
+    }
+    word = parse_hex64(path, "rng", token);
+  }
+
+  checkpoint.total_stages =
+      static_cast<int>(reader.keyed_int("total-stages"));
+  if (checkpoint.total_stages < 0 || checkpoint.total_stages >= 10000) {
+    throw core::ArtifactError(path, "checkpoint field 'total-stages': "
+                                    "implausible value");
+  }
+
+  const std::int64_t stat_count = reader.keyed_int("stats");
+  if (stat_count < 0 || stat_count > checkpoint.total_stages) {
+    throw core::ArtifactError(path, "checkpoint field 'stats': count out of "
+                                    "range");
+  }
+  for (std::int64_t i = 0; i < stat_count; ++i) {
+    const std::string field = "stats[" + std::to_string(i) + "]";
+    std::istringstream tokens(reader.line(field));
+    StageStats stats;
+    std::string hit;
+    std::string fp;
+    std::string seconds;
+    if (!(tokens >> stats.classifiers >> hit >> fp >> stats.negatives_mined >>
+          seconds)) {
+      throw core::ArtifactError(path, "checkpoint field '" + field +
+                                          "': malformed record");
+    }
+    stats.hit_rate =
+        std::bit_cast<double>(parse_hex64(path, field + ".hit_rate", hit));
+    stats.false_positive_rate =
+        std::bit_cast<double>(parse_hex64(path, field + ".fp_rate", fp));
+    stats.seconds =
+        std::bit_cast<double>(parse_hex64(path, field + ".seconds", seconds));
+    checkpoint.stats.push_back(stats);
+  }
+
+  const std::int64_t weight_count = reader.keyed_int("weights");
+  if (weight_count < 0 || weight_count > 50'000'000) {
+    throw core::ArtifactError(path, "checkpoint field 'weights': implausible "
+                                    "count");
+  }
+  checkpoint.weights.reserve(static_cast<std::size_t>(weight_count));
+  while (static_cast<std::int64_t>(checkpoint.weights.size()) <
+         weight_count) {
+    std::istringstream tokens(reader.line("weights"));
+    std::string token;
+    while (tokens >> token) {
+      if (static_cast<std::int64_t>(checkpoint.weights.size()) >=
+          weight_count) {
+        throw core::ArtifactError(path, "checkpoint field 'weights': more "
+                                        "tokens than declared");
+      }
+      checkpoint.weights.push_back(
+          std::bit_cast<double>(parse_hex64(path, "weights", token)));
+    }
+  }
+
+  const std::int64_t cascade_bytes = reader.keyed_int("cascade-bytes");
+  if (cascade_bytes < 0) {
+    throw core::ArtifactError(path, "checkpoint field 'cascade-bytes': "
+                                    "negative");
+  }
+  const std::string cascade_text =
+      reader.raw("cascade", static_cast<std::size_t>(cascade_bytes));
+  reader.expect_exhausted();
+  std::istringstream cascade_in(cascade_text);
+  try {
+    checkpoint.cascade = haar::read_cascade(cascade_in);
+  } catch (const haar::CascadeParseError& error) {
+    throw core::ArtifactError(path, std::string("embedded cascade invalid: ") +
+                                        error.what());
+  }
+  if (checkpoint.stages_done() != static_cast<int>(stat_count)) {
+    throw core::ArtifactError(path, "checkpoint stage/stat count mismatch");
+  }
+  if (checkpoint.stages_done() > checkpoint.total_stages) {
+    throw core::ArtifactError(path, "checkpoint holds more stages than the "
+                                    "run it describes");
+  }
+  return checkpoint;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, int keep,
+                                 obs::Registry* metrics)
+    : dir_(std::move(dir)), keep_(std::max(1, keep)), metrics_(metrics) {
+  FDET_CHECK(!dir_.empty()) << "checkpoint directory must be non-empty";
+}
+
+std::string CheckpointStore::path_for(int stages_done) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%04d%s", kCheckpointPrefix,
+                stages_done, kCheckpointSuffix);
+  return (fs::path(dir_) / name).string();
+}
+
+std::vector<int> CheckpointStore::stages_on_disk() const {
+  std::vector<int> stages;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const int stage = stage_of_filename(entry.path().filename().string());
+    if (stage >= 0) {
+      stages.push_back(stage);
+    }
+  }
+  std::sort(stages.begin(), stages.end());
+  return stages;
+}
+
+void CheckpointStore::save(const TrainCheckpoint& checkpoint) {
+  fs::create_directories(dir_);
+  core::write_artifact(path_for(checkpoint.stages_done()),
+                       kCheckpointArtifactKind, kCheckpointPayloadVersion,
+                       serialize_checkpoint(checkpoint));
+  // Rotation prunes only after the new checkpoint is durable, so a fault
+  // during the write never costs an older recovery point.
+  const std::vector<int> stages = stages_on_disk();
+  if (static_cast<int>(stages.size()) > keep_) {
+    for (std::size_t i = 0; i + static_cast<std::size_t>(keep_) <
+                            stages.size();
+         ++i) {
+      std::error_code ec;
+      fs::remove(path_for(stages[i]), ec);
+    }
+  }
+}
+
+std::optional<TrainCheckpoint> CheckpointStore::load_latest(
+    const std::string& expect_digest) {
+  std::vector<int> stages = stages_on_disk();
+  std::sort(stages.begin(), stages.end(), std::greater<>());
+  for (const int stage : stages) {
+    const std::string path = path_for(stage);
+    try {
+      const core::Artifact artifact =
+          core::read_artifact(path, kCheckpointArtifactKind);
+      if (artifact.header.payload_version != kCheckpointPayloadVersion) {
+        throw core::ArtifactError(
+            path, "unsupported checkpoint payload version " +
+                      std::to_string(artifact.header.payload_version));
+      }
+      TrainCheckpoint checkpoint = parse_checkpoint(path, artifact.payload);
+      if (checkpoint.options_digest != expect_digest) {
+        std::fprintf(stderr,
+                     "[fdet] checkpoint %s is stale: expected options digest "
+                     "%s, found %s — skipping\n",
+                     path.c_str(), expect_digest.c_str(),
+                     checkpoint.options_digest.c_str());
+        if (metrics_ != nullptr) {
+          metrics_->counter("train.checkpoint.stale_skipped").increment();
+        }
+        continue;
+      }
+      return checkpoint;
+    } catch (const core::ArtifactError& error) {
+      const std::string quarantined = core::quarantine_file(path);
+      std::fprintf(stderr,
+                   "[fdet] corrupt checkpoint quarantined to %s: %s\n",
+                   quarantined.c_str(), error.what());
+      if (metrics_ != nullptr) {
+        metrics_->counter("train.checkpoint.corrupt_quarantined").increment();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdet::train

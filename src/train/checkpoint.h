@@ -1,0 +1,111 @@
+// Crash-consistent checkpoints for the boosted-cascade trainer.
+//
+// The trainer (train_cascade) is the longest-running workload in the
+// repo — at paper scale, 25 stages over thousands of hypotheses take
+// hours — so after every completed boosting stage it persists a
+// checkpoint from which training resumes bit-identically:
+//
+//   * the options digest (refuses to resume a run with different
+//     training parameters — thread count excluded, since the trainer is
+//     deterministic across thread counts by construction),
+//   * the cascade built so far (stage thresholds + weak classifiers,
+//     float-exact via the max_digits10 cascade text form),
+//   * per-stage statistics,
+//   * the sample weights at the end of the last stage (diagnostic: the
+//     stage loop re-derives weights per stage, but the distribution is
+//     the natural thing to inspect when a resumed run misbehaves),
+//   * the raw RNG state, so bootstrapped negative mining continues the
+//     exact stream.
+//
+// Checkpoints are framed by the core::artifact container (versioned
+// header + CRC32) and written atomically, so a crash at any kill point
+// leaves either the previous checkpoint set or a complete new one —
+// never a torn file under a durable name. The store rotates the last K
+// checkpoints and, on load, quarantines corrupt files as `*.corrupt`
+// and falls back to the newest intact one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "haar/cascade.h"
+#include "train/boost.h"
+
+namespace fdet::obs {
+class Registry;
+}
+
+namespace fdet::train {
+
+inline constexpr const char* kCheckpointArtifactKind = "train-checkpoint";
+inline constexpr int kCheckpointPayloadVersion = 1;
+
+struct TrainCheckpoint {
+  std::string options_digest;  ///< train_options_digest() of the run
+  std::string name;            ///< cascade name passed to train_cascade
+  std::array<std::uint64_t, 4> rng_state{};
+  int total_stages = 0;        ///< stage count the full run will produce
+  haar::Cascade cascade;       ///< stages completed so far
+  std::vector<StageStats> stats;  ///< one entry per completed stage
+  std::vector<double> weights;    ///< sample weights after the last stage
+
+  int stages_done() const { return cascade.stage_count(); }
+};
+
+/// Digest of everything that shapes the trained bits: trainer version,
+/// seed, algorithm, stage profile, pool and bootstrap budgets, targets,
+/// and the cascade name. Deliberately excludes `threads` — determinism
+/// across thread counts is a trainer invariant (pinned by test), so a
+/// checkpoint taken at 8 threads resumes correctly at 1.
+std::string train_options_digest(const TrainOptions& options,
+                                 const std::string& name);
+
+/// Payload (de)serialization; the store wraps these in the artifact
+/// container. parse_checkpoint throws core::ArtifactError (naming `path`)
+/// on any structural problem. Floating-point fields round-trip bit-exactly
+/// (weights and RNG state as hex bit patterns, cascade floats via the
+/// max_digits10 text form).
+std::string serialize_checkpoint(const TrainCheckpoint& checkpoint);
+TrainCheckpoint parse_checkpoint(const std::string& path,
+                                 const std::string& payload);
+
+/// Directory of rotated stage checkpoints for one training run.
+class CheckpointStore {
+ public:
+  /// `keep` >= 1 checkpoints are retained (newest stages). `metrics` may
+  /// be null; when set, quarantine/stale events are counted under
+  /// train.checkpoint.*.
+  explicit CheckpointStore(std::string dir, int keep = 3,
+                           obs::Registry* metrics = nullptr);
+
+  const std::string& dir() const { return dir_; }
+
+  /// `<dir>/checkpoint-<stages_done, zero-padded>.fdetckpt`.
+  std::string path_for(int stages_done) const;
+
+  /// Atomically persists `checkpoint` and prunes rotation overflow.
+  /// Throws core::ArtifactError when the write fails (the previous
+  /// checkpoints are untouched in that case).
+  void save(const TrainCheckpoint& checkpoint);
+
+  /// Newest intact checkpoint whose digest matches. Corrupt files are
+  /// quarantined to `*.corrupt` and skipped (falling back to the next
+  /// newest); mismatched-digest files are skipped with an
+  /// expected-vs-found log line. Returns nullopt when nothing usable
+  /// remains (including when the directory does not exist).
+  std::optional<TrainCheckpoint> load_latest(const std::string& expect_digest);
+
+  /// Stage numbers of the on-disk checkpoints, ascending. Ignores `.tmp`
+  /// staging debris and `.corrupt` quarantine files.
+  std::vector<int> stages_on_disk() const;
+
+ private:
+  std::string dir_;
+  int keep_;
+  obs::Registry* metrics_;
+};
+
+}  // namespace fdet::train

@@ -2,14 +2,117 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "core/artifact.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 #include "haar/profile.h"
 #include "train/boost.h"
 
 namespace fdet::train {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestKind = "pretrained-manifest";
+constexpr int kManifestVersion = 1;
+
+std::string ours_path(const std::string& cache_dir, const std::string& tag) {
+  return (fs::path(cache_dir) / ("ours-" + tag + ".cascade")).string();
+}
+
+std::string baseline_path(const std::string& cache_dir,
+                          const std::string& tag) {
+  return (fs::path(cache_dir) / ("opencv-like-" + tag + ".cascade")).string();
+}
+
+std::string manifest_path(const std::string& cache_dir,
+                          const std::string& tag) {
+  return (fs::path(cache_dir) / ("pair-" + tag + ".manifest")).string();
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+std::string hex32(std::uint32_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", value);
+  return buffer;
+}
+
+struct Manifest {
+  std::string digest;
+  std::string ours_crc;
+  std::string baseline_crc;
+};
+
+void write_manifest(const std::string& cache_dir, const std::string& tag,
+                    const std::string& ours_bytes,
+                    const std::string& baseline_bytes) {
+  std::ostringstream payload;
+  payload << "digest " << tag << "\n"
+          << "ours-crc32 " << hex32(core::crc32(ours_bytes)) << "\n"
+          << "opencv-like-crc32 " << hex32(core::crc32(baseline_bytes))
+          << "\n";
+  core::write_artifact(manifest_path(cache_dir, tag), kManifestKind,
+                       kManifestVersion, payload.str());
+}
+
+std::optional<Manifest> read_manifest(const std::string& path) {
+  if (!fs::exists(path)) {
+    return std::nullopt;
+  }
+  const core::Artifact artifact = core::read_artifact(path, kManifestKind);
+  Manifest manifest;
+  std::istringstream payload(artifact.payload);
+  std::string line;
+  while (std::getline(payload, line)) {
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      throw core::ArtifactError(path, "malformed manifest line '" + line +
+                                          "'");
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (key == "digest") {
+      manifest.digest = value;
+    } else if (key == "ours-crc32") {
+      manifest.ours_crc = value;
+    } else if (key == "opencv-like-crc32") {
+      manifest.baseline_crc = value;
+    }
+  }
+  if (manifest.digest.empty() || manifest.ours_crc.empty() ||
+      manifest.baseline_crc.empty()) {
+    throw core::ArtifactError(path, "manifest missing required fields");
+  }
+  return manifest;
+}
+
+/// Loads one cascade file through the validating parser; quarantines on
+/// parse failure so the broken file can never be picked up again.
+std::optional<haar::Cascade> load_validated(const std::string& path) {
+  try {
+    return haar::load_cascade(path);
+  } catch (const haar::CascadeParseError& error) {
+    const std::string quarantined = core::quarantine_file(path);
+    std::fprintf(stderr,
+                 "[fdet] corrupt cached cascade quarantined to %s: %s\n",
+                 quarantined.c_str(), error.what());
+    return std::nullopt;
+  }
+}
+
+}  // namespace
 
 std::string PretrainedOptions::digest() const {
   std::uint64_t h = core::hash_combine(
@@ -26,18 +129,75 @@ std::string PretrainedOptions::digest() const {
   return out.str();
 }
 
+std::optional<CascadePair> load_cached_pair(const std::string& cache_dir,
+                                            const PretrainedOptions& options) {
+  const std::string tag = options.digest();
+  const std::string ours_file = ours_path(cache_dir, tag);
+  const std::string baseline_file = baseline_path(cache_dir, tag);
+  if (!fs::exists(ours_file) || !fs::exists(baseline_file)) {
+    return std::nullopt;
+  }
+
+  // Manifest gate: recorded digest and per-file CRCs must agree with what
+  // is on disk before the (trusting-looking) filenames are believed.
+  try {
+    if (const std::optional<Manifest> manifest =
+            read_manifest(manifest_path(cache_dir, tag))) {
+      if (manifest->digest != tag) {
+        std::fprintf(stderr,
+                     "[fdet] cached cascade pair is stale: expected options "
+                     "digest %s, manifest records %s — retraining\n",
+                     tag.c_str(), manifest->digest.c_str());
+        return std::nullopt;
+      }
+      const auto check_crc = [](const std::string& path,
+                                const std::string& expected) {
+        const std::optional<std::string> bytes = read_file_bytes(path);
+        if (!bytes || hex32(core::crc32(*bytes)) != expected) {
+          const std::string quarantined = core::quarantine_file(path);
+          std::fprintf(
+              stderr,
+              "[fdet] cached cascade failed its manifest CRC (expected %s) "
+              "— quarantined to %s, retraining\n",
+              expected.c_str(), quarantined.c_str());
+          return false;
+        }
+        return true;
+      };
+      if (!check_crc(ours_file, manifest->ours_crc) ||
+          !check_crc(baseline_file, manifest->baseline_crc)) {
+        return std::nullopt;
+      }
+    }
+  } catch (const core::ArtifactError& error) {
+    const std::string quarantined =
+        core::quarantine_file(manifest_path(cache_dir, tag));
+    std::fprintf(stderr,
+                 "[fdet] corrupt cache manifest quarantined to %s: %s — "
+                 "retraining\n",
+                 quarantined.c_str(), error.what());
+    return std::nullopt;
+  }
+
+  std::optional<haar::Cascade> ours = load_validated(ours_file);
+  if (!ours) {
+    return std::nullopt;
+  }
+  std::optional<haar::Cascade> baseline = load_validated(baseline_file);
+  if (!baseline) {
+    return std::nullopt;
+  }
+  return CascadePair{std::move(*ours), std::move(*baseline)};
+}
+
 CascadePair get_or_train_cascades(const std::string& cache_dir,
                                   const PretrainedOptions& options) {
-  namespace fs = std::filesystem;
   fs::create_directories(cache_dir);
   const std::string tag = options.digest();
-  const std::string ours_path =
-      (fs::path(cache_dir) / ("ours-" + tag + ".cascade")).string();
-  const std::string baseline_path =
-      (fs::path(cache_dir) / ("opencv-like-" + tag + ".cascade")).string();
 
-  if (fs::exists(ours_path) && fs::exists(baseline_path)) {
-    return {haar::load_cascade(ours_path), haar::load_cascade(baseline_path)};
+  if (std::optional<CascadePair> cached =
+          load_cached_pair(cache_dir, options)) {
+    return std::move(*cached);
   }
 
   std::fprintf(stderr,
@@ -56,6 +216,13 @@ CascadePair get_or_train_cascades(const std::string& cache_dir,
     topt.negatives_per_stage = options.negatives_per_stage;
     topt.stage_hit_target = options.stage_hit_target;
     topt.seed = options.seed;
+    if (options.checkpoint) {
+      // Stage checkpoints live next to the cache files, keyed like them,
+      // so a killed training run resumes instead of restarting.
+      topt.checkpoint_dir =
+          (fs::path(cache_dir) / ("ckpt-" + std::string(name) + "-" + tag))
+              .string();
+    }
     core::Stopwatch watch;
     TrainResult result = train_cascade(set, topt, name);
     std::fprintf(stderr, "[fdet] trained %s: %d stages, %d classifiers in %.1fs\n",
@@ -69,8 +236,21 @@ CascadePair get_or_train_cascades(const std::string& cache_dir,
                         haar::compact_profile());
   pair.opencv_like = train_one("opencv-like-adaboost", BoostAlgorithm::kAdaBoost,
                                haar::opencv_frontal_profile());
-  haar::save_cascade(ours_path, pair.ours);
-  haar::save_cascade(baseline_path, pair.opencv_like);
+
+  const std::string ours_bytes = haar::cascade_to_string(pair.ours);
+  const std::string baseline_bytes = haar::cascade_to_string(pair.opencv_like);
+  core::atomic_write_file(ours_path(cache_dir, tag), ours_bytes);
+  core::atomic_write_file(baseline_path(cache_dir, tag), baseline_bytes);
+  write_manifest(cache_dir, tag, ours_bytes, baseline_bytes);
+
+  // Training succeeded and the pair is durable: the stage checkpoints have
+  // served their purpose.
+  if (options.checkpoint) {
+    std::error_code ec;
+    fs::remove_all(fs::path(cache_dir) / ("ckpt-ours-gentleboost-" + tag), ec);
+    fs::remove_all(
+        fs::path(cache_dir) / ("ckpt-opencv-like-adaboost-" + tag), ec);
+  }
   return pair;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "haar/cascade.h"
@@ -21,6 +22,11 @@ struct PretrainedOptions {
   int negatives_per_stage = 1200;
   double stage_hit_target = 0.995;
   std::uint64_t seed = 2012;   ///< vintage of the paper
+  /// Persist per-stage training checkpoints under the cache directory so
+  /// an interrupted (minutes-long) training run resumes instead of
+  /// restarting. Not part of the digest: checkpoints never change the
+  /// trained bits (pinned by the resume-identity chaos harness).
+  bool checkpoint = true;
 
   /// Digest used to key the cache files.
   std::string digest() const;
@@ -31,9 +37,25 @@ struct CascadePair {
   haar::Cascade opencv_like;  ///< AdaBoost, opencv_frontal_profile()
 };
 
-/// Loads the pair from `cache_dir`, training and saving on a cache miss.
-/// Creates the directory when needed. Prints one progress line per stage
-/// to stderr when training (it is minutes-long by design).
+/// Validates and loads a cached pair, or returns nullopt when the cache
+/// cannot be trusted and a retrain is required:
+///
+///   * both `.cascade` files must parse under the validating parser —
+///     corrupt files are quarantined to `*.corrupt` and logged;
+///   * when the `pair-<digest>.manifest` artifact exists, its recorded
+///     options digest must equal `options.digest()` (a mismatch logs the
+///     expected-vs-found keys — a stale file whose name happens to match
+///     is never silently reused) and each cascade file's CRC32 must match
+///     the manifest (a mismatch quarantines the file);
+///   * pairs cached before manifests existed load when both files parse.
+std::optional<CascadePair> load_cached_pair(const std::string& cache_dir,
+                                            const PretrainedOptions& options);
+
+/// Loads the pair from `cache_dir`, training and saving on a cache miss —
+/// including a miss forced by corrupt or stale cache entries, which are
+/// quarantined/ignored rather than crashing the caller. Creates the
+/// directory when needed. Prints one progress line per stage to stderr
+/// when training (it is minutes-long by design).
 CascadePair get_or_train_cascades(const std::string& cache_dir,
                                   const PretrainedOptions& options = {});
 

@@ -1,0 +1,190 @@
+// Durable-file primitives: CRC32, atomic replacement under injected write
+// faults, and the versioned/checksummed artifact container.
+#include "core/artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace fdet::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 check value for the standard test string.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  // Single-bit difference must change the CRC.
+  EXPECT_NE(crc32("123456789"), crc32("123456788"));
+  // The pointer overload agrees with the string_view one.
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(data.data(), data.size()), 0xCBF43926u);
+}
+
+TEST(AtomicWrite, ReplacesDestinationAndLeavesNoTmp) {
+  const std::string dir = temp_dir("fdet_artifact_atomic");
+  const std::string path = dir + "/file.txt";
+
+  atomic_write_file(path, "first");
+  EXPECT_EQ(slurp(path), "first");
+  atomic_write_file(path, "second version");
+  EXPECT_EQ(slurp(path), "second version");
+  EXPECT_FALSE(fs::exists(tmp_path_for(path)));
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWrite, FaultLeavesPreviousContentsIntact) {
+  const std::string dir = temp_dir("fdet_artifact_fault");
+  const std::string path = dir + "/file.txt";
+  atomic_write_file(path, "durable contents");
+
+  for (const WriteFault fault :
+       {WriteFault::kShortWrite, WriteFault::kTornWrite, WriteFault::kNoSpace}) {
+    ScopedWriteFaultHook hook(
+        [fault](const std::string&, WriteOp op) {
+          return op == WriteOp::kWrite ? fault : WriteFault::kNone;
+        });
+    EXPECT_THROW(atomic_write_file(path, "replacement that must not land"),
+                 ArtifactError);
+    // The destination still holds the previous complete contents: a fault
+    // can only ever tear the .tmp staging file, which readers ignore.
+    EXPECT_EQ(slurp(path), "durable contents");
+  }
+
+  // The next fault-free write cleans up any torn staging file and lands.
+  atomic_write_file(path, "after recovery");
+  EXPECT_EQ(slurp(path), "after recovery");
+  EXPECT_FALSE(fs::exists(tmp_path_for(path)));
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWrite, RenameFaultKeepsDestinationAbsent) {
+  const std::string dir = temp_dir("fdet_artifact_rename");
+  const std::string path = dir + "/fresh.txt";
+  ScopedWriteFaultHook hook([](const std::string&, WriteOp op) {
+    return op == WriteOp::kRename ? WriteFault::kNoSpace : WriteFault::kNone;
+  });
+  EXPECT_THROW(atomic_write_file(path, "never visible"), ArtifactError);
+  EXPECT_FALSE(fs::exists(path));
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactContainer, RoundTripsHeaderAndPayload) {
+  const std::string dir = temp_dir("fdet_artifact_roundtrip");
+  const std::string path = dir + "/box.artifact";
+  const std::string payload = "line one\nline two\nbinary-ish \x01\x02\n";
+
+  write_artifact(path, "unit-test", 7, payload);
+  const Artifact artifact = read_artifact(path, "unit-test");
+  EXPECT_EQ(artifact.header.kind, "unit-test");
+  EXPECT_EQ(artifact.header.payload_version, 7);
+  EXPECT_EQ(artifact.header.payload_bytes, payload.size());
+  EXPECT_EQ(artifact.header.payload_crc32, crc32(payload));
+  EXPECT_EQ(artifact.payload, payload);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactContainer, EmptyPayloadRoundTrips) {
+  const std::string framed = frame_artifact("empty", 1, "");
+  const Artifact artifact = parse_artifact("mem", framed);
+  EXPECT_EQ(artifact.header.payload_bytes, 0u);
+  EXPECT_EQ(artifact.payload, "");
+}
+
+TEST(ArtifactContainer, KindMismatchNamesThePath) {
+  const std::string dir = temp_dir("fdet_artifact_kind");
+  const std::string path = dir + "/box.artifact";
+  write_artifact(path, "actual-kind", 1, "payload");
+  try {
+    read_artifact(path, "expected-kind");
+    FAIL() << "kind mismatch must throw";
+  } catch (const ArtifactError& error) {
+    EXPECT_EQ(error.path(), path);
+    EXPECT_NE(std::string(error.what()).find("expected-kind"),
+              std::string::npos);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactContainer, DetectsBitRotViaCrc) {
+  const std::string payload = "twenty bytes of data";
+  std::string framed = frame_artifact("rot", 1, payload);
+  // Flip one payload bit without touching the byte count.
+  framed[framed.size() - 3] ^= 0x04;
+  try {
+    parse_artifact("rot.artifact", framed);
+    FAIL() << "CRC mismatch must throw";
+  } catch (const ArtifactError& error) {
+    EXPECT_EQ(error.path(), "rot.artifact");
+    EXPECT_NE(std::string(error.what()).find("CRC mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(ArtifactContainer, DetectsTruncationAndTrailingGarbage) {
+  const std::string framed = frame_artifact("trunc", 1, "payload bytes here");
+
+  // Every strict prefix must be rejected — no truncation point parses.
+  for (std::size_t len = 0; len < framed.size(); ++len) {
+    EXPECT_THROW(parse_artifact("trunc.artifact", framed.substr(0, len)),
+                 ArtifactError)
+        << "prefix of " << len << " bytes parsed";
+  }
+  EXPECT_THROW(parse_artifact("trunc.artifact", framed + "extra"),
+               ArtifactError);
+}
+
+TEST(ArtifactContainer, RejectsUnknownContainerVersion) {
+  std::string framed = frame_artifact("vers", 1, "p");
+  const std::string magic = "fdet-artifact 1";
+  ASSERT_EQ(framed.compare(0, magic.size(), magic), 0);
+  framed[magic.size() - 1] = '2';
+  EXPECT_THROW(parse_artifact("vers.artifact", framed), ArtifactError);
+}
+
+TEST(ArtifactContainer, MissingFileIsATypedError) {
+  EXPECT_THROW(read_artifact("/nonexistent/dir/never.artifact"),
+               ArtifactError);
+}
+
+TEST(Quarantine, RenamesToCorruptAndReplacesPrevious) {
+  const std::string dir = temp_dir("fdet_artifact_quarantine");
+  const std::string path = dir + "/broken.bin";
+  atomic_write_file(path, "first broken file");
+  const std::string quarantined = quarantine_file(path);
+  EXPECT_EQ(quarantined, path + ".corrupt");
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(slurp(quarantined), "first broken file");
+
+  // A second quarantine of the same path replaces the previous one instead
+  // of failing — the newest evidence wins.
+  atomic_write_file(path, "second broken file");
+  quarantine_file(path);
+  EXPECT_EQ(slurp(quarantined), "second broken file");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fdet::core

@@ -1,0 +1,200 @@
+// Corrupt-cascade corpus: programmatically derived malformed inputs that
+// the validating parser must reject with a diagnostic naming the exact
+// line — never crash, never return a half-parsed cascade. Runs under the
+// ASan/UBSan CI job like every other test, so "never crashes on hostile
+// input" is checked with sanitizers armed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "haar/cascade.h"
+#include "haar/profile.h"
+
+namespace fdet::haar {
+namespace {
+
+Cascade parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_cascade(in);
+}
+
+/// Rejection with the line number the diagnostic must carry (0 = any).
+void expect_reject(const std::string& text, const std::string& note,
+                   int expect_line = 0,
+                   const std::string& expect_in_what = "") {
+  try {
+    parse(text);
+    FAIL() << "parser accepted corrupt input: " << note;
+  } catch (const CascadeParseError& error) {
+    EXPECT_GE(error.line(), 1) << note;
+    if (expect_line > 0) {
+      EXPECT_EQ(error.line(), expect_line) << note;
+    }
+    EXPECT_FALSE(error.field().empty()) << note;
+    if (!expect_in_what.empty()) {
+      EXPECT_NE(std::string(error.what()).find(expect_in_what),
+                std::string::npos)
+          << note << " — got: " << error.what();
+    }
+  }
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Base corpus text: a real (profile-built) cascade rendered through the
+/// canonical writer. Layout: line 1 magic, 2 name, 3 stages, 4 stage
+/// header, 5.. classifier records.
+std::string base_text() {
+  return cascade_to_string(
+      build_profile_cascade("corpus", std::vector<int>{2, 3}, 1));
+}
+
+/// Replaces one whitespace token on one 1-based line.
+std::string mutate_token(const std::string& text, int line_number,
+                         int token_index, const std::string& replacement) {
+  std::vector<std::string> lines = split_lines(text);
+  std::istringstream split(lines[static_cast<std::size_t>(line_number - 1)]);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (split >> token) {
+    tokens.push_back(token);
+  }
+  tokens[static_cast<std::size_t>(token_index)] = replacement;
+  std::string rebuilt;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) {
+      rebuilt += ' ';
+    }
+    rebuilt += tokens[i];
+  }
+  lines[static_cast<std::size_t>(line_number - 1)] = rebuilt;
+  return join_lines(lines);
+}
+
+TEST(CascadeCorpus, BaseTextRoundTripsByteExactly) {
+  const std::string text = base_text();
+  EXPECT_EQ(cascade_to_string(parse(text)), text);
+}
+
+TEST(CascadeCorpus, EveryLineTruncationIsRejected) {
+  const std::vector<std::string> lines = split_lines(base_text());
+  ASSERT_GE(lines.size(), 5u);
+  // Dropping any suffix of lines leaves declared counts unsatisfied.
+  for (std::size_t keep = 0; keep + 1 < lines.size(); ++keep) {
+    const std::vector<std::string> prefix(lines.begin(),
+                                          lines.begin() + static_cast<long>(keep));
+    expect_reject(join_lines(prefix),
+                  "truncated after " + std::to_string(keep) + " lines");
+  }
+}
+
+TEST(CascadeCorpus, MidLineTruncationIsRejected) {
+  const std::string text = base_text();
+  // Cut in the middle of the final classifier record.
+  expect_reject(text.substr(0, text.size() - 4), "mid-record byte cut");
+}
+
+TEST(CascadeCorpus, HeaderMutations) {
+  const std::string text = base_text();
+  expect_reject("", "empty input", 1);
+  expect_reject("garbage\n", "bad magic", 1);
+  expect_reject(mutate_token(text, 1, 1, "2"), "future format version", 1,
+                "unsupported format version");
+  expect_reject(mutate_token(text, 3, 1, "-1"), "negative stage count", 3);
+  expect_reject(mutate_token(text, 3, 1, "99999"), "implausible stage count",
+                3, "implausible stage count");
+  expect_reject(mutate_token(text, 3, 1, "two"), "non-numeric stage count", 3,
+                "not an integer");
+}
+
+TEST(CascadeCorpus, StageHeaderMutations) {
+  const std::string text = base_text();
+  expect_reject(mutate_token(text, 4, 1, "-3"), "negative classifier count",
+                4);
+  expect_reject(mutate_token(text, 4, 1, "9999999"),
+                "implausible classifier count", 4, "implausible");
+  expect_reject(mutate_token(text, 4, 2, "nan"), "NaN stage threshold", 4,
+                "non-finite");
+  expect_reject(mutate_token(text, 4, 2, "inf"), "Inf stage threshold", 4,
+                "non-finite");
+}
+
+TEST(CascadeCorpus, ClassifierFieldMutations) {
+  const std::string text = base_text();
+  const int line = 5;  // first classifier record
+  expect_reject(mutate_token(text, line, 0, "7"), "feature type out of range",
+                line, "feature type must be 0..3");
+  expect_reject(mutate_token(text, line, 1, "2"), "bad orientation flag",
+                line, "orientation must be 0 or 1");
+  expect_reject(mutate_token(text, line, 2, "30"), "anchor x out of window",
+                line, "detection window");
+  expect_reject(mutate_token(text, line, 3, "-1"), "negative anchor y", line,
+                "detection window");
+  expect_reject(mutate_token(text, line, 4, "0"), "zero cell width", line,
+                "cell size");
+  expect_reject(mutate_token(text, line, 5, "25"), "cell height over window",
+                line);
+  expect_reject(mutate_token(text, line, 6, "nan"), "NaN stump threshold",
+                line, "non-finite");
+  expect_reject(mutate_token(text, line, 7, "-inf"), "-Inf left vote", line,
+                "non-finite");
+  expect_reject(mutate_token(text, line, 8, "0.5extra"),
+                "trailing junk inside a float token", line);
+  expect_reject(mutate_token(text, line, 0, "1.5"), "float where int expected",
+                line, "not an integer");
+}
+
+TEST(CascadeCorpus, RectangleExtendingOutsideWindowIsRejected) {
+  // Anchor in-window but cells so large the multi-cell rectangle runs past
+  // the 24x24 boundary — the feature-geometry check, not the anchor check.
+  const std::string text = base_text();
+  std::string mutated = mutate_token(text, 5, 2, "20");  // x = 20
+  mutated = mutate_token(mutated, 5, 4, "20");           // cw = 20
+  expect_reject(mutated, "rectangle extends outside window", 5, "window");
+}
+
+TEST(CascadeCorpus, WrongFieldCountsAreRejected) {
+  const std::vector<std::string> lines = split_lines(base_text());
+  // Drop one token from the first classifier record.
+  std::vector<std::string> missing = lines;
+  missing[4] = missing[4].substr(0, missing[4].rfind(' '));
+  expect_reject(join_lines(missing), "8-token classifier record", 5,
+                "expected 9 fields");
+  // Add one token.
+  std::vector<std::string> extra = lines;
+  extra[4] += " 0.25";
+  expect_reject(join_lines(extra), "10-token classifier record", 5,
+                "expected 9 fields");
+}
+
+TEST(CascadeCorpus, TrailingGarbageIsRejected) {
+  expect_reject(base_text() + "one more line\n", "appended garbage");
+  expect_reject(base_text() + base_text(), "concatenated second cascade");
+}
+
+TEST(CascadeCorpus, BlankPaddingAfterPayloadIsTolerated) {
+  // Pure whitespace after the last record is not corruption.
+  EXPECT_NO_THROW(parse(base_text() + "\n  \n"));
+}
+
+}  // namespace
+}  // namespace fdet::haar

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
 
+#include "core/artifact.h"
 #include "haar/profile.h"
 #include "train/pretrained.h"
 
@@ -68,6 +72,141 @@ TEST(PretrainedCache, LoadsSavedPairWithoutRetraining) {
   EXPECT_EQ(pair.opencv_like.name(), "fake-ocv");
   EXPECT_EQ(pair.opencv_like.classifier_count(), 4);
   fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Cache validation (load_cached_pair): corrupt and stale entries must force
+// a retrain — quarantined or skipped — never load as garbage. Exercised
+// through load_cached_pair directly so no test ever pays for real training.
+
+namespace fs = std::filesystem;
+
+struct SeededCache {
+  std::string dir;
+  std::string tag;
+  std::string ours_path;
+  std::string baseline_path;
+  std::string manifest_path;
+  PretrainedOptions options;
+};
+
+std::string crc_hex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::ostringstream out;
+  out << std::hex << std::setw(8) << std::setfill('0')
+      << core::crc32(buffer.str());
+  return std::move(out).str();
+}
+
+/// Seeds a cache directory with a valid fake pair; optionally writes the
+/// manifest the trainer would produce (recording `digest_override` when
+/// non-empty, to fabricate staleness).
+SeededCache seed_cache(const std::string& name, bool with_manifest,
+                       const std::string& digest_override = "",
+                       const std::string& ours_crc_override = "") {
+  SeededCache cache;
+  cache.dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(cache.dir);
+  fs::create_directories(cache.dir);
+  cache.options.seed = 987654321;  // never matches a real training run
+  cache.tag = cache.options.digest();
+  cache.ours_path = cache.dir + "/ours-" + cache.tag + ".cascade";
+  cache.baseline_path = cache.dir + "/opencv-like-" + cache.tag + ".cascade";
+  cache.manifest_path = cache.dir + "/pair-" + cache.tag + ".manifest";
+
+  haar::save_cascade(cache.ours_path, haar::build_profile_cascade(
+                                          "fake-ours", std::vector<int>{2}, 1));
+  haar::save_cascade(
+      cache.baseline_path,
+      haar::build_profile_cascade("fake-ocv", std::vector<int>{3}, 2));
+
+  if (with_manifest) {
+    std::ostringstream payload;
+    payload << "digest "
+            << (digest_override.empty() ? cache.tag : digest_override) << "\n"
+            << "ours-crc32 "
+            << (ours_crc_override.empty() ? crc_hex(cache.ours_path)
+                                          : ours_crc_override)
+            << "\n"
+            << "opencv-like-crc32 " << crc_hex(cache.baseline_path) << "\n";
+    core::write_artifact(cache.manifest_path, "pretrained-manifest", 1,
+                         payload.str());
+  }
+  return cache;
+}
+
+TEST(PretrainedCacheValidation, ValidManifestLoads) {
+  const SeededCache cache = seed_cache("fdet_cache_valid", true);
+  const auto pair = load_cached_pair(cache.dir, cache.options);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->ours.name(), "fake-ours");
+  EXPECT_EQ(pair->opencv_like.name(), "fake-ocv");
+  fs::remove_all(cache.dir);
+}
+
+TEST(PretrainedCacheValidation, MissingFilesYieldNullopt) {
+  const std::string dir =
+      (fs::temp_directory_path() / "fdet_cache_missing").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  EXPECT_FALSE(load_cached_pair(dir, PretrainedOptions{}).has_value());
+  fs::remove_all(dir);
+}
+
+TEST(PretrainedCacheValidation, CorruptCascadeQuarantinedAndRejected) {
+  const SeededCache cache = seed_cache("fdet_cache_corrupt", false);
+  // Truncate the ours cascade mid-record: the validating parser must
+  // reject it and the loader must quarantine it.
+  {
+    std::ifstream in(cache.ours_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = std::move(buffer).str();
+    std::ofstream out(cache.ours_path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 2);
+  }
+
+  EXPECT_FALSE(load_cached_pair(cache.dir, cache.options).has_value());
+  EXPECT_FALSE(fs::exists(cache.ours_path));
+  EXPECT_TRUE(fs::exists(cache.ours_path + ".corrupt"));
+  // The intact baseline is left alone.
+  EXPECT_TRUE(fs::exists(cache.baseline_path));
+  fs::remove_all(cache.dir);
+}
+
+TEST(PretrainedCacheValidation, StaleManifestDigestForcesRetrain) {
+  const SeededCache cache =
+      seed_cache("fdet_cache_stale", true, /*digest_override=*/"0ldd1gest");
+  EXPECT_FALSE(load_cached_pair(cache.dir, cache.options).has_value());
+  // Stale is not corrupt: the files survive untouched for inspection.
+  EXPECT_TRUE(fs::exists(cache.ours_path));
+  EXPECT_TRUE(fs::exists(cache.baseline_path));
+  EXPECT_TRUE(fs::exists(cache.manifest_path));
+  fs::remove_all(cache.dir);
+}
+
+TEST(PretrainedCacheValidation, ManifestCrcMismatchQuarantinesTheFile) {
+  const SeededCache cache = seed_cache("fdet_cache_crc", true,
+                                       /*digest_override=*/"",
+                                       /*ours_crc_override=*/"00000000");
+  EXPECT_FALSE(load_cached_pair(cache.dir, cache.options).has_value());
+  EXPECT_FALSE(fs::exists(cache.ours_path));
+  EXPECT_TRUE(fs::exists(cache.ours_path + ".corrupt"));
+  fs::remove_all(cache.dir);
+}
+
+TEST(PretrainedCacheValidation, CorruptManifestQuarantinedAndRejected) {
+  const SeededCache cache = seed_cache("fdet_cache_badmanifest", false);
+  {
+    std::ofstream out(cache.manifest_path, std::ios::binary);
+    out << "not an artifact container\n";
+  }
+  EXPECT_FALSE(load_cached_pair(cache.dir, cache.options).has_value());
+  EXPECT_FALSE(fs::exists(cache.manifest_path));
+  EXPECT_TRUE(fs::exists(cache.manifest_path + ".corrupt"));
+  fs::remove_all(cache.dir);
 }
 
 }  // namespace
