@@ -215,6 +215,9 @@ FrameResult Pipeline::finalize(const Built& built, vgpu::ExecMode mode) const {
   FrameResult result = built.base;
   result.timeline = vgpu::schedule(spec_, built.launches, mode);
   result.detect_ms = result.timeline.makespan_s * 1e3;
+  if (const obs::TraceContext* context = obs::current_trace_context()) {
+    result.trace_id = context->trace_id;
+  }
   return result;
 }
 

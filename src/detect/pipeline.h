@@ -10,6 +10,7 @@
 // their own — the paper's headline optimization.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,11 @@ struct FrameResult {
   std::vector<Detection> detections;      ///< grouped
   vgpu::Timeline timeline;
   double detect_ms = 0.0;  ///< virtual makespan of all kernels
+  /// Causal trace id of the frame this result belongs to — stamped from
+  /// the ambient obs::TraceContext at finalize time (0 when the caller
+  /// installed none). Lets offline consumers join a FrameResult back to
+  /// serving spans and flight-recorder dumps.
+  std::uint64_t trace_id = 0;
   std::vector<ScaleStats> scales;
   vgpu::PerfCounters cascade_counters;  ///< cascade-evaluation kernels only
   img::ImageU8 display;                 ///< only when run_display

@@ -63,7 +63,8 @@ Direction metric_direction(std::string_view name) {
     return Direction::kHigherIsBetter;
   }
   if (contains_any(lower, {"_ms", "_seconds", "latency", "makespan",
-                           "duration", "violations", "_time"}) ||
+                           "duration", "violations", "_time", "overhead",
+                           "miss_ratio", "queue_depth", "burn"}) ||
       ends_with(lower, "_s") || ends_with(lower, "_s.sum")) {
     return Direction::kLowerIsBetter;
   }

@@ -98,6 +98,12 @@ Registry::Entry& Registry::entry(const std::string& name, const Labels& labels,
         << "metric '" << name << "' already registered as " << it->second.kind;
     return it->second;
   }
+  if (entries_.size() >= series_limit_) {
+    throw MetricCardinalityError(
+        "metric series cardinality cap (" + std::to_string(series_limit_) +
+        ") reached creating '" + name + "{" + key.second +
+        "}' — an unbounded label value is leaking into a metric identity");
+  }
   Entry& created = entries_[key];
   created.name = name;
   created.labels = labels;
@@ -132,6 +138,17 @@ Histogram& Registry::histogram(const std::string& name,
     e.histogram.reset(new Histogram(this, std::move(bounds)));
   }
   return *e.histogram;
+}
+
+void Registry::set_series_limit(std::size_t limit) {
+  FDET_CHECK(limit >= 1) << "series limit must be >= 1";
+  std::lock_guard lock(mutex_);
+  series_limit_ = limit;
+}
+
+std::size_t Registry::series_limit() const {
+  std::lock_guard lock(mutex_);
+  return series_limit_;
 }
 
 bool Registry::empty() const {

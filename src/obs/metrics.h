@@ -26,7 +26,20 @@
 #include <utility>
 #include <vector>
 
+#include "core/check.h"
+
 namespace fdet::obs {
+
+/// Thrown when creating a new (name, labels) series would exceed the
+/// registry's cardinality cap — the typed signal that a label (frame
+/// index, trace id, ...) with unbounded values leaked into a metric
+/// identity. Existing series keep working; only *new* series are
+/// rejected.
+class MetricCardinalityError : public core::CheckError {
+ public:
+  explicit MetricCardinalityError(const std::string& what)
+      : core::CheckError(what) {}
+};
 
 /// Ordered key=value labels. Keep keys unique; order is preserved in the
 /// exported identity, so use a consistent order per metric name.
@@ -104,11 +117,21 @@ class Registry {
 
   /// Metric accessors create on first use and return the same instance for
   /// the same (name, labels) afterwards. Re-registering a name with a
-  /// different kind throws core::CheckError.
+  /// different kind throws core::CheckError; creating a series beyond the
+  /// cardinality cap throws MetricCardinalityError.
   Counter& counter(const std::string& name, const Labels& labels = {});
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        const Labels& labels = {});
+
+  /// Default cap on distinct (name, labels) series. Generous for every
+  /// legitimate publisher (benches sit in the hundreds) while bounding
+  /// the damage of an unbounded label.
+  static constexpr std::size_t kDefaultSeriesLimit = 4096;
+  /// Adjusts the cap (takes effect for subsequent creations; existing
+  /// series are never evicted). `limit` must be >= 1.
+  void set_series_limit(std::size_t limit);
+  std::size_t series_limit() const;
 
   bool empty() const;
   std::size_t size() const;
@@ -160,6 +183,7 @@ class Registry {
 
   mutable std::mutex mutex_;
   std::map<std::pair<std::string, std::string>, Entry> entries_;
+  std::size_t series_limit_ = kDefaultSeriesLimit;
 };
 
 }  // namespace fdet::obs

@@ -1,0 +1,161 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace fdet::obs {
+
+QuantileSketch::QuantileSketch(SketchOptions options)
+    : options_(options),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  FDET_CHECK(options_.relative_error > 0.0 && options_.relative_error < 1.0)
+      << "sketch relative_error must be in (0, 1), got "
+      << options_.relative_error;
+  FDET_CHECK(options_.min_value > 0.0)
+      << "sketch min_value must be positive, got " << options_.min_value;
+  FDET_CHECK(options_.max_buckets >= 2)
+      << "sketch needs at least 2 buckets, got " << options_.max_buckets;
+  gamma_ = (1.0 + options_.relative_error) / (1.0 - options_.relative_error);
+  log_gamma_ = std::log(gamma_);
+  buckets_.assign(static_cast<std::size_t>(options_.max_buckets), 0.0);
+}
+
+int QuantileSketch::bucket_index(double value) const {
+  if (!(value > options_.min_value)) {
+    return 0;  // zero bucket: non-positive, NaN, and tiny values
+  }
+  const double raw = std::ceil(std::log(value / options_.min_value) / log_gamma_);
+  const int last = options_.max_buckets - 1;
+  if (raw >= static_cast<double>(last)) {
+    return last;  // out of covered range: clamp (error grows only here)
+  }
+  return std::max(1, static_cast<int>(raw));
+}
+
+double QuantileSketch::representative(int bucket) const {
+  if (bucket <= 0) {
+    return options_.min_value;
+  }
+  // Geometric midpoint of (min * gamma^(i-1), min * gamma^i]: at most a
+  // factor sqrt(gamma) from any value in the bucket.
+  return options_.min_value *
+         std::exp((static_cast<double>(bucket) - 0.5) * log_gamma_);
+}
+
+double QuantileSketch::max_relative_error() const {
+  return std::sqrt(gamma_) - 1.0;
+}
+
+void QuantileSketch::observe(double value, double count) {
+  FDET_CHECK(count >= 0.0) << "sketch counts must be non-negative";
+  if (count == 0.0) {
+    return;
+  }
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += count;
+  count_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  FDET_CHECK(options_ == other.options_)
+      << "cannot merge sketches with different options (relative_error "
+      << options_.relative_error << " vs " << other.options_.relative_error
+      << ", min_value " << options_.min_value << " vs "
+      << other.options_.min_value << ", max_buckets " << options_.max_buckets
+      << " vs " << other.options_.max_buckets << ")";
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSketch::quantile(double q) const {
+  FDET_CHECK(q >= 0.0 && q <= 1.0) << "quantile q must be in [0, 1], got " << q;
+  FDET_CHECK(count_ > 0.0) << "quantile of an empty sketch";
+  const double rank = q * count_;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] <= 0.0) {
+      continue;
+    }
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      return representative(static_cast<int>(i));
+    }
+  }
+  // Floating accumulation can land a hair short of count_ at q=1.
+  for (std::size_t i = buckets_.size(); i-- > 0;) {
+    if (buckets_[i] > 0.0) {
+      return representative(static_cast<int>(i));
+    }
+  }
+  return options_.min_value;
+}
+
+double QuantileSketch::min_observed() const {
+  FDET_CHECK(count_ > 0.0) << "min of an empty sketch";
+  return min_;
+}
+
+double QuantileSketch::max_observed() const {
+  FDET_CHECK(count_ > 0.0) << "max of an empty sketch";
+  return max_;
+}
+
+void QuantileSketch::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0.0);
+  count_ = 0.0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+SlidingWindowSketch::SlidingWindowSketch(int slots, SketchOptions options) {
+  FDET_CHECK(slots >= 1) << "sliding window needs at least 1 slot, got "
+                         << slots;
+  ring_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    ring_.emplace_back(options);
+  }
+}
+
+void SlidingWindowSketch::observe(double value, double count) {
+  ring_[head_].observe(value, count);
+}
+
+void SlidingWindowSketch::rotate() {
+  head_ = (head_ + 1) % ring_.size();
+  ring_[head_].clear();  // the evicted oldest slot becomes the new current
+  ++rotations_;
+}
+
+QuantileSketch SlidingWindowSketch::merged() const {
+  QuantileSketch out(ring_.front().options());
+  for (const QuantileSketch& slot : ring_) {
+    out.merge(slot);
+  }
+  return out;
+}
+
+double SlidingWindowSketch::quantile(double q) const {
+  return merged().quantile(q);
+}
+
+double SlidingWindowSketch::count() const {
+  double total = 0.0;
+  for (const QuantileSketch& slot : ring_) {
+    total += slot.count();
+  }
+  return total;
+}
+
+}  // namespace fdet::obs

@@ -1,0 +1,121 @@
+// Mergeable streaming quantile sketches for the serving SLO engine.
+//
+// QuantileSketch is a DDSketch-style log-bucketed histogram: values land
+// in geometric buckets (min_value * gamma^i), so any quantile estimate
+// carries a bounded *relative* error regardless of the latency range —
+// the property that makes p99.9 over a 0.1 ms..10 s span feasible in a
+// few hundred counters. Sketches over the same SketchOptions merge by
+// bucket-wise addition, which is associative and commutative: the order
+// in which per-slot or per-stream sketches are combined cannot change
+// the result (tested in obs_sketch_test). This is the integral-histogram
+// trick of arXiv 1711.01919 applied to the time axis: per-bin prefix
+// sums over a fixed bucket layout.
+//
+// SlidingWindowSketch keeps a ring of per-slot sketches and answers
+// quantiles over the merged live slots: rotate() retires the oldest slot
+// wholesale, so eviction is O(buckets) and never touches individual
+// samples. The SLO engine rotates once per window_frames / slots frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fdet::obs {
+
+struct SketchOptions {
+  /// Target relative accuracy e: gamma = (1 + e) / (1 - e). The guaranteed
+  /// bound on any quantile estimate is sqrt(gamma) - 1 (~e for small e);
+  /// see QuantileSketch::max_relative_error().
+  double relative_error = 0.01;
+  /// Values at or below this collapse into the zero bucket and report as
+  /// min_value; pick it below any latency the caller cares about.
+  double min_value = 1e-3;
+  /// Hard cap on log buckets; values beyond the covered range clamp into
+  /// the last bucket (error grows only for those). 1024 buckets at e=0.01
+  /// cover min_value * gamma^1024 ≈ 7.9e8 * min_value — with the default
+  /// min_value, latencies from 1 µs up to ~13 virtual minutes.
+  int max_buckets = 1024;
+
+  bool operator==(const SketchOptions&) const = default;
+};
+
+/// Log-bucketed quantile sketch with bounded relative error. Mergeable
+/// across instances built from identical SketchOptions.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(SketchOptions options = {});
+
+  /// Records `count` observations of `value` (count >= 0; negative values
+  /// are clamped into the zero bucket — latencies are non-negative).
+  void observe(double value, double count = 1.0);
+
+  /// Bucket-wise addition; throws core::CheckError when `other` was built
+  /// from different SketchOptions.
+  void merge(const QuantileSketch& other);
+
+  /// Quantile estimate for q in [0, 1]; q=0 is the smallest bucket with
+  /// mass, q=1 the largest. Throws core::CheckError on an empty sketch.
+  double quantile(double q) const;
+
+  double count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact extrema of the observed values (not bucket representatives).
+  double min_observed() const;
+  double max_observed() const;
+  bool empty() const { return count_ <= 0.0; }
+  void clear();
+
+  const SketchOptions& options() const { return options_; }
+  /// Guaranteed relative error bound of quantile(): sqrt(gamma) - 1.
+  double max_relative_error() const;
+
+  /// Internal layout, exposed for tests: bucket 0 is the zero bucket
+  /// (values <= min_value), bucket i covers
+  /// (min_value * gamma^(i-1), min_value * gamma^i].
+  const std::vector<double>& buckets() const { return buckets_; }
+  int bucket_index(double value) const;
+
+ private:
+  double representative(int bucket) const;
+
+  SketchOptions options_;
+  double gamma_ = 0.0;
+  double log_gamma_ = 0.0;
+  std::vector<double> buckets_;
+  double count_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed number of sketch slots covering a sliding window; the caller
+/// rotates on its own cadence (frames or seconds). Quantiles answer over
+/// the merge of all live slots.
+class SlidingWindowSketch {
+ public:
+  /// `slots` >= 1; each slot is one rotation period of history.
+  SlidingWindowSketch(int slots, SketchOptions options = {});
+
+  void observe(double value, double count = 1.0);
+  /// Advances the window one slot: the oldest slot's mass is evicted and
+  /// its storage becomes the new current slot.
+  void rotate();
+
+  /// Merge of all live slots (freshly built; O(slots * buckets)).
+  QuantileSketch merged() const;
+  /// Convenience: merged().quantile(q); throws on an empty window.
+  double quantile(double q) const;
+  double count() const;
+  bool empty() const { return count() <= 0.0; }
+
+  int slots() const { return static_cast<int>(ring_.size()); }
+  std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  std::vector<QuantileSketch> ring_;
+  std::size_t head_ = 0;  ///< index of the current (newest) slot
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace fdet::obs

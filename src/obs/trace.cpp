@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "core/check.h"
+#include "core/rng.h"
 #include "obs/json.h"
 
 namespace fdet::obs {
@@ -13,6 +15,22 @@ namespace fdet::obs {
 namespace {
 
 std::atomic<TraceSession*> g_current{nullptr};
+
+thread_local ScopedTraceContext* g_context_top = nullptr;
+
+std::uint64_t nonzero(std::uint64_t id) { return id == 0 ? 1 : id; }
+
+void attach_context(TraceEvent& event, const TraceContext& context) {
+  if (!context.valid()) {
+    return;
+  }
+  event.str_args.emplace_back("trace_id", hex_id(context.trace_id));
+  event.str_args.emplace_back("span_id", hex_id(context.span_id));
+  if (context.parent_span_id != 0) {
+    event.str_args.emplace_back("parent_span_id",
+                                hex_id(context.parent_span_id));
+  }
+}
 
 TraceEvent metadata(const char* name, int pid, int tid, std::string value) {
   TraceEvent event;
@@ -54,7 +72,49 @@ void emit_step_counter(std::vector<TraceEvent>& out,
 
 }  // namespace
 
-std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+TraceContext make_frame_context(std::uint64_t seed, int frame) {
+  TraceContext context;
+  context.trace_id = nonzero(
+      core::hash_combine(seed, static_cast<std::uint64_t>(frame) + 1));
+  context.span_id = nonzero(core::hash_combine(context.trace_id, 0));
+  context.parent_span_id = 0;
+  return context;
+}
+
+TraceContext child_context(const TraceContext& parent,
+                           const std::string& name) {
+  TraceContext context;
+  context.trace_id = parent.trace_id;
+  context.parent_span_id = parent.span_id;
+  context.span_id = nonzero(core::hash_combine(
+      parent.span_id, std::hash<std::string>{}(name)));
+  return context;
+}
+
+std::string hex_id(std::uint64_t id) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[id & 0xf];
+    id >>= 4;
+  }
+  return out;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context)
+    : context_(context), prev_(g_context_top) {
+  g_context_top = this;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_context_top = prev_; }
+
+const TraceContext* current_trace_context() {
+  return g_context_top == nullptr ? nullptr : &g_context_top->context();
+}
+
+std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<std::string, std::string>>& root_extras) {
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -93,7 +153,11 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
     }
     out << "}";
   }
-  out << "]}";
+  out << "]";
+  for (const auto& [key, raw_json] : root_extras) {
+    out << ",\"" << json::escape(key) << "\":" << raw_json;
+  }
+  out << "}";
   return out.str();
 }
 
@@ -188,29 +252,60 @@ double TraceSession::now_us() const {
 }
 
 TraceSession::Span::Span(Span&& other) noexcept
-    : session_(other.session_),
-      name_(std::move(other.name_)),
-      start_us_(other.start_us_) {
+    : session_(other.session_), token_(other.token_) {
   other.session_ = nullptr;
 }
 
 TraceSession::Span::~Span() {
   if (session_ != nullptr) {
-    session_->end_span(name_, start_us_);
+    session_->end_span(token_);
   }
 }
 
 TraceSession::Span TraceSession::span(std::string name) {
-  return Span(this, std::move(name), now_us());
+  OpenSpan open;
+  open.start_us = now_us();
+  if (const TraceContext* ambient = current_trace_context()) {
+    open.context = child_context(*ambient, name);
+  }
+  open.name = std::move(name);
+  std::lock_guard lock(mutex_);
+  const std::uint64_t token = next_span_token_++;
+  // Distinguish same-named sibling spans (e.g. per-frame stage spans
+  // under one ambient context) by folding the token into the span id.
+  if (open.context.valid()) {
+    open.context.span_id =
+        nonzero(core::hash_combine(open.context.span_id, token));
+  }
+  open_spans_.emplace(token, std::move(open));
+  return Span(this, token);
 }
 
-void TraceSession::end_span(const std::string& name, double start_us) {
+void TraceSession::end_span(std::uint64_t token) {
+  std::lock_guard lock(mutex_);
+  const auto it = open_spans_.find(token);
+  if (it == open_spans_.end()) {
+    return;
+  }
   TraceEvent event;
-  event.name = name;
+  event.name = it->second.name;
   event.phase = 'X';
-  event.ts_us = start_us;
-  event.dur_us = now_us() - start_us;
-  add_event(std::move(event));
+  event.ts_us = it->second.start_us;
+  event.dur_us = now_us() - it->second.start_us;
+  attach_context(event, it->second.context);
+  open_spans_.erase(it);
+  events_.push_back(std::move(event));
+}
+
+TraceEvent TraceSession::synthesize(const OpenSpan& open, double now) const {
+  TraceEvent event;
+  event.name = open.name;
+  event.phase = 'X';
+  event.ts_us = open.start_us;
+  event.dur_us = now - open.start_us;
+  attach_context(event, open.context);
+  event.str_args.emplace_back("incomplete", "true");
+  return event;
 }
 
 void TraceSession::instant(std::string name) {
@@ -218,6 +313,9 @@ void TraceSession::instant(std::string name) {
   event.name = std::move(name);
   event.phase = 'i';
   event.ts_us = now_us();
+  if (const TraceContext* ambient = current_trace_context()) {
+    attach_context(event, *ambient);
+  }
   add_event(std::move(event));
 }
 
@@ -254,8 +352,13 @@ std::size_t TraceSession::event_count() const {
 }
 
 std::vector<TraceEvent> TraceSession::events() const {
+  const double now = now_us();
   std::lock_guard lock(mutex_);
-  return events_;
+  std::vector<TraceEvent> snapshot = events_;
+  for (const auto& [token, open] : open_spans_) {
+    snapshot.push_back(synthesize(open, now));
+  }
+  return snapshot;
 }
 
 std::string TraceSession::to_json() const { return chrome_trace_json(events()); }

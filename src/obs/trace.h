@@ -18,6 +18,8 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,6 +30,54 @@
 #include "vgpu/scheduler.h"
 
 namespace fdet::obs {
+
+/// Causal trace context: every frame gets a trace_id, every stage/launch
+/// under it a span_id chained to its parent. Ids are deterministic hashes
+/// of (seed, frame, span name), so two runs with the same seed produce
+/// identical ids — dumps diff cleanly. trace_id == 0 means "no context".
+///
+/// Propagation rules (DESIGN.md §8): the serving loop creates one frame
+/// context per frame and installs it with ScopedTraceContext; spans opened
+/// while a context is installed automatically become children of it, and
+/// control-plane decisions (retry, breaker, ladder, shed, quarantine)
+/// record the ambient context in their flight-recorder events so an
+/// anomaly dump names the exact frame and cause chain.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Root context for one frame, derived from (seed, frame index).
+TraceContext make_frame_context(std::uint64_t seed, int frame);
+/// Child context: same trace, parent_span_id = parent.span_id, fresh
+/// span_id derived from (parent span, name).
+TraceContext child_context(const TraceContext& parent,
+                           const std::string& name);
+/// 16-digit lowercase hex rendering used in trace args and dump JSON.
+std::string hex_id(std::uint64_t id);
+
+/// Installs a trace context for the current thread (stack discipline —
+/// contexts nest). Library spans and flight-recorder events pick up the
+/// innermost installed context.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  const TraceContext& context() const { return context_; }
+
+ private:
+  TraceContext context_;
+  ScopedTraceContext* prev_;
+};
+
+/// Innermost installed context of the current thread, or nullptr.
+const TraceContext* current_trace_context();
 
 /// One trace-event JSON entry. `phase` uses the Chrome trace-event
 /// phase codes: 'X' complete, 'C' counter, 'i' instant, 'M' metadata.
@@ -42,8 +92,13 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> str_args;
 };
 
-/// Serializes events as a Chrome trace-event document.
-std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+/// Serializes events as a Chrome trace-event document. `root_extras` are
+/// additional root-level members appended after "traceEvents": each pair
+/// is (key, raw JSON value) — Perfetto ignores unknown root keys, so the
+/// flight recorder uses this to attach its anomaly header.
+std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<std::string, std::string>>& root_extras = {});
 
 /// Converts one scheduled timeline into trace events under process `pid`:
 /// stream tracks (tid = stream id), SM tracks (tid = kSmTrackBase + sm),
@@ -75,15 +130,21 @@ class TraceSession {
 
    private:
     friend class TraceSession;
-    Span(TraceSession* session, std::string name, double start_us)
-        : session_(session), name_(std::move(name)), start_us_(start_us) {}
+    Span(TraceSession* session, std::uint64_t token)
+        : session_(session), token_(token) {}
     TraceSession* session_;
-    std::string name_;
-    double start_us_;
+    std::uint64_t token_;
   };
 
+  /// Opens a span. The span captures the thread's installed TraceContext
+  /// (current_trace_context()) as a child context, so the exported event
+  /// carries trace_id/span_id/parent_span_id args. Spans still open when
+  /// events()/to_json() runs are flushed as `incomplete="true"` events
+  /// with the duration observed so far — a crash dump never loses the
+  /// stage that was in flight.
   Span span(std::string name);
-  /// Zero-duration marker on the host track.
+  /// Zero-duration marker on the host track, annotated with the thread's
+  /// installed TraceContext (if any).
   void instant(std::string name);
   /// Wall-clock microseconds since the session started.
   double now_us() const;
@@ -97,8 +158,12 @@ class TraceSession {
 
   void add_event(TraceEvent event);
 
+  /// Closed events recorded so far (open spans are not counted).
   std::size_t event_count() const;
-  std::vector<TraceEvent> events() const;  ///< snapshot
+  /// Snapshot: closed events plus one synthesized `incomplete="true"`
+  /// event per still-open span. An empty session still serializes to a
+  /// valid Perfetto document (process metadata only).
+  std::vector<TraceEvent> events() const;
   std::string to_json() const;
   /// Writes to_json(); throws core::CheckError when the file cannot be
   /// written.
@@ -114,10 +179,19 @@ class TraceSession {
   static TraceSession* current();
 
  private:
-  void end_span(const std::string& name, double start_us);
+  struct OpenSpan {
+    std::string name;
+    double start_us = 0.0;
+    TraceContext context;
+  };
+
+  void end_span(std::uint64_t token);
+  TraceEvent synthesize(const OpenSpan& open, double now) const;
 
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::map<std::uint64_t, OpenSpan> open_spans_;
+  std::uint64_t next_span_token_ = 1;
   int next_pid_ = 1;  // pid 0 is the host process
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -118,22 +118,36 @@ class DegradationLadder {
 
   /// Observes one served frame's end-to-end virtual latency: over budget
   /// degrades one level; a recover_after-long streak under
-  /// recover_fraction * deadline climbs back one level.
+  /// recover_fraction * deadline climbs back one level. (Legacy signal
+  /// path — the serving loop now feeds the ladder through apply() from
+  /// the SLO engine's burn-rate decision, which reproduces these exact
+  /// dynamics at its default options; observe() remains for callers
+  /// without an SLO engine and for the policy tests.)
   void observe(double latency_ms);
+
+  /// SLO-driven signal path: `degrade` sheds one level, else `recover`
+  /// climbs one level. `cause` is recorded (last_cause()) whenever the
+  /// level actually moves, so flight-recorder ladder events can name the
+  /// signal that moved it.
+  void apply(bool degrade, bool recover, const char* cause);
 
   /// Breaker-driven degradation: jumps straight to the serial-exec rung
   /// (or stays if already deeper) — the simplest failure domain while a
   /// stage is unhealthy.
   void force_serial_fallback();
 
+  /// Cause label of the most recent level movement ("" before any).
+  const char* last_cause() const { return last_cause_; }
+
  private:
-  void move_to(int level);
+  void move_to(int level, const char* cause);
 
   DegradeOptions options_;
   double deadline_ms_;
   int level_ = 0;
   int good_streak_ = 0;
   int shifts_ = 0;
+  const char* last_cause_ = "";
 };
 
 }  // namespace fdet::serve

@@ -1,11 +1,32 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "core/check.h"
 #include "obs/trace.h"
 
 namespace fdet::serve {
+
+namespace {
+
+/// Appends one token to the frame's causal chain: "a -> b -> c".
+void append_cause(ServedFrame& sf, const std::string& token) {
+  if (!sf.cause.empty()) {
+    sf.cause += " -> ";
+  }
+  sf.cause += token;
+}
+
+std::string dump_filename(int frame, obs::Anomaly kind) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "flight_f%04d_", frame);
+  return std::string(buffer) + obs::anomaly_name(kind) + ".json";
+}
+
+}  // namespace
 
 const char* frame_status_name(FrameStatus status) {
   switch (status) {
@@ -33,6 +54,10 @@ StreamingService::StreamingService(const vgpu::DeviceSpec& spec,
       << "queue capacity must be >= 1, got " << options_.queue_capacity;
   FDET_CHECK(options_.retry.max_attempts >= 1)
       << "retry.max_attempts must be >= 1";
+  if (options_.obs.flight_recorder) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(
+        options_.obs.recorder_capacity);
+  }
 }
 
 void StreamingService::count(const char* name, const obs::Labels& labels,
@@ -63,6 +88,74 @@ void StreamingService::trace_instant(const std::string& text) {
   }
 }
 
+void StreamingService::flight(obs::FlightEventKind kind, int frame,
+                              double ts_us, double dur_us, const char* name,
+                              const char* detail, double value) {
+  if (!recorder_) {
+    return;
+  }
+  obs::FlightEvent event;
+  event.kind = kind;
+  event.frame = frame;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.value = value;
+  event.set_name(name);
+  event.set_detail(detail);
+  if (const obs::TraceContext* context = obs::current_trace_context()) {
+    event.set_context(*context);
+  }
+  recorder_->record(event);
+}
+
+void StreamingService::note_anomaly(ServedFrame& sf, obs::Anomaly kind) {
+  (void)sf;
+  if (std::find(frame_anomalies_.begin(), frame_anomalies_.end(), kind) ==
+      frame_anomalies_.end()) {
+    frame_anomalies_.push_back(kind);
+  }
+}
+
+void StreamingService::write_dumps(const ServedFrame& sf,
+                                   ServiceReport& report) {
+  for (const obs::Anomaly kind : frame_anomalies_) {
+    if (kind == obs::Anomaly::kFaultInjected && !options_.obs.dump_on_fault) {
+      continue;
+    }
+    count("serve.anomalies", {{"kind", obs::anomaly_name(kind)}});
+    flight(obs::FlightEventKind::kAnomaly, sf.index, sf.completion_s * 1e6,
+           0.0, "anomaly", obs::anomaly_name(kind));
+    if (!recorder_ || options_.obs.dump_dir.empty() ||
+        dumps_written_ >= options_.obs.max_dumps) {
+      continue;
+    }
+    obs::AnomalyInfo info;
+    info.kind = kind;
+    info.frame = sf.index;
+    info.cause = sf.cause;
+    info.trace_id = sf.trace_id;
+    // The dump directory may not exist yet (chaos/CI runs point at a
+    // fresh path); a missing directory must not crash the serving loop.
+    std::error_code ec;
+    std::filesystem::create_directories(options_.obs.dump_dir, ec);
+    const std::string path =
+        options_.obs.dump_dir + "/" + dump_filename(sf.index, kind);
+    try {
+      obs::write_flight_dump(
+          path, recorder_->snapshot_window(options_.obs.dump_window_s * 1e6),
+          info);
+    } catch (const std::exception& error) {
+      // Observability must never take the serving loop down: a failed
+      // dump (disk full, permissions) is counted and the stream goes on.
+      count("serve.dump_failures");
+      std::fprintf(stderr, "flight dump failed: %s\n", error.what());
+      continue;
+    }
+    ++dumps_written_;
+    report.dumps.push_back({sf.index, kind, sf.cause, path});
+  }
+}
+
 const detect::Pipeline& StreamingService::pipeline_for_level(int level) {
   auto it = pipelines_.find(level);
   if (it == pipelines_.end()) {
@@ -87,13 +180,29 @@ void StreamingService::reset() {
   decode_breaker_ = CircuitBreaker(options_.breaker);
   detect_breaker_ = CircuitBreaker(options_.breaker);
   jitter_rng_ = core::Rng(options_.seed);
+  // The SLO engine always judges the service's actual budget and mirrors
+  // the ladder's recovery tuning, whatever the caller put in obs.slo.
+  obs::SloOptions slo = options_.obs.slo;
+  slo.deadline_ms = options_.deadline_ms;
+  slo.recover_fraction = options_.degrade.recover_fraction;
+  slo.recover_after = options_.degrade.recover_after;
+  slo_ = std::make_unique<obs::SloEngine>(slo);
+  dumps_written_ = 0;
+  frame_anomalies_.clear();
 }
 
 ServedFrame StreamingService::serve_frame(
-    const video::MockH264Decoder& decoder, int index, const FaultPlan* plan) {
+    const video::MockH264Decoder& decoder, int index, const FaultPlan* plan,
+    double start_s) {
   ServedFrame sf;
   sf.index = index;
   sf.degradation_level = ladder_.level();
+
+  // Virtual "now" within this frame: start plus everything charged so far.
+  const auto now_us = [&] {
+    return start_s * 1e6 +
+           (sf.decode_ms + sf.detect_ms + sf.backoff_ms) * 1e3;
+  };
 
   const auto fail = [&](const char* stage, ErrorClass cls,
                         const std::string& message, int attempts,
@@ -102,26 +211,47 @@ ServedFrame StreamingService::serve_frame(
     sf.error = FrameError{index, stage, cls, message, attempts};
     count("serve.frame_errors", {{"stage", stage},
                                  {"class", error_class_name(cls)}});
+    if (cls == ErrorClass::kResource || cls == ErrorClass::kFatal) {
+      append_cause(sf, std::string("quarantine:") + stage + "/" +
+                           error_class_name(cls));
+      note_anomaly(sf, obs::Anomaly::kQuarantine);
+      flight(obs::FlightEventKind::kQuarantine, index, now_us(), 0.0,
+             "quarantine", (std::string(stage) + ": " + message).c_str());
+    } else {
+      append_cause(sf, std::string("failed:") + stage);
+    }
     const int trips_before = breaker.trips();
     breaker.record_failure();
     if (breaker.trips() != trips_before) {
       count("serve.breaker.trips", {{"stage", stage}});
       trace_instant(std::string("serve.breaker ") + stage + " open");
+      append_cause(sf, std::string("breaker-open:") + stage);
+      note_anomaly(sf, obs::Anomaly::kBreakerOpen);
+      flight(obs::FlightEventKind::kBreaker, index, now_us(), 0.0,
+             "breaker-open", stage);
       // A tripped stage is unhealthy: the simplest failure domain while it
       // cools down is the serial-exec rung of the ladder.
       const int before = ladder_.level();
       ladder_.force_serial_fallback();
+      if (slo_) {
+        slo_->reset_recovery();
+      }
       if (ladder_.level() != before) {
         count("serve.degradation.shifts");
         trace_instant("serve.degrade -> level " +
                       std::to_string(ladder_.level()) + " (" +
                       ladder_.step().name + ")");
+        flight(obs::FlightEventKind::kLadder, index, now_us(), 0.0,
+               "ladder", ladder_.step().name,
+               static_cast<double>(ladder_.level()));
       }
     }
   };
 
   const auto backoff = [&](const char* stage, int retry) {
     const double wait = retry_backoff_ms(options_.retry, retry, jitter_rng_);
+    flight(obs::FlightEventKind::kRetry, index, now_us(), 0.0, "retry",
+           stage, wait);
     sf.backoff_ms += wait;
     ++sf.retries;
     count("serve.retries", {{"stage", stage}});
@@ -129,6 +259,16 @@ ServedFrame StreamingService::serve_frame(
                       wait);
     trace_instant(std::string("serve.retry ") + stage + " frame " +
                   std::to_string(index) + " retry " + std::to_string(retry));
+    append_cause(sf, std::string("retry:") + stage);
+  };
+
+  const auto fault_injected = [&](const char* kind) {
+    count("serve.faults.injected", {{"kind", kind}});
+    sf.fault_injected = true;
+    append_cause(sf, std::string("fault:") + kind);
+    note_anomaly(sf, obs::Anomaly::kFaultInjected);
+    flight(obs::FlightEventKind::kFault, index, now_us(), 0.0, "fault",
+           kind);
   };
 
   // ---- Decode stage: bounded retry behind its circuit breaker. ----
@@ -148,8 +288,7 @@ ServedFrame StreamingService::serve_frame(
       try {
         if (plan != nullptr &&
             plan->fires(FaultKind::kDecodeFail, index, attempt)) {
-          count("serve.faults.injected", {{"kind", "decode"}});
-          sf.fault_injected = true;
+          fault_injected("decode");
           throw DecodeError("injected decode failure (frame " +
                             std::to_string(index) + ", attempt " +
                             std::to_string(attempt) + ")");
@@ -176,8 +315,7 @@ ServedFrame StreamingService::serve_frame(
   if (plan != nullptr && plan->fires(FaultKind::kCorruptLuma, index)) {
     // Undetectable input damage: flows through like real bitstream
     // corruption would — the service must survive it, not spot it.
-    count("serve.faults.injected", {{"kind", "corrupt"}});
-    sf.fault_injected = true;
+    fault_injected("corrupt");
     corrupt_luma(decoded.frame.luma(),
                  core::hash_combine(plan->seed(),
                                     static_cast<std::uint64_t>(index)));
@@ -198,6 +336,19 @@ ServedFrame StreamingService::serve_frame(
     if (plan != nullptr) {
       hook.emplace(make_launch_fault_hook(*plan, index, attempt));
     }
+    // Stamp every kernel launch of this attempt into the flight recorder,
+    // in virtual time relative to the detect stage's start.
+    std::optional<vgpu::ScopedLaunchObserver> launch_observer;
+    if (recorder_) {
+      const double base_us = now_us();
+      launch_observer.emplace([this, index,
+                               base_us](const vgpu::LaunchRecord& record) {
+        flight(obs::FlightEventKind::kLaunch, index,
+               base_us + record.start_s * 1e6, record.duration_s() * 1e6,
+               record.name.c_str(), "",
+               static_cast<double>(record.blocks));
+      });
+    }
     try {
       detect::FrameResult result = pipeline.process(decoded.frame.luma());
       sf.detect_ms = result.detect_ms;
@@ -205,8 +356,7 @@ ServedFrame StreamingService::serve_frame(
       break;
     } catch (const vgpu::LaunchError& error) {
       if (error.transient()) {
-        count("serve.faults.injected", {{"kind", "launch"}});
-        sf.fault_injected = true;
+        fault_injected("launch");
         if (attempt + 1 >= options_.retry.max_attempts) {
           fail("detect", ErrorClass::kTransient,
                std::string(error.what()) + " (retries exhausted)",
@@ -221,8 +371,7 @@ ServedFrame StreamingService::serve_frame(
       const bool constant =
           plan != nullptr &&
           plan->fires(FaultKind::kConstantOverflow, index, attempt);
-      count("serve.faults.injected", {{"kind", constant ? "const" : "shared"}});
-      sf.fault_injected = true;
+      fault_injected(constant ? "const" : "shared");
       fail("detect", ErrorClass::kResource, error.what(), attempt + 1,
            detect_breaker_);
       return sf;
@@ -268,6 +417,20 @@ ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
         "serve.queue_depth",
         obs::linear_buckets(0.0, 1.0, options_.queue_capacity + 1),
         static_cast<double>(depth));
+    slo_->observe_queue_depth(static_cast<double>(depth));
+
+    // Causal context for everything this frame does — spans, launches and
+    // control decisions all chain back to this id.
+    obs::TraceContext context;
+    std::optional<obs::ScopedTraceContext> scoped_context;
+    if (options_.obs.tracing) {
+      context = obs::make_frame_context(options_.seed, i);
+      scoped_context.emplace(context);
+    }
+    frame_anomalies_.clear();
+
+    // Service start: a frame waits for the previous one to finish.
+    const double start_s = std::max(arrival_s, last_completion_s);
 
     ServedFrame sf;
     const DegradationStep& step = ladder_.step();
@@ -278,6 +441,9 @@ ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
       count("serve.dropped", {{"reason", "backpressure"}});
       trace_instant("serve.drop frame " + std::to_string(i) +
                     " (queue full)");
+      append_cause(sf, "shed:backpressure");
+      flight(obs::FlightEventKind::kDrop, i, arrival_s * 1e6, 0.0, "drop",
+             "backpressure", static_cast<double>(depth));
     } else if (step.shed_queued_frames && depth > 0) {
       sf.index = i;
       sf.status = FrameStatus::kDropped;
@@ -285,18 +451,21 @@ ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
       count("serve.dropped", {{"reason", "shed"}});
       trace_instant("serve.drop frame " + std::to_string(i) +
                     " (load shedding)");
+      append_cause(sf, std::string("shed:") + step.name);
+      flight(obs::FlightEventKind::kDrop, i, arrival_s * 1e6, 0.0, "drop",
+             step.name, static_cast<double>(depth));
     } else {
-      sf = serve_frame(decoder, i, plan);
+      sf = serve_frame(decoder, i, plan, start_s);
     }
     sf.arrival_s = arrival_s;
     sf.queue_depth = depth;
+    sf.trace_id = context.trace_id;
 
     const bool served = sf.status == FrameStatus::kOk ||
                         sf.status == FrameStatus::kDegraded;
     if (sf.status == FrameStatus::kDropped) {
       sf.completion_s = arrival_s;  // dropped instantly, no service time
     } else {
-      const double start_s = std::max(arrival_s, last_completion_s);
       sf.completion_s =
           start_s + (sf.decode_ms + sf.detect_ms + sf.backoff_ms) * 1e-3;
       pending.push_back(sf.completion_s);
@@ -304,21 +473,74 @@ ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
     }
     sf.latency_ms = (sf.completion_s - arrival_s) * 1e3;
 
+    // Frame + stage spans in the flight recorder (virtual time).
+    flight(obs::FlightEventKind::kFrame, i, arrival_s * 1e6,
+           sf.latency_ms * 1e3, "frame", frame_status_name(sf.status),
+           sf.latency_ms);
+    if (sf.status != FrameStatus::kDropped) {
+      double stage_us = start_s * 1e6;
+      if (sf.decode_ms > 0.0) {
+        flight(obs::FlightEventKind::kStage, i, stage_us, sf.decode_ms * 1e3,
+               "decode", "", sf.decode_ms);
+        stage_us += sf.decode_ms * 1e3;
+      }
+      if (sf.backoff_ms > 0.0) {
+        flight(obs::FlightEventKind::kStage, i, stage_us,
+               sf.backoff_ms * 1e3, "backoff", "", sf.backoff_ms);
+        stage_us += sf.backoff_ms * 1e3;
+      }
+      if (sf.detect_ms > 0.0) {
+        flight(obs::FlightEventKind::kStage, i, stage_us, sf.detect_ms * 1e3,
+               "detect", "", sf.detect_ms);
+      }
+    }
+
     if (served) {
       observe_histogram("serve.latency_ms",
                         {1, 2, 5, 10, 20, 30, 40, 50, 75, 100, 150, 200},
                         sf.latency_ms);
+      slo_->observe_stage("decode", sf.decode_ms);
+      slo_->observe_stage("detect", sf.detect_ms);
+      if (sf.backoff_ms > 0.0) {
+        slo_->observe_stage("backoff", sf.backoff_ms);
+      }
       if (sf.latency_ms > options_.deadline_ms) {
         ++report.deadline_misses;
         count("serve.deadline_misses");
+        append_cause(sf, "deadline-miss");
+        note_anomaly(sf, obs::Anomaly::kDeadlineMiss);
+        flight(obs::FlightEventKind::kDeadlineMiss, i, sf.completion_s * 1e6,
+               0.0, "deadline-miss", "", sf.latency_ms);
       }
       const int level_before = ladder_.level();
-      ladder_.observe(sf.latency_ms);
+      // The SLO engine sees every served frame either way; by default its
+      // burn-rate decision drives the ladder (identical dynamics to the
+      // legacy direct observe() at default SloOptions).
+      const obs::SloDecision decision = slo_->observe_frame(sf.latency_ms);
+      if (options_.obs.slo_ladder) {
+        if (decision.degrade || decision.recover) {
+          flight(obs::FlightEventKind::kSlo, i, sf.completion_s * 1e6, 0.0,
+                 "slo", decision.degrade ? "degrade" : "recover",
+                 decision.degrade ? decision.fast_burn : decision.slow_burn);
+        }
+        ladder_.apply(decision.degrade, decision.recover,
+                      decision.degrade ? "slo-burn" : "slo-recover");
+      } else {
+        ladder_.observe(sf.latency_ms);
+      }
       if (ladder_.level() != level_before) {
         count("serve.degradation.shifts");
         trace_instant("serve.degrade -> level " +
                       std::to_string(ladder_.level()) + " (" +
                       ladder_.step().name + ")");
+        flight(obs::FlightEventKind::kLadder, i, sf.completion_s * 1e6, 0.0,
+               "ladder", ladder_.step().name,
+               static_cast<double>(ladder_.level()));
+        if (ladder_.level() > level_before) {
+          append_cause(sf, std::string("ladder-climb:") +
+                               ladder_.step().name);
+          note_anomaly(sf, obs::Anomaly::kLadderClimb);
+        }
       }
     }
 
@@ -343,12 +565,17 @@ ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
     unserved_streak = served ? 0 : unserved_streak + 1;
     report.max_consecutive_unserved =
         std::max(report.max_consecutive_unserved, unserved_streak);
+    write_dumps(sf, report);
     report.frames.push_back(std::move(sf));
   }
 
   report.breaker_trips = decode_breaker_.trips() + detect_breaker_.trips();
   report.degradation_shifts = ladder_.shifts();
   report.final_degradation_level = ladder_.level();
+  report.slo = slo_->snapshot();
+  if (registry_ != nullptr) {
+    slo_->publish(*registry_);
+  }
   return report;
 }
 

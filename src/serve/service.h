@@ -28,10 +28,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "detect/pipeline.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "serve/faults.h"
 #include "serve/policy.h"
 #include "video/decoder.h"
@@ -55,8 +59,42 @@ struct ServedFrame {
   double backoff_ms = 0.0;    ///< total retry backoff charged to the frame
   double latency_ms = 0.0;    ///< end-to-end: completion - arrival
   int queue_depth = 0;        ///< backlog when the frame arrived
+  std::uint64_t trace_id = 0; ///< causal trace id of the frame (0 = off)
+  /// Causal chain of everything that went wrong on this frame, oldest
+  /// first: "fault:launch -> retry:detect -> deadline-miss". Empty for a
+  /// clean frame. The same tokens appear in the flight-recorder dump.
+  std::string cause;
   std::vector<detect::Detection> detections;  ///< empty unless served
   std::optional<FrameError> error;            ///< kFailed only
+};
+
+/// Knobs of the observability layer threaded through the serving loop.
+struct ObservabilityOptions {
+  /// Install a per-frame TraceContext (trace ids on every span/event).
+  bool tracing = true;
+  /// Record frames/stages/launches/decisions into the flight recorder.
+  bool flight_recorder = true;
+  std::size_t recorder_capacity = 8192;
+  /// Directory for dump-on-anomaly files ("" = keep the ring in memory
+  /// but write nothing). Files are `flight_f<frame>_<anomaly>.json`,
+  /// written atomically (core::atomic_write_file).
+  std::string dump_dir;
+  /// Virtual seconds of history each dump snapshots.
+  double dump_window_s = 2.0;
+  /// Cap on dump files per run (first-come, at most one per frame and
+  /// anomaly class).
+  int max_dumps = 64;
+  /// Also dump on injected faults that caused no other anomaly (chaos
+  /// runs demand a causal record for *every* injected fault).
+  bool dump_on_fault = true;
+  /// Drive the DegradationLadder from the SLO engine's burn-rate decision
+  /// (default). False restores the legacy direct ladder.observe() path;
+  /// both produce identical dynamics at default SloOptions.
+  bool slo_ladder = true;
+  /// SLO engine configuration. deadline_ms, recover_fraction and
+  /// recover_after are overridden from ServiceOptions at run start so the
+  /// engine always judges the service's actual budget.
+  obs::SloOptions slo;
 };
 
 struct ServiceOptions {
@@ -66,7 +104,16 @@ struct ServiceOptions {
   RetryOptions retry;
   BreakerOptions breaker;
   DegradeOptions degrade;
+  ObservabilityOptions obs;
   std::uint64_t seed = 0x5e12e;  ///< backoff-jitter stream
+};
+
+/// One flight-recorder dump written during a run.
+struct AnomalyDump {
+  int frame = -1;
+  obs::Anomaly kind = obs::Anomaly::kDeadlineMiss;
+  std::string cause;
+  std::string path;
 };
 
 /// Aggregate of one run(): the per-frame records plus the summary the
@@ -87,6 +134,10 @@ struct ServiceReport {
   /// (dropped or failed) — the chaos harness bounds this.
   int max_consecutive_unserved = 0;
   double max_latency_ms = 0.0;
+  /// Flight-recorder dumps written during the run (dump_dir set).
+  std::vector<AnomalyDump> dumps;
+  /// End-of-run SLO state (percentiles, miss ratio, burn rates).
+  obs::SloSnapshot slo;
 };
 
 class StreamingService {
@@ -108,11 +159,16 @@ class StreamingService {
   int degradation_level() const { return ladder_.level(); }
   BreakerState decode_breaker() const { return decode_breaker_.state(); }
   BreakerState detect_breaker() const { return detect_breaker_.state(); }
+  /// The always-on flight recorder (null when disabled via options).
+  const obs::FlightRecorder* recorder() const { return recorder_.get(); }
 
  private:
   const detect::Pipeline& pipeline_for_level(int level);
+  /// `start_s` is the virtual time service begins on the frame
+  /// (max(arrival, previous completion)) — flight events and vgpu launch
+  /// spans are timestamped relative to it.
   ServedFrame serve_frame(const video::MockH264Decoder& decoder, int index,
-                          const FaultPlan* plan);
+                          const FaultPlan* plan, double start_s);
   void reset();
 
   // Metrics helpers; no-ops when registry_ is null.
@@ -122,6 +178,13 @@ class StreamingService {
   void observe_histogram(const char* name, std::vector<double> bounds,
                          double value);
   void trace_instant(const std::string& text);
+
+  // Flight-recorder helpers; no-ops when the recorder is disabled.
+  void flight(obs::FlightEventKind kind, int frame, double ts_us,
+              double dur_us, const char* name, const char* detail,
+              double value = 0.0);
+  void note_anomaly(ServedFrame& sf, obs::Anomaly kind);
+  void write_dumps(const ServedFrame& sf, ServiceReport& report);
 
   vgpu::DeviceSpec spec_;
   haar::Cascade cascade_;
@@ -134,6 +197,11 @@ class StreamingService {
   CircuitBreaker decode_breaker_;
   CircuitBreaker detect_breaker_;
   core::Rng jitter_rng_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  /// Anomaly classes observed on the frame currently being processed.
+  std::vector<obs::Anomaly> frame_anomalies_;
+  int dumps_written_ = 0;
 };
 
 }  // namespace fdet::serve

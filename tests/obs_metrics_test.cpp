@@ -6,6 +6,9 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/check.h"
 #include "obs/json.h"
@@ -149,6 +152,74 @@ TEST(MetricsHistogram, ExportersEmitCumulativeBuckets) {
   EXPECT_NE(csv.find("le_1,1\n"), std::string::npos);
   EXPECT_NE(csv.find("le_5,3\n"), std::string::npos);
   EXPECT_NE(csv.find("le_inf,4\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CardinalityCapThrowsTypedError) {
+  Registry registry;
+  registry.set_series_limit(2);
+  EXPECT_EQ(registry.series_limit(), 2u);
+  registry.counter("a").increment();
+  registry.gauge("b").set(1.0);
+  // A third *new* series blows the cap with the typed error...
+  EXPECT_THROW(registry.counter("c"), MetricCardinalityError);
+  // ...which is also a core::CheckError, so generic handlers still work.
+  try {
+    registry.counter("c", {{"leaky", "label"}});
+    FAIL() << "expected MetricCardinalityError";
+  } catch (const core::CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("c{leaky=label}"), std::string::npos)
+        << "error must name the offending series: " << what;
+    EXPECT_NE(what.find("2"), std::string::npos);
+  }
+  // Existing series stay writable after the refusal.
+  registry.counter("a").increment();
+  EXPECT_DOUBLE_EQ(registry.counter("a").value(), 2.0);
+  EXPECT_EQ(registry.size(), 2u);
+  // Raising the limit unblocks creation.
+  registry.set_series_limit(3);
+  registry.counter("c").increment();
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistry, DefaultSeriesLimitIsGenerousButFinite) {
+  Registry registry;
+  EXPECT_EQ(registry.series_limit(), Registry::kDefaultSeriesLimit);
+  EXPECT_THROW(registry.set_series_limit(0), core::CheckError);
+}
+
+TEST(MetricsRegistry, ConcurrentWritersLoseNoIncrements) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  Registry registry;
+  Counter& shared = registry.counter("shared");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &shared, t] {
+      // Each thread hammers the shared counter and its own series, so
+      // both the per-metric add() path and the registry's series-creation
+      // path run under contention.
+      Counter& own =
+          registry.counter("per_thread", {{"t", std::to_string(t)}});
+      for (int i = 0; i < kIncrements; ++i) {
+        shared.increment();
+        own.increment();
+        registry.gauge("last_writer").set(static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_DOUBLE_EQ(shared.value(),
+                   static_cast<double>(kThreads * kIncrements));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(
+        registry.counter("per_thread", {{"t", std::to_string(t)}}).value(),
+        static_cast<double>(kIncrements));
+  }
+  // shared + last_writer + one series per thread.
+  EXPECT_EQ(registry.size(), static_cast<std::size_t>(kThreads) + 2);
 }
 
 TEST(ObsJson, ParserRejectsMalformedInput) {

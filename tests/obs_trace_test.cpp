@@ -189,6 +189,121 @@ TEST(TraceSessionTest, AddTimelineAssignsFreshPids) {
   EXPECT_GT(doc.at("traceEvents").as_array().size(), 6u);
 }
 
+TEST(TraceSessionTest, EmptySessionSerializesAValidPerfettoDocument) {
+  const TraceSession session;
+  const json::Value doc = json::parse(session.to_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  // Process metadata only — ui.perfetto.dev loads it without complaint.
+  for (const json::Value& event : doc.at("traceEvents").as_array()) {
+    EXPECT_EQ(event.at("ph").as_string(), "M");
+  }
+}
+
+TEST(TraceSessionTest, UnclosedSpansFlushWithIncompleteFlag) {
+  TraceSession session;
+  auto open = session.span("in-flight");
+  {
+    auto closed = session.span("done");
+  }
+  // event_count() counts only closed events...
+  const std::size_t closed_count = session.event_count();
+  // ...but the snapshot synthesizes the open span, flagged incomplete.
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), closed_count + 1);
+  const TraceEvent& flushed = events.back();
+  EXPECT_EQ(flushed.name, "in-flight");
+  EXPECT_EQ(flushed.phase, 'X');
+  EXPECT_GE(flushed.dur_us, 0.0);
+  bool flagged = false;
+  for (const auto& [key, value] : flushed.str_args) {
+    flagged |= key == "incomplete" && value == "true";
+  }
+  EXPECT_TRUE(flagged) << "open span missing the incomplete=\"true\" arg";
+  // The closed span must NOT carry the flag.
+  for (const TraceEvent& event : events) {
+    if (event.name == "done") {
+      for (const auto& [key, value] : event.str_args) {
+        EXPECT_NE(key, "incomplete");
+      }
+    }
+  }
+  // The flushed document still parses as trace-event JSON.
+  EXPECT_FALSE(
+      json::parse(session.to_json()).at("traceEvents").as_array().empty());
+}
+
+TEST(TraceContextTest, FrameContextsAreDeterministicAndDistinct) {
+  const TraceContext a = make_frame_context(42, 7);
+  const TraceContext b = make_frame_context(42, 7);
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(make_frame_context(42, 8).trace_id, a.trace_id);
+  EXPECT_NE(make_frame_context(43, 7).trace_id, a.trace_id);
+
+  const TraceContext child = child_context(a, "decode");
+  EXPECT_EQ(child.trace_id, a.trace_id);
+  EXPECT_EQ(child.parent_span_id, a.span_id);
+  EXPECT_NE(child.span_id, a.span_id);
+  EXPECT_EQ(child_context(a, "decode").span_id, child.span_id);
+  EXPECT_NE(child_context(a, "detect").span_id, child.span_id);
+}
+
+TEST(TraceContextTest, HexIdIsSixteenLowercaseDigits) {
+  EXPECT_EQ(hex_id(0), "0000000000000000");
+  EXPECT_EQ(hex_id(0xabcdef), "0000000000abcdef");
+  EXPECT_EQ(hex_id(~0ull), "ffffffffffffffff");
+}
+
+TEST(TraceContextTest, ScopedContextNestsAndUnwinds) {
+  EXPECT_EQ(current_trace_context(), nullptr);
+  const TraceContext frame = make_frame_context(1, 0);
+  {
+    ScopedTraceContext outer(frame);
+    ASSERT_NE(current_trace_context(), nullptr);
+    EXPECT_EQ(current_trace_context()->trace_id, frame.trace_id);
+    {
+      ScopedTraceContext inner(child_context(frame, "stage"));
+      EXPECT_EQ(current_trace_context()->parent_span_id, frame.span_id);
+    }
+    EXPECT_EQ(current_trace_context()->span_id, frame.span_id);
+  }
+  EXPECT_EQ(current_trace_context(), nullptr);
+}
+
+TEST(TraceContextTest, SpansCaptureTheAmbientContext) {
+  TraceSession session;
+  const std::size_t base = session.event_count();
+  const TraceContext frame = make_frame_context(99, 3);
+  {
+    ScopedTraceContext scope(frame);
+    auto span = session.span("traced-stage");
+  }
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), base + 1);
+  const TraceEvent& traced = events.back();
+  bool has_trace_id = false;
+  bool has_parent = false;
+  for (const auto& [key, value] : traced.str_args) {
+    has_trace_id |= key == "trace_id" && value == hex_id(frame.trace_id);
+    has_parent |=
+        key == "parent_span_id" && value == hex_id(frame.span_id);
+  }
+  EXPECT_TRUE(has_trace_id);
+  EXPECT_TRUE(has_parent);
+}
+
+TEST(TraceExporter, RootExtrasLandAtTheDocumentRoot) {
+  const std::string text = chrome_trace_json(
+      {}, {{"anomaly", "{\"kind\":\"deadline-miss\",\"frame\":7}"},
+           {"note", "\"hello\""}});
+  const json::Value doc = json::parse(text);
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+  EXPECT_EQ(doc.at("anomaly").at("kind").as_string(), "deadline-miss");
+  EXPECT_DOUBLE_EQ(doc.at("anomaly").at("frame").as_number(), 7.0);
+  EXPECT_EQ(doc.at("note").as_string(), "hello");
+}
+
 TEST(TracePublish, TimelineMetricsLandInRegistry) {
   Registry registry;
   publish_timeline(registry, small_timeline(vgpu::ExecMode::kConcurrent),

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
 #include "core/check.h"
 #include "facegen/dataset.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/boost.h"
 #include "video/decoder.h"
 
@@ -223,6 +228,132 @@ TEST(StreamingService, PublishesServeMetrics) {
                 .value(),
             0.0);
   EXPECT_EQ(registry.gauge("serve.degradation.level").value(), 0.0);
+}
+
+TEST(StreamingService, FramesCarryDeterministicTraceIds) {
+  const video::MockH264Decoder decoder = test_decoder();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const ServiceReport a = service.run(decoder, 4);
+  const ServiceReport b = service.run(decoder, 4);
+  ASSERT_EQ(a.frames.size(), 4u);
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_NE(a.frames[i].trace_id, 0u);
+    EXPECT_EQ(a.frames[i].trace_id, b.frames[i].trace_id);
+    // Derived from (ServiceOptions::seed, frame index), reproducibly.
+    EXPECT_EQ(a.frames[i].trace_id,
+              obs::make_frame_context(service.options().seed,
+                                      static_cast<int>(i))
+                  .trace_id);
+    for (std::size_t j = i + 1; j < a.frames.size(); ++j) {
+      EXPECT_NE(a.frames[i].trace_id, a.frames[j].trace_id);
+    }
+  }
+  // Clean frames carry no cause chain.
+  for (const ServedFrame& frame : a.frames) {
+    EXPECT_TRUE(frame.cause.empty()) << frame.cause;
+  }
+}
+
+TEST(StreamingService, CauseChainsNameTheFaultAndItsConsequences) {
+  const video::MockH264Decoder decoder = test_decoder();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const FaultPlan plan = FaultPlan::parse("decode@2x1,const@4", 1);
+  const ServiceReport report = service.run(decoder, 6, &plan);
+
+  ASSERT_EQ(report.frames.size(), 6u);
+  // Frame 2: transient decode fault -> retried.
+  EXPECT_NE(report.frames[2].cause.find("fault:decode"), std::string::npos)
+      << report.frames[2].cause;
+  EXPECT_NE(report.frames[2].cause.find("retry:decode"), std::string::npos)
+      << report.frames[2].cause;
+  // Frame 4: hard overflow -> quarantined, chain oldest-first.
+  const std::string& hard = report.frames[4].cause;
+  EXPECT_NE(hard.find("fault:const"), std::string::npos) << hard;
+  EXPECT_NE(hard.find("quarantine:detect"), std::string::npos) << hard;
+  EXPECT_LT(hard.find("fault:const"), hard.find("quarantine:detect"));
+}
+
+TEST(StreamingService, AnomalyDumpsNameFrameStageAndCause) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "fdet_service_dumps";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const video::MockH264Decoder decoder = test_decoder();
+  ServiceOptions options = generous_options();
+  options.obs.dump_dir = dir.string();
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           options);
+  const FaultPlan plan = FaultPlan::parse("const@3", 1);
+  const ServiceReport report = service.run(decoder, 6, &plan);
+
+  ASSERT_FALSE(report.dumps.empty());
+  bool saw_quarantine = false;
+  for (const AnomalyDump& dump : report.dumps) {
+    EXPECT_EQ(dump.frame, 3);
+    EXPECT_TRUE(fs::exists(dump.path)) << dump.path;
+    const obs::json::Value doc = obs::json::parse_file(dump.path);
+    const obs::json::Value& anomaly = doc.at("anomaly");
+    EXPECT_DOUBLE_EQ(anomaly.at("frame").as_number(), 3.0);
+    EXPECT_NE(anomaly.at("cause").as_string().find("fault:const"),
+              std::string::npos);
+    EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+    saw_quarantine |= anomaly.at("kind").as_string() == "quarantine";
+    // The causal chain in the header matches the frame record.
+    EXPECT_EQ(anomaly.at("cause").as_string(), report.frames[3].cause);
+    EXPECT_EQ(anomaly.at("trace_id").as_string(),
+              obs::hex_id(report.frames[3].trace_id));
+  }
+  EXPECT_TRUE(saw_quarantine);
+  fs::remove_all(dir);
+}
+
+TEST(StreamingService, ReportSloSnapshotCoversServedFrames) {
+  const video::MockH264Decoder decoder = test_decoder();
+  obs::Registry registry;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options(), &registry);
+  const ServiceReport report = service.run(decoder, 8);
+
+  EXPECT_EQ(report.slo.frames, 8u);
+  EXPECT_EQ(report.slo.misses, 0u);
+  EXPECT_GT(report.slo.p50_ms, 0.0);
+  EXPECT_GE(report.slo.p99_ms, report.slo.p50_ms);
+  EXPECT_DOUBLE_EQ(registry.gauge("slo.frames").value(), 8.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("slo.deadline_miss_ratio").value(), 0.0);
+  EXPECT_GT(registry.gauge("slo.latency_p50_ms").value(), 0.0);
+  EXPECT_GT(
+      registry.gauge("slo.stage_p99_ms", {{"stage", "detect"}}).value(), 0.0);
+}
+
+TEST(StreamingService, LegacyLadderPathMatchesSloDrivenDefault) {
+  // The SLO-driven ladder is the default; the legacy observe() path must
+  // produce the same served stream (the equivalence obs_slo_test proves
+  // at the state-machine level, demonstrated here end-to-end).
+  const video::MockH264Decoder decoder = test_decoder();
+  ServiceOptions slo_options = generous_options();
+  ServiceOptions legacy_options = generous_options();
+  legacy_options.obs.slo_ladder = false;
+
+  StreamingService slo_service(vgpu::DeviceSpec{}, service_cascade(), {},
+                               slo_options);
+  StreamingService legacy_service(vgpu::DeviceSpec{}, service_cascade(), {},
+                                  legacy_options);
+  const FaultPlan plan = FaultPlan::parse("launch@2x2,decode@5x1", 7);
+  const ServiceReport a = slo_service.run(decoder, 10, &plan);
+  const ServiceReport b = legacy_service.run(decoder, 10, &plan);
+
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].status, b.frames[i].status) << "frame " << i;
+    EXPECT_EQ(a.frames[i].degradation_level, b.frames[i].degradation_level)
+        << "frame " << i;
+    EXPECT_DOUBLE_EQ(a.frames[i].latency_ms, b.frames[i].latency_ms)
+        << "frame " << i;
+  }
+  EXPECT_EQ(a.degradation_shifts, b.degradation_shifts);
 }
 
 TEST(StreamingService, RejectsUnusableOptions) {

@@ -12,7 +12,11 @@
 //      is served clean at degradation level 0 before the next burst, and
 //      the run ends back at level 0;
 //   6. clean frames — served at level 0 in both runs and not targeted by
-//      the plan — produce detections identical to the fault-free run.
+//      the plan — produce detections identical to the fault-free run;
+//   7. with --dump-dir set (default), every injected deterministic fault's
+//      frame yields a flight-recorder dump whose causal chain names the
+//      fault kind, every provoked anomaly class is covered, and each dump
+//      on disk is a parseable Perfetto document.
 //
 // Exit codes: 0 all invariants hold, 1 usage error, 2 invariant violated
 // (or the harness itself crashed, which is invariant 1 failing).
@@ -23,11 +27,13 @@
 // degradation ladder), and the two hard overflow kinds.
 #include <cstdio>
 #include <exception>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/cli.h"
 #include "facegen/dataset.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/service.h"
@@ -86,6 +92,7 @@ int run_chaos(int argc, char** argv) {
   int max_unserved = 8;
   std::string metrics_out;
   std::string trace_out;
+  std::string dump_dir = "chaos_dumps";
   bool verbose = false;
 
   core::Cli cli("fdet_chaos");
@@ -101,6 +108,9 @@ int run_chaos(int argc, char** argv) {
            "invariant: longest tolerated failed/dropped streak");
   cli.flag("metrics-out", metrics_out, "write serve.* metrics JSON/CSV here");
   cli.flag("trace-out", trace_out, "write the chaos-run Chrome trace here");
+  cli.flag("dump-dir", dump_dir,
+           "flight-recorder anomaly dump directory (\"\" disables dumps "
+           "and invariant 7)");
   cli.flag("verbose", verbose, "per-frame log of the faulted run");
   if (!cli.parse(argc, argv)) {
     return 1;
@@ -158,6 +168,9 @@ int run_chaos(int argc, char** argv) {
         max_ms, serial_ms, deadline_ms);
   }
   options.deadline_ms = deadline_ms;
+  // Dumps stay off for the calibration probe above; only the real runs
+  // carry a flight-recorder dump directory.
+  options.obs.dump_dir = dump_dir;
 
   obs::Registry registry;
   obs::TraceSession trace;
@@ -257,6 +270,62 @@ int run_chaos(int argc, char** argv) {
   }
   expect(compared > 0, "no clean frames were comparable");
   std::printf("clean-frame comparison: %d frames identical\n", compared);
+
+  // 7. Causal flight dumps: the fault-free run writes none; every
+  //    injected deterministic fault's frame produces a dump whose causal
+  //    chain names the fault kind; every anomaly class the default plan
+  //    provokes is covered; and each dump file on disk is a parseable
+  //    Perfetto document whose anomaly header matches the served frame.
+  if (!dump_dir.empty()) {
+    expect(clean.dumps.empty(),
+           "fault-free run wrote " + std::to_string(clean.dumps.size()) +
+               " flight dump(s); expected none");
+    for (const serve::FaultSpec& fault : plan.specs()) {
+      if (fault.frame < 0 || fault.frame >= frames) {
+        continue;  // probabilistic specs are judged by the class check
+      }
+      if (!chaos.frames[fault.frame].fault_injected) {
+        continue;  // breaker fail-fast: the faulted stage never ran
+      }
+      const std::string token =
+          std::string("fault:") + serve::fault_kind_name(fault.kind);
+      bool named = false;
+      for (const serve::AnomalyDump& dump : chaos.dumps) {
+        named = named || (dump.frame == fault.frame &&
+                          dump.cause.find(token) != std::string::npos);
+      }
+      expect(named, "frame " + std::to_string(fault.frame) + " injected " +
+                        token + " but no flight dump names it");
+    }
+    std::set<std::string> classes;
+    for (const serve::AnomalyDump& dump : chaos.dumps) {
+      classes.insert(obs::anomaly_name(dump.kind));
+      try {
+        const obs::json::Value doc = obs::json::parse_file(dump.path);
+        const obs::json::Value& anomaly = doc.at("anomaly");
+        expect(static_cast<int>(anomaly.at("frame").as_number()) ==
+                   dump.frame,
+               dump.path + ": anomaly header frame mismatch");
+        expect(anomaly.at("cause").as_string() == dump.cause,
+               dump.path + ": anomaly header cause mismatch");
+        expect(anomaly.at("kind").as_string() ==
+                   obs::anomaly_name(dump.kind),
+               dump.path + ": anomaly header kind mismatch");
+        expect(!doc.at("traceEvents").as_array().empty(),
+               dump.path + ": empty traceEvents");
+      } catch (const std::exception& error) {
+        expect(false, dump.path + " is not a valid flight dump: " +
+                          error.what());
+      }
+    }
+    for (const char* cls :
+         {"deadline-miss", "quarantine", "breaker-open", "ladder-climb"}) {
+      expect(classes.count(cls) == 1,
+             std::string("no flight dump covers anomaly class ") + cls);
+    }
+    std::printf("flight dumps: %zu in %s covering %zu anomaly class(es)\n",
+                chaos.dumps.size(), dump_dir.c_str(), classes.size());
+  }
 
   if (!metrics_out.empty()) {
     registry.write_file(metrics_out);

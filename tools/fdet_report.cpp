@@ -17,6 +17,7 @@
 // Exit codes: 0 success/gate-clean, 1 usage error, 2 regression gate
 // failed, 3 a run-record operand is missing or corrupt (distinct from 2
 // so CI can tell "perf regressed" from "baseline file is broken").
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -69,6 +70,9 @@ const char* paper_artifact(const std::string& name) {
       {"integral.", "Sec. III-B integral image study"},
       {"haar.", "Table I feature combinations"},
       {"softcascade.", "soft-cascade extension (future work)"},
+      {"slo.", "serving SLO engine (DESIGN.md §8)"},
+      {"serve.", "serving layer (chaos invariants)"},
+      {"obs.overhead", "observability overhead gate"},
   };
   const Mapping* best = nullptr;
   for (const Mapping& m : kMappings) {
@@ -225,6 +229,150 @@ int run_show(const std::vector<std::string>& files) {
   return 0;
 }
 
+/// Renders the serving-SLO view of a run record: percentiles, miss
+/// ratio, burn rates and per-stage latencies from the `slo.*` series the
+/// SLO engine publishes (obs::SloEngine::publish). Returns 1 when the
+/// record carries no slo.* series — wrong file, not an empty SLO.
+int run_slo(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "fdet_report slo: no input files\n");
+    return 1;
+  }
+  for (const std::string& path : files) {
+    obs::RunRecord record;
+    try {
+      record = obs::RunRecord::load_file(path);
+    } catch (const core::CheckError& error) {
+      std::fprintf(stderr, "fdet_report: cannot load run record: %s\n",
+                   error.what());
+      return 3;
+    }
+    std::printf("### Serving SLO — `%s` (variant `%s`, %d repeat%s)\n\n",
+                record.artifact.c_str(), record.variant.c_str(),
+                record.repeats, record.repeats == 1 ? "" : "s");
+    const auto find = [&record](const char* name,
+                                const obs::Labels& labels =
+                                    {}) -> const obs::MetricSeries* {
+      return record.find(name, labels);
+    };
+    const obs::MetricSeries* deadline = find("slo.deadline_ms");
+    const obs::MetricSeries* frames = find("slo.frames");
+    if (frames == nullptr) {
+      std::fprintf(stderr,
+                   "%s: no slo.* series — not a serving SLO record "
+                   "(generate one with bench_serving_slo)\n",
+                   path.c_str());
+      return 1;
+    }
+    if (deadline != nullptr) {
+      std::printf("deadline budget: %s ms, %s frames observed\n\n",
+                  format_number(deadline->median).c_str(),
+                  format_number(frames->median).c_str());
+    }
+
+    core::Table table({"quantity", "labels", "median", "MAD"});
+    // Stable presentation order: percentiles, then ratios/burn, then
+    // stage and queue series, then anything else slo.*.
+    static constexpr const char* kFirst[] = {
+        "slo.latency_p50_ms",  "slo.latency_p95_ms", "slo.latency_p99_ms",
+        "slo.latency_p999_ms", "slo.deadline_miss_ratio",
+        "slo.window_miss_ratio", "slo.burn_rate"};
+    const auto add_series = [&table](const obs::MetricSeries& series) {
+      table.add_row({series.name, obs::format_labels(series.labels),
+                     format_number(series.median),
+                     format_number(series.mad)});
+    };
+    for (const char* name : kFirst) {
+      for (const obs::MetricSeries& series : record.metrics) {
+        if (series.name == name) {
+          add_series(series);
+        }
+      }
+    }
+    for (const obs::MetricSeries& series : record.metrics) {
+      const bool listed =
+          std::find_if(std::begin(kFirst), std::end(kFirst),
+                       [&series](const char* name) {
+                         return series.name == name;
+                       }) != std::end(kFirst);
+      if (series.name.starts_with("slo.") && !listed) {
+        add_series(series);
+      }
+    }
+    table.print_markdown(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+/// Summarizes a flight-recorder anomaly dump: the root anomaly header
+/// (which frame, which causal chain, which trace id) plus per-kind event
+/// counts — the quick look before loading the dump in ui.perfetto.dev.
+int run_flight(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "fdet_report flight: no input files\n");
+    return 1;
+  }
+  for (const std::string& path : files) {
+    const obs::json::Value doc = obs::json::parse_file(path);
+    const obs::json::Value* anomaly = doc.find("anomaly");
+    if (anomaly == nullptr || doc.find("traceEvents") == nullptr) {
+      std::fprintf(stderr, "%s: not a flight-recorder dump (no anomaly "
+                           "header)\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("### Flight dump `%s`\n\n", path.c_str());
+    std::printf("- anomaly: **%s** at frame %s\n",
+                anomaly->at("kind").as_string().c_str(),
+                format_number(anomaly->at("frame").as_number()).c_str());
+    std::printf("- cause: `%s`\n", anomaly->at("cause").as_string().c_str());
+    if (const obs::json::Value* trace_id = anomaly->find("trace_id")) {
+      std::printf("- trace id: `%s`\n", trace_id->as_string().c_str());
+    }
+
+    std::map<std::string, int> kinds;
+    double first_us = 0.0;
+    double last_us = 0.0;
+    bool any = false;
+    for (const obs::json::Value& event : doc.at("traceEvents").as_array()) {
+      if (event.at("ph").as_string() == "M") {
+        continue;
+      }
+      std::string kind = "?";
+      if (const obs::json::Value* args = event.find("args")) {
+        if (const obs::json::Value* k = args->find("kind")) {
+          kind = k->as_string();
+        }
+      }
+      ++kinds[kind];
+      const double ts = event.at("ts").as_number();
+      double end = ts;
+      if (const obs::json::Value* dur = event.find("dur")) {
+        end += dur->as_number();
+      }
+      if (!any) {
+        first_us = ts;
+        last_us = end;
+        any = true;
+      } else {
+        first_us = std::min(first_us, ts);
+        last_us = std::max(last_us, end);
+      }
+    }
+    std::printf("- window: %s ms of virtual time, %s events\n\n",
+                format_number((last_us - first_us) / 1e3).c_str(),
+                format_number(anomaly->at("events").as_number()).c_str());
+    core::Table table({"event kind", "count"});
+    for (const auto& [kind, count] : kinds) {
+      table.add_row({kind, std::to_string(count)});
+    }
+    table.print_markdown(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 /// Markdown verdict table plus explicit REGRESSED/MISSING lines (so CI
 /// logs name the offending metric without markdown rendering), then the
 /// gate exit code. Shared by `diff` and `selftest`.
@@ -334,6 +482,8 @@ int usage() {
       stderr,
       "usage: fdet_report [flags] show <file.json>...\n"
       "       fdet_report [flags] diff <baseline.json> <current.json>\n"
+      "       fdet_report slo <BENCH_serving_slo.json>...\n"
+      "       fdet_report flight <flight_dump.json>...\n"
       "       fdet_report selftest\n"
       "flags: --threshold=R --mad-mult=M --ignore=prefix1,prefix2\n"
       "       --show-unchanged\n");
@@ -395,6 +545,12 @@ int main(int argc, char** argv) {
         return 3;
       }
       return run_diff(baseline, current, options, show_unchanged);
+    }
+    if (command == "slo") {
+      return run_slo(operands);
+    }
+    if (command == "flight") {
+      return run_flight(operands);
     }
     if (command == "selftest") {
       return run_selftest();
