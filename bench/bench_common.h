@@ -18,6 +18,7 @@
 #include "obs/compare.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/runrecord.h"
 #include "obs/trace.h"
 #include "train/pretrained.h"
@@ -63,6 +64,10 @@ inline void print_header(const char* artifact, const char* description) {
 ///                       binary's lifetime, so library-internal spans land
 ///                       automatically)
 ///   --metrics-out       metrics registry of the *last* repeat (JSON/CSV)
+///   --profile-out       kernel profile (obs::ProfileRecord) aggregated
+///                       over every launch of the binary's lifetime — the
+///                       collector is installed from construction, so all
+///                       repeats fold into one record
 ///   --record-out        obs::RunRecord aggregating all repeats (median +
 ///                       MAD per series); defaults to BENCH_<artifact>.json
 ///                       in the working directory, empty disables
@@ -93,6 +98,8 @@ class RunRecorder {
              "write run metrics (JSON, or CSV when the path ends in .csv)");
     cli.flag("record-out", record_out_,
              "run-record path (empty disables writing)");
+    cli.flag("profile-out", profile_out_,
+             "kernel-profile record path (empty disables writing)");
     cli.flag("repeat", repeat_,
              "measurement repetitions aggregated into the run record");
     cli.flag("baseline", baseline_,
@@ -110,6 +117,9 @@ class RunRecorder {
   /// publishing into repeat 0, exactly the pre-repeat behavior.
   obs::Registry& metrics() { return *repeats_.back(); }
   obs::TraceSession& trace() { return session_; }
+  /// Kernel profiler collecting every launch on this thread (the
+  /// collection scope lives as long as the recorder).
+  obs::KernelProfiler& profiler() { return profiler_; }
 
   /// Starts measurement repetition `rep` (0-based): rep 0 reuses the
   /// registry that exists from construction, later reps get a fresh one
@@ -179,6 +189,19 @@ class RunRecorder {
                   artifact_.c_str(), metrics_out_.c_str(), metrics().size());
     }
 
+    if (!profile_out_.empty()) {
+      const obs::ProfileRecord profile =
+          profiler_.snapshot(artifact_, variant_);
+      profile.write_file(profile_out_);
+      const obs::ProfileRecord reparsed =
+          obs::ProfileRecord::load_file(profile_out_);
+      std::printf("[%s] kernel profile written to %s "
+                  "(%zu kernels, %llu launches)\n",
+                  artifact_.c_str(), profile_out_.c_str(),
+                  reparsed.kernels.size(),
+                  static_cast<unsigned long long>(reparsed.launches));
+    }
+
     std::vector<const obs::Registry*> registries;
     for (const auto& registry : repeats_) {
       registries.push_back(registry.get());
@@ -230,11 +253,14 @@ class RunRecorder {
   std::string trace_out_;
   std::string metrics_out_;
   std::string record_out_;
+  std::string profile_out_;
   std::string baseline_;
   bool update_baseline_ = false;
   int repeat_ = 1;
   std::vector<std::unique_ptr<obs::Registry>> repeats_;
   obs::TraceSession session_;
+  obs::KernelProfiler profiler_;
+  obs::ScopedProfileCollection profile_scope_{profiler_};
   core::Stopwatch watch_;
 };
 

@@ -48,6 +48,11 @@ int main(int argc, char** argv) {
     double peak[4] = {0, 0, 0, 0};
 
     for (int f = 0; f < frames; ++f) {
+      // One frame context per source frame (same seed every repeat, so
+      // repeats fold into the same per-frame profile bucket); launches of
+      // both cascades attribute to it.
+      const obs::ScopedTraceContext frame_context(
+          obs::make_frame_context(/*seed=*/5050, f));
       const video::DecodedFrame frame = decoder.decode(f);
       const auto [oc, os] = ours.process_dual(frame.frame.luma());
       const auto [cc, cs] = opencv.process_dual(frame.frame.luma());

@@ -1,7 +1,9 @@
 // Observability overhead gate: serves the same faulted stream twice —
 // once with the full observability layer (tracing, flight recorder, SLO
 // engine, metrics) and once with all of it off — and gates the median
-// virtual per-frame latency delta under 5%.
+// virtual per-frame latency delta under 5%. A second arm repeats the
+// contrast for the kernel profiler (obs/profile.h): collection scope on
+// vs. suppressed, same budget.
 //
 // The observability layer charges no virtual time, so on the simulator
 // the delta is deterministically 0: this gate fires if instrumentation
@@ -139,6 +141,48 @@ int main(int argc, char** argv) {
     FDET_CHECK(delta_pct < budget_pct)
         << "observability layer perturbs virtual latency: median delta "
         << delta_pct << "% exceeds the " << budget_pct << "% budget";
+
+    // Kernel-profiler arm of the same gate: the obs-off service once
+    // under an explicit collection scope, once with profiling suppressed
+    // (an empty hook shadows RunRecorder's ambient collector). The
+    // profiler observes launches strictly after their cost is computed,
+    // so the virtual latencies must be bit-identical.
+    obs::KernelProfiler profiler;
+    std::vector<double> prof_on_ms;
+    {
+      const obs::ScopedProfileCollection prof_scope(profiler);
+      serve::StreamingService svc(spec, pair.ours, {}, off_opts, nullptr);
+      const serve::ServiceReport r = svc.run(decoder, frames, &plan);
+      for (const serve::ServedFrame& frame : r.frames) {
+        prof_on_ms.push_back(frame.latency_ms);
+      }
+    }
+    std::vector<double> prof_off_ms;
+    {
+      const vgpu::ScopedKernelProfileHook suppress(nullptr);
+      serve::StreamingService svc(spec, pair.ours, {}, off_opts, nullptr);
+      const serve::ServiceReport r = svc.run(decoder, frames, &plan);
+      for (const serve::ServedFrame& frame : r.frames) {
+        prof_off_ms.push_back(frame.latency_ms);
+      }
+    }
+    FDET_CHECK(profiler.launches() > 0)
+        << "profiler-on pass observed no kernel launches";
+    const double prof_on_median = median(prof_on_ms);
+    const double prof_off_median = median(prof_off_ms);
+    const double prof_delta_pct =
+        100.0 * std::abs(prof_on_median - prof_off_median) / prof_off_median;
+    if (rep == 0) {
+      std::printf("profiler on/off median latency: %.4f / %.4f ms, delta "
+                  "%.6f%% (budget %.1f%%; %llu launches profiled)\n",
+                  prof_on_median, prof_off_median, prof_delta_pct, budget_pct,
+                  static_cast<unsigned long long>(profiler.launches()));
+    }
+    run.metrics().gauge("obs.overhead.profiler_latency_delta_pct")
+        .set(prof_delta_pct);
+    FDET_CHECK(prof_delta_pct < budget_pct)
+        << "kernel profiler perturbs virtual latency: median delta "
+        << prof_delta_pct << "% exceeds the " << budget_pct << "% budget";
   }
   return run.finish();
 }

@@ -9,6 +9,7 @@
 
 #include "core/cli.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "vgpu/scheduler.h"
 
@@ -18,14 +19,21 @@ int main(int argc, char** argv) {
   int blocks_per_kernel = 3;
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
   core::Cli cli("gpu_playground");
   cli.flag("streams", streams, "concurrent streams");
   cli.flag("blocks", blocks_per_kernel, "blocks per kernel");
   cli.flag("trace-out", trace_out, "write a Perfetto trace-event JSON file");
   cli.flag("metrics-out", metrics_out, "write run metrics (JSON or .csv)");
+  cli.flag("profile-out", profile_out, "write a kernel profile (JSON)");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+
+  // The profiler sees every execute_kernel below; the per-stream
+  // "reduce_s<N>" launches roll up into one "reduce" row.
+  obs::KernelProfiler profiler;
+  const obs::ScopedProfileCollection profile_scope(profiler);
 
   const vgpu::DeviceSpec device;
   std::printf("device: %s — %d SMs, %d-lane warps, %.3f GHz, %d KiB shared "
@@ -131,6 +139,12 @@ int main(int argc, char** argv) {
     obs::publish_timeline(registry, concurrent, {{"mode", "concurrent"}});
     registry.write_file(metrics_out);
     std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!profile_out.empty()) {
+    profiler.snapshot("playground").write_file(profile_out);
+    std::printf("kernel profile written to %s (inspect with "
+                "`fdet_report profile show %s`)\n",
+                profile_out.c_str(), profile_out.c_str());
   }
   return 0;
 }

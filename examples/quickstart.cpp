@@ -9,6 +9,7 @@
 #include "core/stopwatch.h"
 #include "detect/pipeline.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "facegen/dataset.h"
 #include "img/draw.h"
@@ -21,11 +22,13 @@ int main(int argc, char** argv) {
   std::string out = "quickstart_out.ppm";
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
   core::Cli cli("quickstart");
   cli.flag("faces", faces, "training faces");
   cli.flag("out", out, "annotated output image (PPM)");
   cli.flag("trace-out", trace_out, "write a Perfetto trace-event JSON file");
   cli.flag("metrics-out", metrics_out, "write run metrics (JSON or .csv)");
+  cli.flag("profile-out", profile_out, "write a kernel profile (JSON)");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -36,6 +39,10 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     session.install();
   }
+  // With profiling on, every vgpu launch of this thread is attributed to
+  // its pipeline stage.
+  obs::KernelProfiler profiler;
+  const obs::ScopedProfileCollection profile_scope(profiler);
 
   // 1. Synthesize a training set and boost a small cascade.
   std::printf("[1/3] training a 5-stage GentleBoost cascade on %d synthetic "
@@ -115,6 +122,12 @@ int main(int argc, char** argv) {
     result.publish_metrics(registry);
     registry.write_file(metrics_out);
     std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!profile_out.empty()) {
+    profiler.snapshot("quickstart").write_file(profile_out);
+    std::printf("kernel profile written to %s (inspect with "
+                "`fdet_report profile show %s`)\n",
+                profile_out.c_str(), profile_out.c_str());
   }
   return 0;
 }

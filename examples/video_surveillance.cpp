@@ -14,6 +14,7 @@
 #include "core/cli.h"
 #include "img/draw.h"
 #include "img/io.h"
+#include "obs/profile.h"
 #include "serve/service.h"
 #include "train/pretrained.h"
 #include "video/decoder.h"
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   std::string faults;
   std::string cache_dir = "fdet_cache";
   std::string trailer_name = "50/50";
+  std::string profile_out;
   core::Cli cli("video_surveillance");
   cli.flag("frames", frames, "frames to process");
   cli.flag("width", width, "stream width");
@@ -38,9 +40,15 @@ int main(int argc, char** argv) {
            "fault plan, e.g. decode@2x2,corrupt@4 (see serve/faults.h)");
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
   cli.flag("trailer", trailer_name, "trailer preset title");
+  cli.flag("profile-out", profile_out, "write a kernel profile (JSON)");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+
+  // Collect every vgpu launch the serving loop issues; the per-frame
+  // trace contexts the service installs attribute cycles to frames.
+  obs::KernelProfiler profiler;
+  const obs::ScopedProfileCollection profile_scope(profiler);
 
   const train::CascadePair pair = train::get_or_train_cascades(cache_dir);
   const vgpu::DeviceSpec device;
@@ -139,5 +147,11 @@ int main(int argc, char** argv) {
   std::printf("deadline (%.0f ms): %s\n", deadline_ms,
               report.deadline_misses == 0 ? "met on every served frame"
                                           : "MISSED");
+  if (!profile_out.empty()) {
+    profiler.snapshot("surveillance").write_file(profile_out);
+    std::printf("kernel profile written to %s (inspect with "
+                "`fdet_report profile show %s`)\n",
+                profile_out.c_str(), profile_out.c_str());
+  }
   return 0;
 }

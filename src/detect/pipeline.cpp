@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "integral/gpu.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace fdet::detect {
@@ -128,6 +129,7 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
       level_image = luma;
     } else {
       const obs::ScopedSpan span("pipeline.pyramid" + suffix);
+      const obs::ProfileStageScope stage("scale");
       img::ImageU8 scaled(level.width, level.height);
       launches.push_back(
           {scale_kernel(spec_, luma, scaled, "scale" + suffix), stream});
@@ -146,6 +148,7 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
     // Integral image: scan, transpose, scan, transpose.
     integral::GpuIntegralResult ii = [&] {
       const obs::ScopedSpan span("pipeline.integral" + suffix);
+      const obs::ProfileStageScope stage("integral");
       return integral::integral_gpu(spec_, level_image);
     }();
     const char* names[4] = {"scan", "transpose", "scan2", "transpose2"};
@@ -158,6 +161,7 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
     CascadeKernelOutput& out = outputs[static_cast<std::size_t>(level.index)];
     {
       const obs::ScopedSpan span("pipeline.cascade" + suffix);
+      const obs::ProfileStageScope stage("cascade");
       launches.push_back({cascade_kernel(spec_, bank_, ii.integral, out,
                                          options_.kernel, "cascade" + suffix),
                           stream});
@@ -165,6 +169,7 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
     result.cascade_counters += launches.back().cost.counters;
 
     if (options_.run_display) {
+      const obs::ProfileStageScope stage("display");
       launches.push_back({display_kernel(spec_, out.depth, stage_count,
                                          level.factor, result.display,
                                          "display" + suffix),
@@ -198,6 +203,7 @@ Pipeline::Built Pipeline::build(const img::ImageU8& luma) const {
   }
 
   const obs::ScopedSpan group_span("pipeline.grouping");
+  const obs::ProfileStageScope group_stage("grouping");
   result.detections =
       group_detections(result.raw_detections, options_.group_eyes_threshold);
   if (options_.min_neighbors > 1) {

@@ -56,10 +56,17 @@ Direction metric_direction(std::string_view name) {
   std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
-  // Higher-is-better keywords first: "dram_read_gbps" must not fall into
-  // the lower-is-better bucket via some other substring.
+  // Cycle and serialization counts gate downward even when the name also
+  // mentions an occupancy ("occupancy_limited_cycles"), so they come
+  // before the higher-is-better keywords.
+  if (contains_any(lower, {"cycles", "conflict", "transaction"})) {
+    return Direction::kLowerIsBetter;
+  }
+  // Higher-is-better keywords before the generic lower-is-better bucket:
+  // "dram_read_gbps" must not fall in via some other substring.
   if (contains_any(lower, {"efficiency", "utilization", "throughput", "gbps",
-                           "speedup", "fps", "tpr", "advantage"})) {
+                           "speedup", "fps", "tpr", "advantage",
+                           "occupancy"})) {
     return Direction::kHigherIsBetter;
   }
   if (contains_any(lower, {"_ms", "_seconds", "latency", "makespan",

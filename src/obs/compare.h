@@ -44,9 +44,10 @@ enum class Direction {
 };
 
 /// Infers the direction from the metric name (substring conventions used
-/// across src/obs and the bench binaries: "_ms"/"latency"/"makespan" are
-/// lower-is-better, "efficiency"/"throughput"/"speedup"/"tpr" higher).
-/// Unrecognized names are kExact.
+/// across src/obs and the bench binaries: "_ms"/"latency"/"makespan"/
+/// "cycles"/"conflict"/"transaction" are lower-is-better, "efficiency"/
+/// "throughput"/"speedup"/"tpr"/"occupancy" higher). Unrecognized names
+/// are kExact.
 Direction metric_direction(std::string_view name);
 
 struct CompareOptions {

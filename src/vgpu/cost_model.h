@@ -17,6 +17,11 @@ struct CostModel {
   double fma = 1.0;          ///< fused multiply-add / mul
   double sfu = 8.0;          ///< transcendental / divide
   double shared_access = 2.0;///< conflict-free shared-memory access
+  /// Extra cycles per serialized shared-memory pass when lanes of a warp
+  /// hit distinct words of the same bank (32 banks, 4-byte wide, Fermi
+  /// style; broadcast of one word is free). An n-way conflict charges
+  /// (n - 1) of these on top of the base shared_access.
+  double shared_conflict = 2.0;
   double constant_access = 1.0;  ///< broadcast constant-cache hit
   double constant_serialized = 16.0;  ///< divergent-address constant access
   double texture_fetch = 4.0;///< texture sample issue (bilinear)

@@ -21,7 +21,11 @@ struct WarpScratch {
 struct WarpCost {
   double issue = 0.0;
   double stall = 0.0;
+  double divergence_issue = 0.0;     ///< issue cycles lost to idle lanes
+  double bank_conflict_issue = 0.0;  ///< serialized shared-memory passes
 };
+
+constexpr int kSharedBanks = 32;  // Fermi: 32 banks, 4-byte wide
 
 /// Reduces the lanes of one warp (lanes[0..active)) into cost + counters.
 WarpCost aggregate_warp(const CostModel& cost, const KernelConfig& config,
@@ -29,7 +33,9 @@ WarpCost aggregate_warp(const CostModel& cost, const KernelConfig& config,
                         PerfCounters& counters) {
   WarpCost warp;
   double max_lane_issue = 0.0;
+  double sum_lane_issue = 0.0;
   std::size_t max_global_ops = 0;
+  std::size_t max_shared_ops = 0;
   std::size_t max_branch_trace = 0;
   std::uint32_t max_untracked = 0;
 
@@ -55,8 +61,10 @@ WarpCost aggregate_warp(const CostModel& cost, const KernelConfig& config,
     counters.texture_fetches += lane.texture_count();
     counters.lane_issue_cycles += issue;
 
+    sum_lane_issue += issue;
     max_lane_issue = std::max(max_lane_issue, issue);
     max_global_ops = std::max(max_global_ops, lane.global_ops().size());
+    max_shared_ops = std::max(max_shared_ops, lane.shared_words().size());
     max_branch_trace = std::max(max_branch_trace, lane.branch_trace().size());
     max_untracked = std::max(max_untracked, lane.untracked_branches());
 
@@ -69,6 +77,52 @@ WarpCost aggregate_warp(const CostModel& cost, const KernelConfig& config,
     }
   }
   warp.issue = max_lane_issue;
+  // SIMD lockstep: the warp pays max-lane issue, so the gap between the
+  // slowest lane and the lane average is issue capacity burned on idle
+  // lanes (inactive tail lanes of a partial warp included).
+  warp.divergence_issue =
+      std::max(0.0, max_lane_issue - sum_lane_issue / kWarpSize);
+
+  // Bank conflicts: align addressed shared accesses by slot index across
+  // lanes (lanes of a warp issue their k-th shared access together).
+  // Distinct 4-byte words falling into the same of the 32 banks serialize;
+  // an n-way conflict costs n - 1 extra passes. Lanes reading the same
+  // word broadcast for free.
+  for (std::size_t slot = 0; slot < max_shared_ops; ++slot) {
+    std::array<std::uint32_t, kWarpSize> words;
+    int n_words = 0;
+    for (int l = 0; l < active; ++l) {
+      const auto& lane_words = scratch.lanes[static_cast<std::size_t>(l)]
+                                   .shared_words();
+      if (slot >= lane_words.size()) {
+        continue;
+      }
+      const std::uint32_t word = lane_words[slot];
+      bool seen = false;
+      for (int s = 0; s < n_words; ++s) {
+        if (words[static_cast<std::size_t>(s)] == word) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        words[static_cast<std::size_t>(n_words++)] = word;
+      }
+    }
+    std::array<int, kSharedBanks> per_bank{};
+    int degree = 0;
+    for (int s = 0; s < n_words; ++s) {
+      const auto bank = words[static_cast<std::size_t>(s)] % kSharedBanks;
+      degree = std::max(degree, ++per_bank[static_cast<std::size_t>(bank)]);
+    }
+    const int extra = std::max(0, degree - 1);
+    if (extra > 0) {
+      counters.bank_conflicts += static_cast<std::uint64_t>(extra);
+      const double serialized = extra * cost.shared_conflict;
+      warp.issue += serialized;
+      warp.bank_conflict_issue += serialized;
+    }
+  }
 
   // Coalescing: align global accesses by slot index across lanes; lanes of
   // a warp issue their k-th access together, and distinct 128-byte segments
@@ -126,6 +180,9 @@ WarpCost aggregate_warp(const CostModel& cost, const KernelConfig& config,
 /// static: installed and consumed on the launching thread only.
 LaunchFaultHook g_launch_fault_hook;
 
+/// Innermost profile hook of this thread (see ScopedKernelProfileHook).
+thread_local ScopedKernelProfileHook* g_profile_hook = nullptr;
+
 }  // namespace
 
 ScopedLaunchFaultHook::ScopedLaunchFaultHook(LaunchFaultHook hook)
@@ -135,6 +192,19 @@ ScopedLaunchFaultHook::ScopedLaunchFaultHook(LaunchFaultHook hook)
 
 ScopedLaunchFaultHook::~ScopedLaunchFaultHook() {
   g_launch_fault_hook = std::move(previous_);
+}
+
+ScopedKernelProfileHook::ScopedKernelProfileHook(KernelProfileHook hook)
+    : hook_(std::move(hook)), prev_(g_profile_hook) {
+  g_profile_hook = this;
+}
+
+ScopedKernelProfileHook::~ScopedKernelProfileHook() {
+  g_profile_hook = prev_;
+}
+
+const KernelProfileHook* ScopedKernelProfileHook::current() {
+  return g_profile_hook == nullptr ? nullptr : &g_profile_hook->hook_;
 }
 
 LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
@@ -181,6 +251,12 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
   const double hiding =
       1.0 + spec.cost.latency_hiding_per_warp *
                 std::max(0, result.occupancy.resident_warps - 1);
+  // Hypothetical hiding pool of a fully occupied SM: the stall a launch
+  // would still see at max occupancy. The gap between stall/hiding and
+  // stall/hiding_full is the occupancy-limited loss the profiler reports.
+  const double hiding_full =
+      1.0 + spec.cost.latency_hiding_per_warp *
+                std::max(0, spec.max_warps_per_sm - 1);
 
   WarpScratch scratch;
   SharedMem shared;
@@ -203,6 +279,8 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
     }
     double block_issue = 0.0;
     double block_stall = 0.0;
+    double block_divergence = 0.0;
+    double block_conflict = 0.0;
 
     for (std::size_t phase = 0; phase < phases.size(); ++phase) {
       if (checker != nullptr) {
@@ -234,6 +312,8 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
                                              active, result.counters);
         block_issue += warp.issue;
         block_stall += warp.stall;
+        block_divergence += warp.divergence_issue;
+        block_conflict += warp.bank_conflict_issue;
       }
       if (checker != nullptr) {
         checker->end_phase();  // the block-wide barrier commits writes
@@ -246,6 +326,14 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
     const double service = block_issue / spec.cost.ipc + block_stall / hiding;
     result.block_service_cycles[static_cast<std::size_t>(b)] = service;
     result.total_service_cycles += service;
+
+    // Service-cycle decomposition (counters.h): same ipc / hiding divisors
+    // as the timing above, so issue + stall sums to total_service_cycles.
+    result.counters.issue_service_cycles += block_issue / spec.cost.ipc;
+    result.counters.stall_service_cycles += block_stall / hiding;
+    result.counters.stall_base_cycles += block_stall / hiding_full;
+    result.counters.divergence_cycles += block_divergence / spec.cost.ipc;
+    result.counters.bank_conflict_cycles += block_conflict / spec.cost.ipc;
   }
 
   result.counters.threads =
@@ -254,6 +342,10 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
                           warps_per_block * phases.size();
   if (checker != nullptr) {
     checker->end_kernel();
+  }
+  const KernelProfileHook* hook = ScopedKernelProfileHook::current();
+  if (hook != nullptr && *hook) {
+    (*hook)(spec, result);
   }
   return result;
 }

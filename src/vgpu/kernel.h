@@ -89,6 +89,36 @@ class ScopedLaunchFaultHook {
   LaunchFaultHook previous_;
 };
 
+/// Per-launch profiling seam: while a ScopedKernelProfileHook is
+/// installed on the current thread, execute_kernel invokes the callback
+/// once per successful launch with the device spec and the finished
+/// LaunchCost — after all phases ran, before returning. This is how the
+/// kernel profiler (obs/profile.h) observes every launch at the point
+/// where the caller's ambient context (trace context, profile stage
+/// scope) still names the pipeline stage issuing it, without vgpu
+/// depending on obs. Hooks nest; each restores the previous one on
+/// destruction, and only the innermost hook fires. Installing an *empty*
+/// hook therefore suppresses any outer profiler for the scope's lifetime
+/// (the profiler-off arm of bench_obs_overhead).
+struct LaunchCost;
+using KernelProfileHook =
+    std::function<void(const DeviceSpec&, const LaunchCost&)>;
+
+class ScopedKernelProfileHook {
+ public:
+  explicit ScopedKernelProfileHook(KernelProfileHook hook);
+  ~ScopedKernelProfileHook();
+  ScopedKernelProfileHook(const ScopedKernelProfileHook&) = delete;
+  ScopedKernelProfileHook& operator=(const ScopedKernelProfileHook&) = delete;
+
+  /// The innermost installed hook of this thread (nullptr when none).
+  static const KernelProfileHook* current();
+
+ private:
+  KernelProfileHook hook_;
+  ScopedKernelProfileHook* prev_;
+};
+
 /// Cost of one executed kernel launch, ready for scheduling.
 struct LaunchCost {
   KernelConfig config;

@@ -23,6 +23,7 @@ class LaneCtx {
     n_alu_ = n_fma_ = n_sfu_ = n_shared_ = n_const_ = n_tex_ = 0;
     untracked_branches_ = 0;
     global_ops_.clear();
+    shared_words_.clear();
     branch_trace_.clear();
     track_branches_ = false;
     checker_ = nullptr;
@@ -43,11 +44,12 @@ class LaneCtx {
   void global_store(std::uint64_t addr, std::uint32_t bytes) {
     global_ops_.push_back({addr, bytes, /*store=*/true});
   }
-  /// Conflict-free shared-memory access (bank conflicts are modelled only
-  /// via the kernel's choice of padding; see transpose kernel). Carries no
-  /// address, so checked execution counts it but cannot race-check it —
-  /// prefer the addressed shared_load/shared_store below in kernels that
-  /// stage data cooperatively.
+  /// Unaddressed shared-memory access: counted and costed conflict-free.
+  /// Carries no address, so checked execution cannot race-check it and
+  /// the executor cannot model bank conflicts for it — prefer the
+  /// addressed shared_load/shared_store below in kernels that stage data
+  /// cooperatively (those feed both the race shadow and the per-warp
+  /// bank-conflict model).
   void shared_access(int n = 1) {
     n_shared_ += static_cast<std::uint32_t>(n);
     if (checker_ != nullptr) {
@@ -55,17 +57,23 @@ class LaneCtx {
     }
   }
   /// Addressed shared-memory read/write of `bytes` at byte `offset` within
-  /// the block's buffer (SharedMem::offset_of). Costed exactly like one
-  /// shared_access(); additionally feeds the race/memcheck shadow when a
-  /// CheckScope is active.
+  /// the block's buffer (SharedMem::offset_of). Costed like one
+  /// shared_access() plus any bank-conflict serialization the executor
+  /// derives: lanes of a warp issue their k-th shared access together, and
+  /// distinct 4-byte words falling into the same of the 32 banks
+  /// serialize (same-word broadcast is free). Accesses wider than a word
+  /// are attributed to their first bank. Also feeds the race/memcheck
+  /// shadow when a CheckScope is active.
   void shared_load(std::size_t offset, std::uint32_t bytes) {
     ++n_shared_;
+    shared_words_.push_back(static_cast<std::uint32_t>(offset / 4));
     if (checker_ != nullptr) {
       checker_->on_shared(offset, bytes, /*store=*/false);
     }
   }
   void shared_store(std::size_t offset, std::uint32_t bytes) {
     ++n_shared_;
+    shared_words_.push_back(static_cast<std::uint32_t>(offset / 4));
     if (checker_ != nullptr) {
       checker_->on_shared(offset, bytes, /*store=*/true);
     }
@@ -129,6 +137,12 @@ class LaneCtx {
   std::uint32_t texture_count() const { return n_tex_; }
   std::uint32_t untracked_branches() const { return untracked_branches_; }
   const std::vector<GlobalOp>& global_ops() const { return global_ops_; }
+  /// 4-byte word index of each addressed shared access, in issue order
+  /// (the executor aligns these slot-wise across the warp to count bank
+  /// conflicts). Unaddressed shared_access() calls do not appear here.
+  const std::vector<std::uint32_t>& shared_words() const {
+    return shared_words_;
+  }
   const std::vector<std::uint8_t>& branch_trace() const { return branch_trace_; }
 
  private:
@@ -142,6 +156,7 @@ class LaneCtx {
   bool track_branches_ = false;
   Checker* checker_ = nullptr;
   std::vector<GlobalOp> global_ops_;
+  std::vector<std::uint32_t> shared_words_;
   std::vector<std::uint8_t> branch_trace_;
 };
 

@@ -63,6 +63,21 @@ TEST(MetricDirection, InferredFromNameConventions) {
   EXPECT_EQ(metric_direction("eval.tpr_at_0fp"), Direction::kHigherIsBetter);
   EXPECT_EQ(metric_direction("detect.frames"), Direction::kExact);
   EXPECT_EQ(metric_direction("vgpu.blocks"), Direction::kExact);
+
+  // Profile-record projections (obs/profile.h): cycle totals, conflict
+  // and transaction counts gate downward; achieved occupancy upward.
+  EXPECT_EQ(metric_direction("profile.total_cycles"),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("profile.kernel.bank_conflicts"),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("profile.kernel.global_transactions"),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(metric_direction("profile.kernel.achieved_occupancy"),
+            Direction::kHigherIsBetter);
+  // Contains both "occupancy" and "cycles": the lower-is-better cycle
+  // rule must win or occupancy regressions would read as improvements.
+  EXPECT_EQ(metric_direction("profile.kernel.occupancy_limited_cycles"),
+            Direction::kLowerIsBetter);
 }
 
 TEST(CompareRuns, TwentyPercentMakespanShiftRegresses) {

@@ -13,6 +13,16 @@
 //   fdet_report selftest                   gate logic self-check used by
 //                                          the bench_regression_gate
 //                                          ctest target
+//   fdet_report profile show <p.json>...   paper-style detection-time
+//                                          breakdown of a kernel profile
+//                                          (PROFILE_<artifact>.json from
+//                                          --profile-out)
+//   fdet_report profile diff <base> <cur>  differential profiler: gates
+//                                          per-kernel/per-stage cycles,
+//                                          conflicts and occupancy with
+//                                          the same direction-aware
+//                                          verdicts as `diff`; exit 2 on
+//                                          regression
 //
 // Exit codes: 0 success/gate-clean, 1 usage error, 2 regression gate
 // failed, 3 a run-record operand is missing or corrupt (distinct from 2
@@ -31,6 +41,7 @@
 #include "obs/compare.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/runrecord.h"
 
 namespace fdet {
@@ -411,6 +422,64 @@ int run_diff(const obs::RunRecord& baseline, const obs::RunRecord& current,
   return report.ok() ? 0 : 2;
 }
 
+/// `fdet_report profile show|diff`: the kernel-profiler views.
+/// `show` renders the paper-style detection-time breakdown
+/// (obs::render_profile_text) plus the per-metric mapping table; `diff`
+/// projects both profiles into run records (ProfileRecord::to_run_record)
+/// and reuses the direction-aware gate, so cycle/conflict/transaction
+/// growth and occupancy loss regress while improvements pass.
+int run_profile(const std::vector<std::string>& operands,
+                const obs::CompareOptions& options, bool show_unchanged) {
+  if (operands.empty()) {
+    std::fprintf(stderr, "fdet_report profile: missing subcommand "
+                         "(show|diff)\n");
+    return 1;
+  }
+  const std::string& sub = operands[0];
+  const std::vector<std::string> files(operands.begin() + 1, operands.end());
+  if (sub == "show") {
+    if (files.empty()) {
+      std::fprintf(stderr, "fdet_report profile show: no input files\n");
+      return 1;
+    }
+    for (const std::string& path : files) {
+      obs::ProfileRecord record;
+      try {
+        record = obs::ProfileRecord::load_file(path);
+      } catch (const core::CheckError& error) {
+        std::fprintf(stderr, "fdet_report: cannot load profile record: %s\n",
+                     error.what());
+        return 3;
+      }
+      std::printf("<!-- %s -->\n```\n%s```\n", path.c_str(),
+                  obs::render_profile_text(record).c_str());
+    }
+    return 0;
+  }
+  if (sub == "diff") {
+    if (files.size() != 2) {
+      std::fprintf(stderr, "fdet_report profile diff: expected "
+                           "<baseline.json> <current.json>\n");
+      return 1;
+    }
+    obs::ProfileRecord baseline;
+    obs::ProfileRecord current;
+    try {
+      baseline = obs::ProfileRecord::load_file(files[0]);
+      current = obs::ProfileRecord::load_file(files[1]);
+    } catch (const core::CheckError& error) {
+      std::fprintf(stderr, "fdet_report: cannot load profile record: %s\n",
+                   error.what());
+      return 3;
+    }
+    return run_diff(baseline.to_run_record(), current.to_run_record(),
+                    options, show_unchanged);
+  }
+  std::fprintf(stderr, "fdet_report profile: unknown subcommand '%s'\n",
+               sub.c_str());
+  return 1;
+}
+
 /// Synthetic fig5-shaped record for the gate self-check.
 obs::RunRecord synthetic_record() {
   obs::RunRecord record;
@@ -484,6 +553,8 @@ int usage() {
       "       fdet_report [flags] diff <baseline.json> <current.json>\n"
       "       fdet_report slo <BENCH_serving_slo.json>...\n"
       "       fdet_report flight <flight_dump.json>...\n"
+      "       fdet_report profile show <PROFILE_x.json>...\n"
+      "       fdet_report profile diff <baseline.json> <current.json>\n"
       "       fdet_report selftest\n"
       "flags: --threshold=R --mad-mult=M --ignore=prefix1,prefix2\n"
       "       --show-unchanged\n");
@@ -548,6 +619,9 @@ int main(int argc, char** argv) {
     }
     if (command == "slo") {
       return run_slo(operands);
+    }
+    if (command == "profile") {
+      return run_profile(operands, options, show_unchanged);
     }
     if (command == "flight") {
       return run_flight(operands);
