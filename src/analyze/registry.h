@@ -1,0 +1,35 @@
+// Production lint targets: every registered virtual-GPU kernel, wrapped in
+// a capture-ready driver. fdet_lint sweeps this registry; tests reuse it so
+// the "all production kernels lint clean" gate and the CLI agree on what
+// "all" means.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyze/analyses.h"
+
+namespace fdet::analyze {
+
+struct LintTarget {
+  /// Target group, e.g. "integral" (one driver can launch several kernels).
+  std::string name;
+  /// Global allocations the kernels address (virtual byte-offset ranges,
+  /// same convention as fdet_check) — input to the global-OOB proof.
+  std::vector<Allocation> allocations;
+  /// Suppressions registered with the target ("kind@kernel"); merged with
+  /// any the CLI passes. Empty for the shipped kernels — they lint clean.
+  std::vector<std::string> suppressions;
+  /// Launches the target's kernels. The seed must ONLY change input data,
+  /// never geometry: capture runs the driver twice and diffs the runs to
+  /// classify data dependence.
+  std::function<void(std::uint64_t seed)> driver;
+};
+
+/// All production kernels at one frame geometry: integral scan/transpose,
+/// pyramid scale + separable filters, cascade evaluation, display overlay.
+std::vector<LintTarget> production_targets(int width, int height);
+
+}  // namespace fdet::analyze

@@ -430,11 +430,12 @@ RunRecord ProfileRecord::to_run_record() const {
   record.repeats = 1;
   record.labels = labels;
 
-  const auto add = [&record](std::string name, Labels labels, double value) {
+  const auto add = [&record](std::string name, Labels series_labels,
+                             double value) {
     MetricSeries series;
     series.name = std::move(name);
     series.kind = "gauge";
-    series.labels = std::move(labels);
+    series.labels = std::move(series_labels);
     series.samples = {value};
     series.median = value;
     series.mad = 0.0;

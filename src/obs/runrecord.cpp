@@ -34,8 +34,8 @@ double mad_of(const std::vector<double>& values, double center) {
 }
 
 const MetricSeries* RunRecord::find(std::string_view name,
-                                    const Labels& labels) const {
-  const std::string label_key = format_labels(labels);
+                                    const Labels& match_labels) const {
+  const std::string label_key = format_labels(match_labels);
   for (const MetricSeries& series : metrics) {
     if (series.name == name && format_labels(series.labels) == label_key) {
       return &series;

@@ -73,7 +73,8 @@ struct RunRecord {
   std::vector<MetricSeries> metrics;  ///< sorted by (name, labels)
 
   /// Series lookup by exact (name, labels) identity; nullptr when absent.
-  const MetricSeries* find(std::string_view name, const Labels& labels) const;
+  const MetricSeries* find(std::string_view name,
+                           const Labels& match_labels) const;
 
   json::Value to_json() const;
   std::string dump() const;  ///< to_json().dump()

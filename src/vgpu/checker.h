@@ -47,6 +47,7 @@
 
 #include "vgpu/device.h"
 #include "vgpu/dim.h"
+#include "vgpu/tap.h"
 
 namespace fdet::vgpu {
 
@@ -119,33 +120,44 @@ struct CheckOptions {
   bool check_shared_declaration = true;
 };
 
-/// The verification engine. The executor drives it through the begin/on/end
-/// hooks below when a CheckScope is active; most callers never touch it
-/// directly and read CheckScope::reports() instead.
-class Checker {
+/// The verification engine — one of the two LaunchTap implementations
+/// (vgpu/tap.h; the other is the static analyzer's capture engine). The
+/// executor drives it through the begin/on/end hooks when a CheckScope is
+/// active; most callers never touch it directly and read
+/// CheckScope::reports() instead.
+class Checker : public LaunchTap {
  public:
   explicit Checker(CheckOptions options = {});
 
   // --- executor hooks (one kernel launch at a time) ---------------------
-  void begin_kernel(const DeviceSpec& spec, const KernelConfig& config);
-  void begin_block(const Dim3& block_id);
-  void begin_phase(int phase);
-  void begin_lane(const Dim3& thread);
+  void begin_kernel(const DeviceSpec& spec,
+                    const KernelConfig& config) override;
+  void begin_block(const Dim3& block_id) override;
+  void begin_phase(int phase) override;
+  void begin_lane(const Dim3& thread) override;
   /// SharedMem::array landed a carve at [offset, offset+bytes).
-  void on_carve(std::size_t offset, std::size_t bytes, std::size_t alignment);
+  void on_carve(std::size_t offset, std::size_t bytes,
+                std::size_t alignment) override;
   /// Attributed shared access from LaneCtx::shared_load/shared_store.
-  void on_shared(std::size_t offset, std::uint32_t bytes, bool store);
+  void on_shared(std::size_t offset, std::uint32_t bytes,
+                 bool store) override;
   /// Legacy LaneCtx::shared_access(n) — costed but not race-checkable.
-  void on_unattributed_shared(std::uint32_t n);
+  void on_unattributed_shared(std::uint32_t n) override;
   /// Lane finished: memcheck its recorded global ops.
-  void end_lane(const LaneCtx& lane);
-  void end_phase();
-  void end_kernel();
+  void end_lane(const LaneCtx& lane) override;
+  void end_phase() override;
+  void end_kernel() override;
 
   /// Shared buffer size for checked blocks: the full per-SM capacity, so a
   /// carve escaping the declared footprint still lands in real storage and
   /// is reported instead of crashing.
   std::size_t checked_shared_capacity() const;
+  std::size_t shared_capacity_override() const override {
+    return checked_shared_capacity();
+  }
+  /// Resource-limit violations (constant overflow) become hazards, not
+  /// throws.
+  bool absorbs_resource_faults() const override { return true; }
 
   /// Replaces the registered allocations (between launches; fdet_check
   /// re-registers per kernel because the offset address spaces overlap).

@@ -77,7 +77,8 @@ struct PerfCounters {
       return 1.0;
     }
     const double eff =
-        1.0 - static_cast<double>(divergent_branches) / warp_branches;
+        1.0 - static_cast<double>(divergent_branches) /
+                  static_cast<double>(warp_branches);
     return std::clamp(eff, 0.0, 1.0);
   }
 
@@ -93,7 +94,8 @@ struct PerfCounters {
   /// DRAM read throughput in bytes/second for a given kernel duration.
   /// Zero-duration (or negative) intervals yield 0 rather than infinity.
   double dram_read_throughput(double seconds) const {
-    return seconds <= 0.0 ? 0.0 : global_read_bytes / seconds;
+    return seconds <= 0.0 ? 0.0
+                          : static_cast<double>(global_read_bytes) / seconds;
   }
 
   /// Arithmetic ops charged to the launch (roofline numerator).

@@ -220,18 +220,31 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
       << "kernel '" << config.name << "': " << threads_per_block
       << " threads per block";
 
-  // Opt-in verification (vgpu/checker.h): an active CheckScope turns this
-  // launch into a checked execution. The checker absorbs resource-limit
-  // violations as reported hazards; unchecked launches fail fast.
+  // Opt-in instrumentation (vgpu/tap.h): an active CheckScope turns this
+  // launch into a checked execution; an active capture tap records it as
+  // a kernel IR for the static analyzer. Precedence when both are
+  // installed: the CHECKER wins — the capture tap is notified once and
+  // sees none of the launch's events (checker/analyzer overlap seam).
   Checker* const checker = active_checker();
-  if (checker == nullptr) {
+  LaunchTap* tap = active_tap();
+  if (checker != nullptr) {
+    if (tap != nullptr) {
+      tap->on_shadowed_launch(config);
+    }
+    tap = checker;
+  }
+  if (tap == nullptr || !tap->absorbs_resource_faults()) {
     FDET_CHECK(config.constant_bytes <= spec.constant_mem_bytes)
         << "kernel '" << config.name << "' needs " << config.constant_bytes
         << " bytes of constant memory but device '" << spec.name
         << "' provides " << spec.constant_mem_bytes;
-  } else {
-    checker->begin_kernel(spec, config);
   }
+  if (tap != nullptr) {
+    tap->begin_kernel(spec, config);
+  }
+  const bool track_branches =
+      config.track_branches ||
+      (tap != nullptr && tap->wants_branch_tracking());
 
   LaunchCost result;
   result.config = config;
@@ -270,12 +283,12 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
     coord.block_id.y = static_cast<int>((b / config.grid.x) % config.grid.y);
     coord.block_id.z = static_cast<int>(b / (static_cast<std::int64_t>(config.grid.x) * config.grid.y));
 
-    if (checker == nullptr) {
+    if (tap == nullptr) {
       shared.reset(static_cast<std::size_t>(config.shared_bytes));
     } else {
-      checker->begin_block(coord.block_id);
+      tap->begin_block(coord.block_id);
       shared.reset_checked(static_cast<std::size_t>(config.shared_bytes),
-                           checker);
+                           tap);
     }
     double block_issue = 0.0;
     double block_stall = 0.0;
@@ -283,8 +296,8 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
     double block_conflict = 0.0;
 
     for (std::size_t phase = 0; phase < phases.size(); ++phase) {
-      if (checker != nullptr) {
-        checker->begin_phase(static_cast<int>(phase));
+      if (tap != nullptr) {
+        tap->begin_phase(static_cast<int>(phase));
       }
       for (int w = 0; w < warps_per_block; ++w) {
         const int first_thread = w * kWarpSize;
@@ -297,15 +310,15 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
           coord.thread.z = t / (config.block.x * config.block.y);
           LaneCtx& lane = scratch.lanes[static_cast<std::size_t>(l)];
           lane.reset();
-          lane.set_track_branches(config.track_branches);
-          if (checker != nullptr) {
-            checker->begin_lane(coord.thread);
-            lane.set_checker(checker);
+          lane.set_track_branches(track_branches);
+          if (tap != nullptr) {
+            tap->begin_lane(coord.thread);
+            lane.set_tap(tap);
           }
           shared.rewind();
           phases[phase](coord, lane, shared);
-          if (checker != nullptr) {
-            checker->end_lane(lane);
+          if (tap != nullptr) {
+            tap->end_lane(lane);
           }
         }
         const WarpCost warp = aggregate_warp(spec.cost, config, scratch,
@@ -315,8 +328,8 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
         block_divergence += warp.divergence_issue;
         block_conflict += warp.bank_conflict_issue;
       }
-      if (checker != nullptr) {
-        checker->end_phase();  // the block-wide barrier commits writes
+      if (tap != nullptr) {
+        tap->end_phase();  // the block-wide barrier commits writes
       }
       if (phase + 1 < phases.size()) {
         block_issue += warps_per_block * spec.cost.sync;  // __syncthreads
@@ -340,8 +353,8 @@ LaunchCost execute_kernel(const DeviceSpec& spec, const KernelConfig& config,
       static_cast<std::uint64_t>(num_blocks) * threads_per_block;
   result.counters.warps = static_cast<std::uint64_t>(num_blocks) *
                           warps_per_block * phases.size();
-  if (checker != nullptr) {
-    checker->end_kernel();
+  if (tap != nullptr) {
+    tap->end_kernel();
   }
   const KernelProfileHook* hook = ScopedKernelProfileHook::current();
   if (hook != nullptr && *hook) {

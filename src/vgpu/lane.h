@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "vgpu/checker.h"
+#include "vgpu/tap.h"
 
 namespace fdet::vgpu {
 
@@ -26,7 +26,7 @@ class LaneCtx {
     shared_words_.clear();
     branch_trace_.clear();
     track_branches_ = false;
-    checker_ = nullptr;
+    tap_ = nullptr;
   }
 
   // --- arithmetic -----------------------------------------------------
@@ -52,8 +52,8 @@ class LaneCtx {
   /// bank-conflict model).
   void shared_access(int n = 1) {
     n_shared_ += static_cast<std::uint32_t>(n);
-    if (checker_ != nullptr) {
-      checker_->on_unattributed_shared(static_cast<std::uint32_t>(n));
+    if (tap_ != nullptr) {
+      tap_->on_unattributed_shared(static_cast<std::uint32_t>(n));
     }
   }
   /// Addressed shared-memory read/write of `bytes` at byte `offset` within
@@ -67,15 +67,15 @@ class LaneCtx {
   void shared_load(std::size_t offset, std::uint32_t bytes) {
     ++n_shared_;
     shared_words_.push_back(static_cast<std::uint32_t>(offset / 4));
-    if (checker_ != nullptr) {
-      checker_->on_shared(offset, bytes, /*store=*/false);
+    if (tap_ != nullptr) {
+      tap_->on_shared(offset, bytes, /*store=*/false);
     }
   }
   void shared_store(std::size_t offset, std::uint32_t bytes) {
     ++n_shared_;
     shared_words_.push_back(static_cast<std::uint32_t>(offset / 4));
-    if (checker_ != nullptr) {
-      checker_->on_shared(offset, bytes, /*store=*/true);
+    if (tap_ != nullptr) {
+      tap_->on_shared(offset, bytes, /*store=*/true);
     }
   }
   /// Convenience: report the access for one element of a SharedMem span,
@@ -126,9 +126,10 @@ class LaneCtx {
   };
 
   void set_track_branches(bool on) { track_branches_ = on; }
-  /// Attaches the verification engine for checked execution (reset()
-  /// detaches); the executor wires this when a CheckScope is active.
-  void set_checker(Checker* checker) { checker_ = checker; }
+  /// Attaches the active launch tap — the verification engine under a
+  /// CheckScope, or the analyzer's capture engine (reset() detaches); the
+  /// executor wires exactly one per launch (precedence in vgpu/tap.h).
+  void set_tap(LaunchTap* tap) { tap_ = tap; }
   std::uint32_t alu_count() const { return n_alu_; }
   std::uint32_t fma_count() const { return n_fma_; }
   std::uint32_t sfu_count() const { return n_sfu_; }
@@ -154,7 +155,7 @@ class LaneCtx {
   std::uint32_t n_tex_ = 0;
   std::uint32_t untracked_branches_ = 0;
   bool track_branches_ = false;
-  Checker* checker_ = nullptr;
+  LaunchTap* tap_ = nullptr;
   std::vector<GlobalOp> global_ops_;
   std::vector<std::uint32_t> shared_words_;
   std::vector<std::uint8_t> branch_trace_;

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/check.h"
-#include "vgpu/checker.h"
+#include "vgpu/tap.h"
 
 namespace fdet::vgpu {
 
@@ -22,18 +22,18 @@ class SharedMem {
   /// Reinitializes for a new block with `bytes` of zeroed storage.
   void reset(std::size_t bytes) {
     buffer_.assign(bytes, std::byte{0});
-    checker_ = nullptr;
+    tap_ = nullptr;
     cursor_ = 0;
   }
 
-  /// Checked-mode reinitialization: the buffer spans the whole SM capacity
-  /// so carves escaping the declared footprint still land in real storage
-  /// and are *reported* by the checker instead of crashing the run.
-  void reset_checked(std::size_t declared_bytes, Checker* checker) {
-    buffer_.assign(std::max(declared_bytes,
-                            checker->checked_shared_capacity()),
+  /// Instrumented reinitialization (checker or capture tap, vgpu/tap.h):
+  /// the buffer may span the whole SM capacity so carves escaping the
+  /// declared footprint still land in real storage and are *reported*
+  /// instead of crashing the run.
+  void reset_checked(std::size_t declared_bytes, LaunchTap* tap) {
+    buffer_.assign(std::max(declared_bytes, tap->shared_capacity_override()),
                    std::byte{0});
-    checker_ = checker;
+    tap_ = tap;
     cursor_ = 0;
   }
 
@@ -52,8 +52,8 @@ class SharedMem {
     FDET_CHECK(aligned + bytes <= buffer_.size())
         << "shared memory overflow: need " << aligned + bytes << " have "
         << buffer_.size();
-    if (checker_ != nullptr) {
-      checker_->on_carve(aligned, bytes, alignof(T));
+    if (tap_ != nullptr) {
+      tap_->on_carve(aligned, bytes, alignof(T));
     }
     cursor_ = aligned + bytes;
     return {reinterpret_cast<T*>(buffer_.data() + aligned), count};
@@ -80,7 +80,7 @@ class SharedMem {
 
   std::vector<std::byte> buffer_;
   std::size_t cursor_ = 0;
-  Checker* checker_ = nullptr;
+  LaunchTap* tap_ = nullptr;
 };
 
 }  // namespace fdet::vgpu

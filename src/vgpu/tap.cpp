@@ -1,0 +1,19 @@
+#include "vgpu/tap.h"
+
+#include <utility>
+
+namespace fdet::vgpu {
+namespace {
+
+thread_local LaunchTap* g_active_tap = nullptr;
+
+}  // namespace
+
+ScopedLaunchTap::ScopedLaunchTap(LaunchTap* tap)
+    : previous_(std::exchange(g_active_tap, tap)) {}
+
+ScopedLaunchTap::~ScopedLaunchTap() { g_active_tap = previous_; }
+
+LaunchTap* active_tap() { return g_active_tap; }
+
+}  // namespace fdet::vgpu

@@ -1,0 +1,112 @@
+// Launch-instrumentation seam shared by the dynamic checker and the
+// static analyzer's capture mode.
+//
+// The executor (kernel.cpp) funnels every instrumentation point of a
+// launch — kernel/block/phase/lane boundaries, SharedMem carves,
+// attributed shared accesses, finished lane traces — through at most ONE
+// LaunchTap. Two kinds of tap exist:
+//
+//   * the verification engine (vgpu/checker.h, installed by CheckScope),
+//     which shadows accesses for racecheck/memcheck hazards, and
+//   * the symbolic capture engine (analyze/capture.h, installed by
+//     analyze::CaptureScope), which records lane programs as a kernel IR
+//     for the static access-pattern lint.
+//
+// Precedence rule (the checker/analyzer overlap seam): when both a
+// CheckScope and a capture tap are active on the calling thread, the
+// CHECKER WINS — the launch runs checked exactly as if no capture were
+// installed, and the capture tap is told via on_shadowed_launch() so it
+// can account for the launch it did not observe instead of silently
+// producing a partial IR. The two engines never both receive hooks for
+// one launch: the checker owns LaneCtx/SharedMem attribution, dual
+// delivery would double-count and is deliberately unsupported.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vgpu/dim.h"
+
+namespace fdet::vgpu {
+
+class LaneCtx;
+struct DeviceSpec;
+struct KernelConfig;
+
+/// Executor-side instrumentation interface. All hooks default to no-ops
+/// so a tap only overrides the events it consumes. Hook order per launch:
+///   begin_kernel
+///     per block: begin_block, per phase: begin_phase,
+///       per lane: begin_lane, {on_carve | on_shared |
+///       on_unattributed_shared}*, end_lane,
+///     end_phase (the block-wide barrier)
+///   end_kernel
+class LaunchTap {
+ public:
+  LaunchTap() = default;
+  LaunchTap(const LaunchTap&) = delete;
+  LaunchTap& operator=(const LaunchTap&) = delete;
+  virtual ~LaunchTap() = default;
+
+  virtual void begin_kernel(const DeviceSpec& spec,
+                            const KernelConfig& config) = 0;
+  virtual void begin_block(const Dim3& block_id) = 0;
+  virtual void begin_phase(int phase) = 0;
+  virtual void begin_lane(const Dim3& thread) = 0;
+  /// SharedMem::array landed a carve at [offset, offset+bytes).
+  virtual void on_carve(std::size_t offset, std::size_t bytes,
+                        std::size_t alignment) = 0;
+  /// Attributed shared access from LaneCtx::shared_load/shared_store.
+  virtual void on_shared(std::size_t offset, std::uint32_t bytes,
+                         bool store) = 0;
+  /// Legacy LaneCtx::shared_access(n) — costed but address-free.
+  virtual void on_unattributed_shared(std::uint32_t n) = 0;
+  /// Lane finished: its LaneCtx still holds the recorded global ops and
+  /// branch trace.
+  virtual void end_lane(const LaneCtx& lane) = 0;
+  virtual void end_phase() = 0;
+  virtual void end_kernel() = 0;
+
+  /// Called instead of the hooks above when this tap lost the precedence
+  /// race: a checker was also active, owns the launch, and this tap will
+  /// see none of its events.
+  virtual void on_shadowed_launch(const KernelConfig& config) { (void)config; }
+
+  /// Size (in bytes) the executor should give each block's SharedMem
+  /// buffer instead of the declared footprint; 0 keeps the declared size.
+  /// The checker returns the full per-SM capacity so escaping carves are
+  /// reported rather than fatal; capture does the same so a defective
+  /// kernel can still be recorded.
+  virtual std::size_t shared_capacity_override() const { return 0; }
+
+  /// True when the tap absorbs launch-time resource violations (constant
+  /// memory overflow) as findings instead of letting execute_kernel throw.
+  virtual bool absorbs_resource_faults() const { return false; }
+
+  /// True to force per-lane branch tracking for the launch even when the
+  /// kernel config leaves it off — capture needs outcome traces to
+  /// classify branches; costs derived under a tap are discarded anyway.
+  virtual bool wants_branch_tracking() const { return false; }
+};
+
+/// RAII installer for the calling thread's capture-side tap. Scopes nest
+/// (the previous tap is restored on destruction). The checker does NOT
+/// use this seam — CheckScope has its own thread-local slot — which is
+/// what makes the precedence rule above enforceable in one place
+/// (execute_kernel) instead of at every install site.
+class ScopedLaunchTap {
+ public:
+  explicit ScopedLaunchTap(LaunchTap* tap);
+  ~ScopedLaunchTap();
+  ScopedLaunchTap(const ScopedLaunchTap&) = delete;
+  ScopedLaunchTap& operator=(const ScopedLaunchTap&) = delete;
+
+ private:
+  LaunchTap* previous_;
+};
+
+/// The calling thread's installed capture tap, or nullptr. The executor
+/// consults this once per launch, after active_checker().
+LaunchTap* active_tap();
+
+}  // namespace fdet::vgpu

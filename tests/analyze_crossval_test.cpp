@@ -1,0 +1,171 @@
+// Cross-validation of the static traffic predictions (analyze/analyses.h)
+// against the executor's measured PerfCounters. The prediction replicates
+// the executor's slot-aligned dedup/bank/segment arithmetic from affine
+// forms, so:
+//   - when every slot is predictable (full participation, affine, data
+//     independent) the prediction must EQUAL the measured counter;
+//   - otherwise it must be a lower bound (skipped slots only add traffic).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/analyses.h"
+#include "analyze/capture.h"
+#include "core/rng.h"
+#include "detect/kernels.h"
+#include "haar/encoding.h"
+#include "haar/profile.h"
+#include "img/image.h"
+#include "integral/gpu.h"
+#include "integral/integral.h"
+#include "vgpu/kernel.h"
+
+namespace fdet::analyze {
+namespace {
+
+const vgpu::DeviceSpec kSpec;
+
+img::ImageU8 random_u8(int w, int h, std::uint64_t seed) {
+  core::Rng rng(seed);
+  img::ImageU8 im(w, h);
+  for (auto& p : im.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return im;
+}
+
+img::ImageI32 random_i32(int w, int h, std::uint64_t seed) {
+  core::Rng rng(seed);
+  img::ImageI32 im(w, h);
+  for (auto& p : im.pixels()) {
+    p = rng.uniform_int(0, 255);
+  }
+  return im;
+}
+
+TEST(AnalyzeCrossval, TransposePredictionEqualsMeasuredCounters) {
+  // 128x64 is a multiple of the 32x32 tile on both axes: every guard
+  // passes, every slot has full participation and affine indices, so both
+  // predictions are complete and must match the executor exactly —
+  // including zero bank conflicts from the stride-33 tile padding.
+  constexpr int kW = 128;
+  constexpr int kH = 64;
+  const img::ImageI32 input = random_i32(kW, kH, 7);
+  img::ImageI32 output(kH, kW);
+  const vgpu::LaunchCost measured =
+      integral::transpose_gpu(kSpec, input, output);
+
+  const std::vector<KernelIR> irs =
+      capture_kernels([](std::uint64_t seed) {
+        const img::ImageI32 in = random_i32(kW, kH, seed);
+        img::ImageI32 out(kH, kW);
+        integral::transpose_gpu(kSpec, in, out);
+      });
+  ASSERT_EQ(irs.size(), 1u);
+
+  const PredictedTraffic traffic = predict_traffic(irs.front());
+  EXPECT_TRUE(traffic.shared_complete);
+  EXPECT_TRUE(traffic.global_complete);
+  EXPECT_EQ(traffic.skipped_slots, 0);
+  EXPECT_EQ(traffic.bank_conflicts, measured.counters.bank_conflicts);
+  EXPECT_EQ(traffic.bank_conflicts, 0u);  // the padding idiom works
+  EXPECT_EQ(traffic.global_transactions,
+            measured.counters.global_transactions);
+  EXPECT_GT(traffic.global_transactions, 0u);
+}
+
+TEST(AnalyzeCrossval, ScanRowsGlobalPredictionExactSharedLowerBound) {
+  // Width 1024 = 256 threads x chunk 4: every load/store guard passes, so
+  // the two global phases are fully predictable — transaction equality.
+  // The Hillis-Steele tree phases are guarded (lane >= offset), partial
+  // participation, so the conflict prediction is an incomplete lower
+  // bound; the phase-1 chunk scan alone (full participation, words
+  // 4*tid+i) already contributes degree-4 conflicts, making the bound
+  // provably nonzero.
+  constexpr int kW = 1024;
+  constexpr int kH = 4;
+  const img::ImageI32 input = random_i32(kW, kH, 11);
+  img::ImageI32 output(kW, kH);
+  const vgpu::LaunchCost measured =
+      integral::scan_rows_gpu(kSpec, input, output);
+
+  const std::vector<KernelIR> irs =
+      capture_kernels([](std::uint64_t seed) {
+        const img::ImageI32 in = random_i32(kW, kH, seed);
+        img::ImageI32 out(kW, kH);
+        integral::scan_rows_gpu(kSpec, in, out);
+      });
+  ASSERT_EQ(irs.size(), 1u);
+
+  const PredictedTraffic traffic = predict_traffic(irs.front());
+  EXPECT_TRUE(traffic.global_complete);
+  EXPECT_EQ(traffic.global_transactions,
+            measured.counters.global_transactions);
+  EXPECT_GT(traffic.global_transactions, 0u);
+
+  EXPECT_FALSE(traffic.shared_complete);
+  EXPECT_GT(traffic.bank_conflicts, 0u);  // chunk-scan degree-4 conflicts
+  EXPECT_LE(traffic.bank_conflicts, measured.counters.bank_conflicts);
+}
+
+TEST(AnalyzeCrossval, CascadePredictionsAreLowerBounds) {
+  // The cascade kernel mixes border-guarded tile loads with data-dependent
+  // feature fetches: predictions cannot be complete, but they must stay
+  // at or below the measured counters.
+  constexpr int kW = 64;
+  constexpr int kH = 48;
+  const haar::Cascade cascade = haar::build_profile_cascade(
+      "crossval", std::vector<int>{6, 8}, /*seed=*/42);
+  const haar::ConstantBank bank = haar::ConstantBank::build(cascade);
+
+  const auto ii = integral::integral_cpu(random_u8(kW, kH, 13));
+  detect::CascadeKernelOutput out;
+  const vgpu::LaunchCost measured = detect::cascade_kernel(
+      kSpec, bank, ii, out, detect::CascadeKernelOptions{}, "cascade");
+
+  const std::vector<KernelIR> irs =
+      capture_kernels([&bank](std::uint64_t seed) {
+        const auto integral = integral::integral_cpu(random_u8(kW, kH, seed));
+        detect::CascadeKernelOutput o;
+        detect::cascade_kernel(kSpec, bank, integral,
+                               o, detect::CascadeKernelOptions{}, "cascade");
+      });
+  ASSERT_EQ(irs.size(), 1u);
+
+  const PredictedTraffic traffic = predict_traffic(irs.front());
+  EXPECT_GT(traffic.skipped_slots, 0);
+  EXPECT_LE(traffic.bank_conflicts, measured.counters.bank_conflicts);
+  EXPECT_LE(traffic.global_transactions,
+            measured.counters.global_transactions);
+}
+
+TEST(AnalyzeCrossval, SyntheticConflictKernelPredictsExactDegree) {
+  // Stride-8 shared reads over one warp: lanes 0..31 hit words {0, 8, ...,
+  // 248}; words map onto banks {0, 8, 16, 24}, eight distinct words each,
+  // so the issue serializes at degree 8 = 7 extra passes (the executor
+  // charges max-degree per slot issue). Fully predictable, so equality.
+  const vgpu::KernelConfig config{.name = "stride8",
+                                  .grid = {1, 1, 1},
+                                  .block = {32, 1, 1},
+                                  .shared_bytes = 32 * 8 * 4};
+  const auto phase = [](const vgpu::ThreadCoord& t, vgpu::LaneCtx& ctx,
+                        vgpu::SharedMem&) {
+    ctx.shared_load(static_cast<std::size_t>(t.thread.x) * 8 * 4, 4);
+  };
+  const vgpu::LaunchCost measured = vgpu::execute_kernel(kSpec, config, phase);
+
+  const std::vector<KernelIR> irs =
+      capture_kernels([&config, &phase](std::uint64_t /*seed*/) {
+        vgpu::execute_kernel(kSpec, config, phase);
+      });
+  ASSERT_EQ(irs.size(), 1u);
+
+  const PredictedTraffic traffic = predict_traffic(irs.front());
+  EXPECT_TRUE(traffic.shared_complete);
+  EXPECT_EQ(traffic.bank_conflicts, measured.counters.bank_conflicts);
+  EXPECT_EQ(traffic.bank_conflicts, 7u);
+}
+
+}  // namespace
+}  // namespace fdet::analyze

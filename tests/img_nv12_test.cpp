@@ -34,7 +34,7 @@ TEST(Nv12Frame, DefaultConstructedFrameIsEmpty) {
 }
 
 TEST(Nv12Frame, RejectsZeroAndNegativeDimensionsNamingTheGeometry) {
-  for (const auto [w, h] : {std::pair{0, 48}, {64, 0}, {-2, 48}, {64, -4}}) {
+  for (const auto& [w, h] : {std::pair{0, 48}, {64, 0}, {-2, 48}, {64, -4}}) {
     try {
       const Nv12Frame frame(w, h);
       FAIL() << "expected CheckError for " << w << "x" << h;

@@ -1,0 +1,338 @@
+// fdet_lint — static kernel analyzer for the virtual GPU. Captures every
+// registered production kernel's lane program as a symbolic IR
+// (analyze/capture.h) and runs the static analyses (analyze/analyses.h):
+// shared/global out-of-bounds proofs, barrier-divergence detection,
+// bank-conflict degree and coalescing predictions, dead-shared-write and
+// occupancy advisories — no kernel code is trusted, no data is executed
+// twice beyond the two capture seeds.
+//
+//   fdet_lint                      lint the production kernels across the
+//                                  geometry sweep (base + odd-sized frame)
+//   fdet_lint --seeded             run the seeded-defect corpus: each
+//                                  planted bug must produce its expected
+//                                  finding kind (CI proof of detection)
+//   fdet_lint --suppress=k@n,...   extra suppressions (kind@kernel or
+//                                  kind@*) on top of registry ones
+//   fdet_lint --metrics-out=f      export analyze.lint.* metrics, which
+//                                  `fdet_report lint` renders as a table
+//
+// Exit codes: 0 production kernels clean, 1 usage error, 2 findings
+// (for --seeded: 2 means every planted defect was detected — the gate
+// asserts exit 2; a missed defect exits 4).
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyses.h"
+#include "analyze/capture.h"
+#include "analyze/registry.h"
+#include "analyze/report.h"
+#include "core/check.h"
+#include "core/cli.h"
+#include "core/rng.h"
+#include "core/table.h"
+#include "obs/metrics.h"
+#include "vgpu/kernel.h"
+
+namespace fdet {
+namespace {
+
+std::vector<std::string> split_commas(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream stream(csv);
+  for (std::string item; std::getline(stream, item, ',');) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+// --- production sweep ---------------------------------------------------
+
+std::vector<analyze::KernelLintResult> lint_geometry(
+    int width, int height, const std::vector<std::string>& cli_suppressions,
+    int& shadowed_launches) {
+  std::vector<analyze::KernelLintResult> results;
+  for (analyze::LintTarget& target : analyze::production_targets(width, height)) {
+    int shadowed = 0;
+    const std::vector<analyze::KernelIR> irs = analyze::capture_kernels(
+        target.driver, /*seed_a=*/0x5eed0001, /*seed_b=*/0x5eed0002,
+        analyze::CaptureOptions{}, &shadowed);
+    shadowed_launches += shadowed;
+    analyze::AnalysisOptions options;
+    options.allocations = target.allocations;
+    std::vector<std::string> suppressions = target.suppressions;
+    suppressions.insert(suppressions.end(), cli_suppressions.begin(),
+                        cli_suppressions.end());
+    for (const analyze::KernelIR& ir : irs) {
+      std::vector<analyze::Finding> findings =
+          analyze::analyze_kernel(ir, options);
+      analyze::apply_suppressions(findings, suppressions);
+      results.push_back(
+          analyze::summarize(target.name, ir, std::move(findings)));
+    }
+  }
+  return results;
+}
+
+int run_production(int width, int height, bool sweep,
+                   const std::string& suppress,
+                   const std::string& metrics_out) {
+  const std::vector<std::string> cli_suppressions = split_commas(suppress);
+  std::vector<std::pair<int, int>> geometries = {{width, height}};
+  if (sweep) {
+    // Odd frame: ragged last blocks on every axis, odd strides — the
+    // geometry where off-by-one index bugs surface.
+    geometries.emplace_back(width + 5, height - 3 - height % 2);
+  }
+
+  std::vector<analyze::KernelLintResult> results;
+  int shadowed = 0;
+  for (const auto& [w, h] : geometries) {
+    std::printf("## lint sweep at %dx%d\n", w, h);
+    const auto geometry_results = lint_geometry(w, h, cli_suppressions,
+                                                shadowed);
+    analyze::print_lint_table(std::cout, geometry_results);
+    results.insert(results.end(), geometry_results.begin(),
+                   geometry_results.end());
+  }
+  std::printf("\n");
+  analyze::print_findings(std::cout, results);
+
+  if (!metrics_out.empty()) {
+    obs::Registry registry;
+    analyze::publish_lint_results(registry, results);
+    registry.write_file(metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+
+  int gating = 0;
+  for (const analyze::KernelLintResult& r : results) {
+    gating += analyze::active_findings(r.findings);
+  }
+  if (shadowed > 0) {
+    std::printf(
+        "WARNING: %d launches ran under an active CheckScope and were not "
+        "captured (checker precedence, vgpu/tap.h) — lint coverage is "
+        "incomplete\n",
+        shadowed);
+    gating += shadowed;
+  }
+  std::printf("%zu kernel launches analyzed: %s\n", results.size(),
+              gating == 0 ? "ALL CLEAN" : "FINDINGS");
+  return gating == 0 ? 0 : 2;
+}
+
+// --- seeded-defect corpus -----------------------------------------------
+
+struct SeededDefect {
+  std::string name;
+  analyze::FindingKind expected;
+  std::vector<analyze::Finding> findings;
+};
+
+/// Captures one single-kernel driver under both seeds and analyzes it.
+template <typename Driver>
+std::vector<analyze::Finding> capture_and_analyze(
+    Driver&& driver, const analyze::AnalysisOptions& options = {}) {
+  const std::vector<analyze::KernelIR> irs =
+      analyze::capture_kernels(std::forward<Driver>(driver));
+  FDET_CHECK(irs.size() == 1) << "seeded defect must launch exactly once";
+  return analyze::analyze_kernel(irs.front(), options);
+}
+
+std::vector<SeededDefect> lint_seeded() {
+  using vgpu::KernelConfig;
+  using vgpu::LaneCtx;
+  using vgpu::SharedMem;
+  using vgpu::ThreadCoord;
+  const vgpu::DeviceSpec spec;
+  std::vector<SeededDefect> defects;
+
+  // Off-by-one shared read: every lane of an odd-sized block reads its
+  // right neighbour's word — the last lane's read lands one word past the
+  // declared footprint. The analyzer must PROVE this from the affine form
+  // (the capture seeds never change the address).
+  {
+    constexpr int kLanes = 33;  // odd block: the ragged case the sweep hunts
+    const KernelConfig config{.name = "seeded_oob",
+                              .grid = {1, 1, 1},
+                              .block = {kLanes, 1, 1},
+                              .shared_bytes = kLanes * 4};
+    defects.push_back(
+        {"shared off-by-one at odd block dim",
+         analyze::FindingKind::kSharedOutOfBounds,
+         capture_and_analyze([&spec, &config](std::uint64_t /*seed*/) {
+           vgpu::execute_kernel(
+               spec, config,
+               [](const ThreadCoord& t, LaneCtx& ctx, SharedMem&) {
+                 // Raw offset report: the planted bug is the index math,
+                 // not a host access, so no real span is dereferenced.
+                 ctx.shared_load(
+                     (static_cast<std::size_t>(t.thread.x) + 1) * 4, 4);
+               });
+         })});
+  }
+
+  // Barrier divergence: lanes store to shared memory only when their
+  // input byte passes a threshold, then every lane reads after the
+  // barrier. The writing lane set follows the data.
+  {
+    const KernelConfig config{.name = "seeded_barrier",
+                              .grid = {1, 1, 1},
+                              .block = {32, 1, 1},
+                              .shared_bytes = 32 * 4,
+                              .track_branches = true};
+    defects.push_back(
+        {"barrier in data-dependent branch",
+         analyze::FindingKind::kBarrierDivergence,
+         capture_and_analyze([&spec, &config](std::uint64_t seed) {
+           core::Rng rng(seed);
+           std::vector<int> input(32);
+           for (int& v : input) {
+             v = rng.uniform_int(0, 255);
+           }
+           const vgpu::PhaseFn produce = [&input](const ThreadCoord& t,
+                                                  LaneCtx& ctx, SharedMem&) {
+             const bool hot = input[static_cast<std::size_t>(t.thread.x)] > 127;
+             ctx.branch(hot);
+             if (hot) {
+               ctx.shared_store(static_cast<std::size_t>(t.thread.x) * 4, 4);
+             }
+           };
+           const vgpu::PhaseFn consume = [](const ThreadCoord& t, LaneCtx& ctx,
+                                            SharedMem&) {
+             ctx.shared_load(static_cast<std::size_t>(t.thread.x) * 4, 4);
+           };
+           const std::vector<vgpu::PhaseFn> phases = {produce, consume};
+           vgpu::execute_kernel(spec, config,
+                                std::span<const vgpu::PhaseFn>(phases));
+         })});
+  }
+
+  // Stride-32 shared access: every lane of the warp hits bank 0 — the
+  // worst-case 32-way serialization the padding idiom exists to avoid.
+  {
+    const KernelConfig config{.name = "seeded_stride",
+                              .grid = {1, 1, 1},
+                              .block = {32, 1, 1},
+                              .shared_bytes = 32 * 32 * 4};
+    defects.push_back(
+        {"stride-32 shared access (single bank)",
+         analyze::FindingKind::kBankConflict,
+         capture_and_analyze([&spec, &config](std::uint64_t /*seed*/) {
+           vgpu::execute_kernel(
+               spec, config,
+               [](const ThreadCoord& t, LaneCtx& ctx, SharedMem&) {
+                 ctx.shared_load(
+                     static_cast<std::size_t>(t.thread.x) * 32 * 4, 4);
+               });
+         })});
+  }
+
+  // Column-major global read: consecutive lanes stride by the image pitch,
+  // so a warp touches 32 distinct 128-byte segments where packed access
+  // needs one.
+  {
+    const KernelConfig config{.name = "seeded_column",
+                              .grid = {1, 1, 1},
+                              .block = {32, 1, 1}};
+    defects.push_back(
+        {"uncoalesced column-major read",
+         analyze::FindingKind::kUncoalesced,
+         capture_and_analyze([&spec, &config](std::uint64_t /*seed*/) {
+           constexpr std::uint64_t kPitch = 512;
+           vgpu::execute_kernel(
+               spec, config,
+               [](const ThreadCoord& t, LaneCtx& ctx, SharedMem&) {
+                 ctx.global_load(
+                     static_cast<std::uint64_t>(t.thread.x) * kPitch, 4);
+               });
+         })});
+  }
+
+  return defects;
+}
+
+bool detected(const SeededDefect& defect) {
+  for (const analyze::Finding& f : defect.findings) {
+    if (f.kind == defect.expected && !f.suppressed &&
+        f.severity != analyze::Severity::kInfo) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int run_seeded(const std::string& metrics_out) {
+  const std::vector<SeededDefect> defects = lint_seeded();
+
+  core::Table table({"seeded defect", "expected finding", "verdict"});
+  bool all_caught = true;
+  for (const SeededDefect& defect : defects) {
+    const bool caught = detected(defect);
+    all_caught = all_caught && caught;
+    table.add_row({defect.name, analyze::finding_kind_name(defect.expected),
+                   caught ? "DETECTED" : "MISSED"});
+  }
+  table.print(std::cout);
+
+  if (!metrics_out.empty()) {
+    obs::Registry registry;
+    for (const SeededDefect& defect : defects) {
+      for (const analyze::Finding& f : defect.findings) {
+        obs::Labels labels = {{"corpus", "seeded"},
+                              {"kernel", f.kernel},
+                              {"kind", analyze::finding_kind_name(f.kind)},
+                              {"severity", analyze::severity_name(f.severity)}};
+        registry.counter("analyze.lint.findings", labels).increment();
+      }
+    }
+    registry.write_file(metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+
+  std::printf("%zu seeded defects: %s\n", defects.size(),
+              all_caught ? "ALL DETECTED (exit 2: findings found)"
+                         : "SOME MISSED (exit 4)");
+  // Exit-code contract: 2 = the corpus produced findings as planted (the
+  // ctest gate asserts exactly this); 4 = the analyzer MISSED a planted
+  // defect and the gate must fail.
+  return all_caught ? 2 : 4;
+}
+
+}  // namespace
+}  // namespace fdet
+
+int main(int argc, char** argv) {
+  using namespace fdet;
+  int width = 96;
+  int height = 72;
+  bool sweep = true;
+  bool seeded = false;
+  std::string suppress;
+  std::string metrics_out;
+  core::Cli cli("fdet_lint");
+  cli.flag("width", width, "base frame width");
+  cli.flag("height", height, "base frame height");
+  cli.flag("sweep", sweep, "also lint an odd-sized frame geometry");
+  cli.flag("seeded", seeded,
+           "run the seeded-defect corpus instead of the production sweep");
+  cli.flag("suppress", suppress,
+           "comma-separated suppressions (kind@kernel or kind@*)");
+  cli.flag("metrics-out", metrics_out,
+           "export analyze.lint.* metrics (.json or .csv)");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  try {
+    return seeded ? run_seeded(metrics_out)
+                  : run_production(width, height, sweep, suppress, metrics_out);
+  } catch (const core::CheckError& error) {
+    std::fprintf(stderr, "fdet_lint: %s\n", error.what());
+    return 1;
+  }
+}

@@ -240,6 +240,128 @@ int run_show(const std::vector<std::string>& files) {
   return 0;
 }
 
+/// Per-kernel rollup of the `analyze.lint.*` family (analyze/report.h):
+/// the static analyzer's verdicts, captured slot counts and predicted
+/// traffic, keyed by target/kernel labels.
+struct KernelLintRollup {
+  double clean = -1.0;  ///< -1 = no analyze.lint.clean gauge seen
+  double shared_slots = 0.0;
+  double global_slots = 0.0;
+  double predicted_conflicts = 0.0;
+  double predicted_transactions = 0.0;
+  double findings = 0.0;
+  double suppressed = 0.0;
+  std::string finding_kinds;
+};
+
+void show_lint_table(const std::map<std::string, KernelLintRollup>& rollup) {
+  std::printf("#### Static kernel lint (fdet_lint)\n\n");
+  core::Table table({"target/kernel", "verdict", "findings", "slots s/g",
+                     "pred conflicts", "pred transactions"});
+  for (const auto& [kernel, v] : rollup) {
+    std::string verdict = "—";
+    if (v.clean >= 0.0) {
+      verdict = v.clean > 0.0 ? "CLEAN" : "FINDINGS";
+    }
+    std::string findings = format_number(v.findings);
+    if (v.suppressed > 0.0) {
+      findings += " (+" + format_number(v.suppressed) + " suppressed)";
+    }
+    if (!v.finding_kinds.empty()) {
+      findings += " [" + v.finding_kinds + "]";
+    }
+    table.add_row({kernel, verdict, findings,
+                   format_number(v.shared_slots) + "/" +
+                       format_number(v.global_slots),
+                   format_number(v.predicted_conflicts),
+                   format_number(v.predicted_transactions)});
+  }
+  table.print_markdown(std::cout);
+  std::printf("\n");
+}
+
+/// Renders the static-analyzer view of a metrics export: one row per
+/// linted kernel from the analyze.lint.* family fdet_lint publishes with
+/// --metrics-out. Returns 1 when a file carries no analyze.lint.* metrics
+/// — wrong file, not a clean lint.
+int run_lint(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "fdet_report lint: no input files\n");
+    return 1;
+  }
+  for (const std::string& path : files) {
+    const obs::json::Value doc = obs::json::parse_file(path);
+    if (doc.find("metrics") == nullptr) {
+      std::fprintf(stderr, "%s: not a metrics export\n", path.c_str());
+      return 1;
+    }
+    std::printf("<!-- %s -->\n", path.c_str());
+    std::map<std::string, KernelLintRollup> rollup;
+    for (const obs::json::Value& entry : doc.at("metrics").as_array()) {
+      const std::string& name = entry.at("name").as_string();
+      if (!name.starts_with("analyze.lint.")) {
+        continue;
+      }
+      std::string target_label;
+      std::string kernel_label;
+      std::string kind_label;
+      std::string severity_label;
+      for (const auto& [key, value] : entry.at("labels").as_object()) {
+        if (key == "target") {
+          target_label = value.as_string();
+        } else if (key == "kernel") {
+          kernel_label = value.as_string();
+        } else if (key == "kind") {
+          kind_label = value.as_string();
+        } else if (key == "severity") {
+          severity_label = value.as_string();
+        }
+      }
+      if (kernel_label.empty()) {
+        continue;
+      }
+      const std::string key = target_label.empty()
+                                  ? kernel_label
+                                  : target_label + "/" + kernel_label;
+      KernelLintRollup& v = rollup[key];
+      const obs::json::Value* raw = entry.find("value");
+      const double number =
+          raw != nullptr && !raw->is_null() ? raw->as_number() : 0.0;
+      if (name == "analyze.lint.clean") {
+        v.clean = number;
+      } else if (name == "analyze.lint.shared_slots") {
+        v.shared_slots += number;
+      } else if (name == "analyze.lint.global_slots") {
+        v.global_slots += number;
+      } else if (name == "analyze.lint.predicted_bank_conflicts") {
+        v.predicted_conflicts += number;
+      } else if (name == "analyze.lint.predicted_global_transactions") {
+        v.predicted_transactions += number;
+      } else if (name == "analyze.lint.findings") {
+        if (severity_label == "suppressed") {
+          v.suppressed += number;
+        } else {
+          v.findings += number;
+        }
+        if (!kind_label.empty() &&
+            v.finding_kinds.find(kind_label) == std::string::npos) {
+          if (!v.finding_kinds.empty()) {
+            v.finding_kinds += ", ";
+          }
+          v.finding_kinds += kind_label;
+        }
+      }
+    }
+    if (rollup.empty()) {
+      std::fprintf(stderr, "%s: no analyze.lint.* metrics in export\n",
+                   path.c_str());
+      return 1;
+    }
+    show_lint_table(rollup);
+  }
+  return 0;
+}
+
 /// Renders the serving-SLO view of a run record: percentiles, miss
 /// ratio, burn rates and per-stage latencies from the `slo.*` series the
 /// SLO engine publishes (obs::SloEngine::publish). Returns 1 when the
@@ -551,6 +673,7 @@ int usage() {
       stderr,
       "usage: fdet_report [flags] show <file.json>...\n"
       "       fdet_report [flags] diff <baseline.json> <current.json>\n"
+      "       fdet_report lint <LINT_metrics.json>...\n"
       "       fdet_report slo <BENCH_serving_slo.json>...\n"
       "       fdet_report flight <flight_dump.json>...\n"
       "       fdet_report profile show <PROFILE_x.json>...\n"
@@ -616,6 +739,9 @@ int main(int argc, char** argv) {
         return 3;
       }
       return run_diff(baseline, current, options, show_unchanged);
+    }
+    if (command == "lint") {
+      return run_lint(operands);
     }
     if (command == "slo") {
       return run_slo(operands);
