@@ -7,13 +7,22 @@
 // Optionally injects a fault plan (--faults) to watch the recovery
 // machinery work; writes an annotated keyframe.
 //
+// The ingest layer makes the decode stage swappable: --format picks the
+// container (the default mock hardware h264 path, or the validating
+// raw/mjpeg/gif byte-stream parsers), and --ingest-corrupt damages named
+// frames' payload bytes so the quarantine + degradation-ladder response
+// to malformed input can be watched end to end.
+//
 // Uses the trained cascade pair (trains once into --cache-dir on first
 // use; expect a few minutes on a cache miss).
 #include <cstdio>
+#include <memory>
 
 #include "core/cli.h"
 #include "img/draw.h"
 #include "img/io.h"
+#include "ingest/mutate.h"
+#include "ingest/registry.h"
 #include "obs/profile.h"
 #include "serve/service.h"
 #include "train/pretrained.h"
@@ -30,6 +39,8 @@ int main(int argc, char** argv) {
   std::string cache_dir = "fdet_cache";
   std::string trailer_name = "50/50";
   std::string profile_out;
+  std::string format_name = "h264";
+  std::string ingest_corrupt;
   core::Cli cli("video_surveillance");
   cli.flag("frames", frames, "frames to process");
   cli.flag("width", width, "stream width");
@@ -41,6 +52,10 @@ int main(int argc, char** argv) {
   cli.flag("cache-dir", cache_dir, "trained-cascade cache directory");
   cli.flag("trailer", trailer_name, "trailer preset title");
   cli.flag("profile-out", profile_out, "write a kernel profile (JSON)");
+  cli.flag("format", format_name,
+           "ingest container: h264 | raw | mjpeg | gif");
+  cli.flag("ingest-corrupt", ingest_corrupt,
+           "corrupt frame payloads, e.g. flip@2,zero@4 (see ingest/mutate.h)");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -76,11 +91,46 @@ int main(int argc, char** argv) {
 
   const video::SyntheticTrailer trailer(spec);
   const video::MockH264Decoder decoder(trailer);
-  std::printf("serving %d frames of \"%s\" at %dx%d with cascade '%s' "
-              "(%d stages, %d classifiers), deadline %.0f ms\n\n",
+
+  // Route the footage through the requested ingest path. The byte-stream
+  // formats serialize the trailer and re-open it through the validating
+  // parser; --ingest-corrupt swaps in a CorruptingSource so the named
+  // frames arrive with damaged payload bytes.
+  std::unique_ptr<ingest::FrameSource> source;
+  try {
+    if (format_name == "h264") {
+      if (!ingest_corrupt.empty()) {
+        std::fprintf(stderr,
+                     "--ingest-corrupt needs a byte-stream container; the "
+                     "mock h264 decoder has none (try --format=raw)\n");
+        return 1;
+      }
+      source = std::make_unique<ingest::H264FrameSource>(decoder);
+    } else {
+      const ingest::Format format = ingest::parse_format(format_name);
+      std::string bytes = ingest::encode_stream(format, trailer);
+      if (ingest_corrupt.empty()) {
+        source = ingest::open_stream(std::move(bytes));
+      } else {
+        source = std::make_unique<ingest::CorruptingSource>(
+            std::move(bytes),
+            ingest::CorruptPlan::parse(ingest_corrupt, 20120926));
+      }
+    }
+  } catch (const ingest::IngestError& error) {
+    std::fprintf(stderr, "ingest setup failed: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("serving %d frames of \"%s\" at %dx%d via %s ingest with "
+              "cascade '%s' (%d stages, %d classifiers), deadline %.0f ms\n\n",
               frames, spec.title.c_str(), width, height,
-              pair.ours.name().c_str(), pair.ours.stage_count(),
-              pair.ours.classifier_count(), deadline_ms);
+              source->info().format.c_str(), pair.ours.name().c_str(),
+              pair.ours.stage_count(), pair.ours.classifier_count(),
+              deadline_ms);
+  if (!ingest_corrupt.empty()) {
+    std::printf("ingest corruption plan: %s\n\n", ingest_corrupt.c_str());
+  }
 
   serve::ServiceOptions service_options;
   service_options.fps = fps;
@@ -92,12 +142,16 @@ int main(int argc, char** argv) {
     std::printf("fault plan: %s\n\n", plan.describe().c_str());
   }
   const serve::ServiceReport report =
-      service.run(decoder, frames, plan.empty() ? nullptr : &plan);
+      service.run(*source, frames, plan.empty() ? nullptr : &plan);
 
   int matched_frames = 0;
   for (const serve::ServedFrame& frame : report.frames) {
-    // Count ground-truth faces recovered (loose box-overlap check).
-    const auto gt = decoder.decode(frame.index).ground_truth;
+    // Count ground-truth faces recovered (loose box-overlap check). Only
+    // the synthetic h264 path carries ground truth; byte-stream
+    // containers report an empty list.
+    const auto gt = source->info().has_ground_truth
+                        ? decoder.decode(frame.index).ground_truth
+                        : std::vector<video::FaceGt>{};
     int recovered = 0;
     for (const auto& face : gt) {
       for (const auto& det : frame.detections) {
@@ -121,17 +175,22 @@ int main(int argc, char** argv) {
 
     if (frame.index == 0 &&
         frame.status != serve::FrameStatus::kDropped) {
-      img::ImageU8 r;
-      img::ImageU8 g;
-      img::ImageU8 b;
-      decoder.decode(0).frame.to_rgb(r, g, b);
-      for (const auto& det : frame.detections) {
-        img::draw_rect(r, det.box, 255, 3);
-        img::draw_rect(g, det.box, 32, 3);
-        img::draw_rect(b, det.box, 32, 3);
+      // Skipped when frame 0 itself is corruption-targeted — the decode
+      // would just rethrow the quarantined IngestError.
+      try {
+        img::ImageU8 r;
+        img::ImageU8 g;
+        img::ImageU8 b;
+        source->decode(0).frame.to_rgb(r, g, b);
+        for (const auto& det : frame.detections) {
+          img::draw_rect(r, det.box, 255, 3);
+          img::draw_rect(g, det.box, 32, 3);
+          img::draw_rect(b, det.box, 32, 3);
+        }
+        img::write_ppm("surveillance_frame0.ppm", r, g, b);
+        std::printf("           wrote surveillance_frame0.ppm\n");
+      } catch (const ingest::IngestError&) {
       }
-      img::write_ppm("surveillance_frame0.ppm", r, g, b);
-      std::printf("           wrote surveillance_frame0.ppm\n");
     }
   }
 
@@ -144,6 +203,11 @@ int main(int argc, char** argv) {
               "%d ladder shifts, final level %d\n",
               report.retries, report.faults_injected, report.breaker_trips,
               report.degradation_shifts, report.final_degradation_level);
+  if (report.ingest_rejects > 0) {
+    std::printf("ingest: %d malformed frame%s quarantined (typed "
+                "IngestError, no retry)\n",
+                report.ingest_rejects, report.ingest_rejects == 1 ? "" : "s");
+  }
   std::printf("deadline (%.0f ms): %s\n", deadline_ms,
               report.deadline_misses == 0 ? "met on every served frame"
                                           : "MISSED");

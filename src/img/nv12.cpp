@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/check.h"
 
@@ -33,6 +34,22 @@ Nv12Frame Nv12Frame::from_gray(const ImageU8& gray) {
   Nv12Frame frame(gray.width(), gray.height());
   frame.luma_ = gray;
   frame.chroma_.fill(128);  // neutral chroma
+  return frame;
+}
+
+Nv12Frame Nv12Frame::from_planes(ImageU8 luma, ImageU8 chroma) {
+  checked_nv12_width(luma.width(), luma.height());
+  FDET_CHECK(chroma.width() == luma.width() &&
+             chroma.height() == luma.height() / 2)
+      << "NV12 from_planes: chroma plane " << chroma.width() << "x"
+      << chroma.height() << " does not match luma " << luma.width() << "x"
+      << luma.height() << " (expected " << luma.width() << "x"
+      << luma.height() / 2 << ")";
+  Nv12Frame frame;
+  frame.width_ = luma.width();
+  frame.height_ = luma.height();
+  frame.luma_ = std::move(luma);
+  frame.chroma_ = std::move(chroma);
   return frame;
 }
 

@@ -35,6 +35,14 @@ class Nv12Frame {
   /// Converts a grayscale image (luma = gray, neutral chroma).
   static Nv12Frame from_gray(const ImageU8& gray);
 
+  /// Adopts already-filled planes. The luma plane fixes the frame geometry
+  /// (positive, even — same rules as the allocating constructor); the
+  /// chroma plane must be exactly luma-width x luma-height/2 (interleaved
+  /// CbCr halves rows, not columns). Throws core::CheckError naming the
+  /// mismatch otherwise — a decoder bug or hostile container cannot
+  /// produce a frame whose planes disagree with its geometry.
+  static Nv12Frame from_planes(ImageU8 luma, ImageU8 chroma);
+
   /// Expands to an RGB triplet of planes using BT.601 (used by the display
   /// stage and the examples that write PPM files).
   void to_rgb(ImageU8& r, ImageU8& g, ImageU8& b) const;

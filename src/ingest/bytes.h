@@ -1,0 +1,159 @@
+// Bounded byte-cursor primitives shared by every validating container
+// parser in the ingest layer.
+//
+// ByteReader is the validation workhorse: every read goes through
+// require(), which throws a typed IngestError naming the current byte
+// offset instead of reading past the end — so a truncated or bit-flipped
+// stream is rejected with "truncated at offset N" rather than UB. All
+// multi-byte fields are little-endian and assembled byte-by-byte, so
+// parsing is independent of host endianness and alignment.
+//
+// ByteWriter is the matching serializer the encoders use; it exists so
+// the byte-level wire formats are defined in exactly one place per field
+// (writer and reader share the same field helpers' shapes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "ingest/error.h"
+
+namespace fdet::ingest {
+
+class ByteReader {
+ public:
+  /// `format` names the parser in diagnostics ("raw" | "mjpeg" | "gif").
+  ByteReader(std::string_view data, std::string format)
+      : data_(data), format_(std::move(format)) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return data_.size() - offset_; }
+  bool at_end() const { return offset_ == data_.size(); }
+
+  /// Throws IngestError(kTruncated) unless `count` more bytes exist.
+  void require(std::size_t count, const char* what) const {
+    if (remaining() < count) {
+      throw IngestError(IngestErrorKind::kTruncated, format_, offset_,
+                        std::string(what) + ": need " +
+                            std::to_string(count) + " byte(s), have " +
+                            std::to_string(remaining()));
+    }
+  }
+
+  std::uint8_t u8(const char* what) {
+    require(1, what);
+    return static_cast<std::uint8_t>(data_[offset_++]);
+  }
+
+  std::uint16_t u16(const char* what) {
+    require(2, what);
+    const auto lo = static_cast<std::uint16_t>(u8(what));
+    const auto hi = static_cast<std::uint16_t>(u8(what));
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t u32(const char* what) {
+    require(4, what);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(u8(what)) << (8 * i);
+    }
+    return value;
+  }
+
+  /// A view of the next `count` payload bytes (no copy), advancing.
+  std::string_view bytes(std::size_t count, const char* what) {
+    require(count, what);
+    const std::string_view view = data_.substr(offset_, count);
+    offset_ += count;
+    return view;
+  }
+
+  /// Consumes and compares a fixed magic/marker; throws kBadMagic naming
+  /// both the expected and the observed token.
+  void expect_magic(std::string_view magic, const char* what) {
+    const std::size_t at = offset_;
+    const std::string_view got = bytes(magic.size(), what);
+    if (got != magic) {
+      throw IngestError(IngestErrorKind::kBadMagic, format_, at,
+                        std::string(what) + ": expected \"" +
+                            std::string(magic) + "\", got \"" +
+                            printable(got) + "\"");
+    }
+  }
+
+  /// Throws kTrailingGarbage unless the cursor consumed the whole stream.
+  void expect_end(const char* what) const {
+    if (!at_end()) {
+      throw IngestError(IngestErrorKind::kTrailingGarbage, format_, offset_,
+                        std::string(what) + ": " +
+                            std::to_string(remaining()) +
+                            " byte(s) past the last declared frame");
+    }
+  }
+
+  /// Jumps to an absolute offset recorded earlier (frame index tables).
+  void seek(std::size_t offset, const char* what) {
+    if (offset > data_.size()) {
+      throw IngestError(IngestErrorKind::kTruncated, format_, offset,
+                        std::string(what) + ": seek past end");
+    }
+    offset_ = offset;
+  }
+
+  /// Raises a typed error at the current offset (for semantic checks the
+  /// caller performs on already-read fields).
+  [[noreturn]] void fail(IngestErrorKind kind, const std::string& detail) const {
+    throw IngestError(kind, format_, offset_, detail);
+  }
+
+ private:
+  static std::string printable(std::string_view raw) {
+    std::string out;
+    for (const char c : raw) {
+      if (c >= 0x20 && c < 0x7f) {
+        out += c;
+      } else {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\x%02x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      }
+    }
+    return out;
+  }
+
+  std::string_view data_;
+  std::string format_;
+  std::size_t offset_ = 0;
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+
+  void u16(std::uint16_t value) {
+    u8(static_cast<std::uint8_t>(value & 0xff));
+    u8(static_cast<std::uint8_t>(value >> 8));
+  }
+
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      u8(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+    }
+  }
+
+  void bytes(std::string_view data) { out_.append(data); }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace fdet::ingest

@@ -1,0 +1,254 @@
+#include "ingest/gif.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/artifact.h"
+#include "core/check.h"
+#include "core/rng.h"
+#include "ingest/bytes.h"
+
+namespace fdet::ingest {
+namespace {
+
+constexpr std::string_view kMagicFamily = "FGF";
+constexpr char kVersion = '1';
+
+// The encoder quantizes gray to a fixed 64-level palette; the parser
+// accepts any declared size in [1, 255] (the wire field is one byte).
+constexpr int kEncoderPaletteSize = 64;
+
+std::uint8_t palette_level(int index) {
+  return static_cast<std::uint8_t>(index * 255 / (kEncoderPaletteSize - 1));
+}
+
+std::uint8_t quantize(std::uint8_t gray) {
+  const int index = (gray * (kEncoderPaletteSize - 1) + 127) / 255;
+  return static_cast<std::uint8_t>(index);
+}
+
+}  // namespace
+
+GifSource::GifSource(std::string bytes) : bytes_(std::move(bytes)) {
+  ByteReader reader(bytes_, "gif");
+  reader.expect_magic(kMagicFamily, "container magic");
+  const char version = static_cast<char>(reader.u8("container version"));
+  if (version != kVersion) {
+    reader.fail(IngestErrorKind::kBadVersion,
+                std::string("unsupported FGF version '") + version + "'");
+  }
+  const int width = static_cast<int>(reader.u32("width"));
+  const int height = static_cast<int>(reader.u32("height"));
+  const int frames = static_cast<int>(reader.u32("frame count"));
+  const std::uint32_t fps_milli = reader.u32("fps");
+  if (width <= 0 || height <= 0 || width > kMaxIngestDimension ||
+      height > kMaxIngestDimension || width % 2 != 0 || height % 2 != 0) {
+    reader.fail(IngestErrorKind::kDimensionOverflow,
+                "declared canvas " + std::to_string(width) + "x" +
+                    std::to_string(height) + " not even in (0, " +
+                    std::to_string(kMaxIngestDimension) + "]");
+  }
+  if (frames <= 0 || frames > kMaxIngestFrames) {
+    reader.fail(IngestErrorKind::kAbsurdMetadata,
+                "declared frame count " + std::to_string(frames) +
+                    " outside (0, " + std::to_string(kMaxIngestFrames) + "]");
+  }
+  if (fps_milli == 0 ||
+      static_cast<double>(fps_milli) > kMaxIngestFps * 1000.0) {
+    reader.fail(IngestErrorKind::kAbsurdMetadata,
+                "declared rate " + std::to_string(fps_milli) +
+                    " milli-fps over the " +
+                    std::to_string(static_cast<int>(kMaxIngestFps)) +
+                    " fps cap");
+  }
+
+  const std::uint8_t palette_size = reader.u8("palette size");
+  if (palette_size == 0) {
+    reader.fail(IngestErrorKind::kAbsurdMetadata, "empty palette");
+  }
+  const std::string_view palette_bytes =
+      reader.bytes(palette_size, "palette");
+  palette_.assign(palette_bytes.begin(), palette_bytes.end());
+
+  patches_.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i) {
+    img::Rect rect;
+    if (i == 0) {
+      rect = {0, 0, width, height};
+    } else {
+      rect.x = static_cast<int>(reader.u16("patch x"));
+      rect.y = static_cast<int>(reader.u16("patch y"));
+      rect.w = static_cast<int>(reader.u16("patch width"));
+      rect.h = static_cast<int>(reader.u16("patch height"));
+      if (rect.w <= 0 || rect.h <= 0 || rect.right() > width ||
+          rect.bottom() > height) {
+        reader.fail(IngestErrorKind::kBadSubRect,
+                    "frame " + std::to_string(i) + " patch " +
+                        std::to_string(rect.w) + "x" + std::to_string(rect.h) +
+                        "@(" + std::to_string(rect.x) + "," +
+                        std::to_string(rect.y) + ") outside canvas " +
+                        std::to_string(width) + "x" + std::to_string(height));
+      }
+    }
+    const std::uint32_t declared = reader.u32("patch pixel count");
+    const std::uint64_t area = static_cast<std::uint64_t>(rect.area());
+    if (declared != area) {
+      reader.fail(IngestErrorKind::kPlaneSizeMismatch,
+                  "frame " + std::to_string(i) + " declares " +
+                      std::to_string(declared) + " pixel(s), rect area is " +
+                      std::to_string(area));
+    }
+    const std::size_t offset = reader.offset();
+    reader.bytes(static_cast<std::size_t>(area), "patch indices");
+    patches_.push_back({rect, {offset, static_cast<std::size_t>(area)}});
+  }
+  reader.expect_end("container end");
+
+  info_.format = "gif";
+  info_.container = "FGF animated-GIF-like container (paletted key+delta)";
+  info_.width = width;
+  info_.height = height;
+  info_.frames = frames;
+  info_.fps = static_cast<double>(fps_milli) / 1000.0;
+  info_.intra_only = false;  // delta frames composite onto predecessors
+  latency_seed_ = core::hash_combine(core::crc32(bytes_.substr(0, 20)),
+                                     0x6769665fULL);
+}
+
+video::DecodedFrame GifSource::decode(int index) const {
+  check_index(index);
+  const int width = info_.width;
+  const int height = info_.height;
+  img::ImageU8 luma(width, height);
+
+  // Recompute from the keyframe each call: slower than caching, but it
+  // keeps decode stateless and any-order per the FrameSource contract.
+  for (int p = 0; p <= index; ++p) {
+    const Patch& patch = patches_[static_cast<std::size_t>(p)];
+    ByteReader reader(bytes_, "gif");
+    reader.seek(patch.indices.offset, "patch seek");
+    const std::string_view indices =
+        reader.bytes(patch.indices.size, "patch indices");
+    for (int y = 0; y < patch.rect.h; ++y) {
+      for (int x = 0; x < patch.rect.w; ++x) {
+        const auto idx = static_cast<std::uint8_t>(
+            indices[static_cast<std::size_t>(y) *
+                        static_cast<std::size_t>(patch.rect.w) +
+                    static_cast<std::size_t>(x)]);
+        if (idx >= palette_.size()) {
+          reader.fail(IngestErrorKind::kPaletteOverflow,
+                      "frame " + std::to_string(p) + " pixel (" +
+                          std::to_string(patch.rect.x + x) + "," +
+                          std::to_string(patch.rect.y + y) + ") indexes " +
+                          std::to_string(idx) + " into a " +
+                          std::to_string(palette_.size()) + "-entry palette");
+        }
+        luma(patch.rect.x + x, patch.rect.y + y) = palette_[idx];
+      }
+    }
+  }
+
+  img::ImageU8 chroma(width, height / 2);
+  chroma.fill(128);  // gray source — synthesize neutral chroma
+
+  video::DecodedFrame out;
+  out.index = index;
+  out.frame = img::Nv12Frame::from_planes(std::move(luma), std::move(chroma));
+  out.decode_ms = decode_latency_ms(index);
+  return out;
+}
+
+double GifSource::decode_latency_ms(int index) const {
+  check_index(index);
+  // Keyframe pays the full-canvas cost; each composited delta adds its
+  // patch area. Deterministic per-(stream, frame) jitter as elsewhere.
+  const double canvas =
+      static_cast<double>(info_.width) * static_cast<double>(info_.height);
+  double painted = canvas;
+  for (int p = 1; p <= index; ++p) {
+    painted +=
+        static_cast<double>(patches_[static_cast<std::size_t>(p)].rect.area());
+  }
+  core::Rng rng(core::hash_combine(latency_seed_,
+                                   static_cast<std::uint64_t>(index)));
+  return 3.0 * (painted / (1920.0 * 1080.0)) + rng.uniform(0.0, 0.3);
+}
+
+std::optional<ByteRange> GifSource::frame_bytes(int index) const {
+  check_index(index);
+  return patches_[static_cast<std::size_t>(index)].indices;
+}
+
+std::string encode_gif(const std::vector<img::ImageU8>& frames, double fps) {
+  FDET_CHECK(!frames.empty()) << "encode_gif: no frames";
+  FDET_CHECK(fps > 0.0 && fps <= kMaxIngestFps)
+      << "encode_gif: fps " << fps << " outside (0, " << kMaxIngestFps << "]";
+  const int width = frames.front().width();
+  const int height = frames.front().height();
+
+  ByteWriter writer;
+  writer.bytes(kMagicFamily);
+  writer.u8(static_cast<std::uint8_t>(kVersion));
+  writer.u32(static_cast<std::uint32_t>(width));
+  writer.u32(static_cast<std::uint32_t>(height));
+  writer.u32(static_cast<std::uint32_t>(frames.size()));
+  writer.u32(static_cast<std::uint32_t>(fps * 1000.0));
+  writer.u8(static_cast<std::uint8_t>(kEncoderPaletteSize));
+  for (int i = 0; i < kEncoderPaletteSize; ++i) {
+    writer.u8(palette_level(i));
+  }
+
+  std::vector<std::uint8_t> previous;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const img::ImageU8& frame = frames[f];
+    FDET_CHECK(frame.width() == width && frame.height() == height)
+        << "encode_gif: frame geometry " << frame.width() << "x"
+        << frame.height() << " != stream " << width << "x" << height;
+
+    std::vector<std::uint8_t> quantized(frame.size());
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      quantized[i] = quantize(frame.pixels()[i]);
+    }
+
+    img::Rect rect{0, 0, width, height};
+    if (f > 0) {
+      // Tightest dirty rect against the previous quantized frame; a
+      // still frame repaints a single pixel to keep extents positive.
+      int min_x = width, min_y = height, max_x = -1, max_y = -1;
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          const std::size_t i = static_cast<std::size_t>(y) *
+                                    static_cast<std::size_t>(width) +
+                                static_cast<std::size_t>(x);
+          if (quantized[i] != previous[i]) {
+            min_x = std::min(min_x, x);
+            min_y = std::min(min_y, y);
+            max_x = std::max(max_x, x);
+            max_y = std::max(max_y, y);
+          }
+        }
+      }
+      if (max_x < 0) {
+        rect = {0, 0, 1, 1};
+      } else {
+        rect = {min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+      }
+      writer.u16(static_cast<std::uint16_t>(rect.x));
+      writer.u16(static_cast<std::uint16_t>(rect.y));
+      writer.u16(static_cast<std::uint16_t>(rect.w));
+      writer.u16(static_cast<std::uint16_t>(rect.h));
+    }
+    writer.u32(static_cast<std::uint32_t>(rect.area()));
+    for (int y = rect.y; y < rect.bottom(); ++y) {
+      for (int x = rect.x; x < rect.right(); ++x) {
+        writer.u8(quantized[static_cast<std::size_t>(y) *
+                                static_cast<std::size_t>(width) +
+                            static_cast<std::size_t>(x)]);
+      }
+    }
+    previous = std::move(quantized);
+  }
+  return writer.take();
+}
+
+}  // namespace fdet::ingest

@@ -1,0 +1,64 @@
+// FGF — an animated-GIF-like container: a global gray palette, a full
+// keyframe, then delta frames that each repaint one sub-rectangle. The
+// format exists to exercise two validation surfaces the intra-only
+// containers cannot: palette indirection (every pixel byte indexes the
+// palette — an index past its end is kPaletteOverflow, not an OOB read)
+// and inter-frame state (decode(i) composites deltas 1..i onto the
+// keyframe internally, so the FrameSource contract — stateless,
+// any-order, byte-identical decode — still holds).
+//
+// Wire layout (all integers little-endian):
+//
+//   "FGF" version-byte '1'
+//   u32 width   u32 height   u32 frames   u32 fps_milli
+//   u8 palette_size (>= 1)   palette_size bytes (gray levels)
+//   frame 0:        u32 w*h           | w*h palette indices (keyframe)
+//   frames 1..n-1:  u16 x y w h (sub-rect) | u32 w*h | w*h palette indices
+//   (end of stream — trailing bytes are an error)
+//
+// Open-time validation: header caps, palette size, every sub-rect inside
+// the canvas with positive extent (kBadSubRect otherwise), every declared
+// pixel count equal to its rect area, and exact total length. Palette
+// indices are validated lazily at decode(i) (kPaletteOverflow), modeling
+// payload rot behind a clean index. Chroma is synthesized neutral — the
+// detector only consumes luma, matching the paper's pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ingest/frame_source.h"
+
+namespace fdet::ingest {
+
+class GifSource final : public FrameSource {
+ public:
+  /// Parses and validates the container structure; throws IngestError.
+  /// The source takes ownership of the byte stream.
+  explicit GifSource(std::string bytes);
+
+  const SourceInfo& info() const override { return info_; }
+  video::DecodedFrame decode(int index) const override;
+  double decode_latency_ms(int index) const override;
+  std::optional<ByteRange> frame_bytes(int index) const override;
+
+ private:
+  struct Patch {
+    img::Rect rect;       ///< full canvas for the keyframe
+    ByteRange indices;    ///< palette-index bytes for the rect
+  };
+
+  std::string bytes_;
+  SourceInfo info_;
+  std::vector<std::uint8_t> palette_;
+  std::vector<Patch> patches_;
+  std::uint64_t latency_seed_ = 0;
+};
+
+/// Serializes grayscale frames into the FGF container: frame 0 becomes
+/// the keyframe, each later frame the tightest dirty rect against its
+/// predecessor (full canvas when everything changed). Trusted path —
+/// geometry mismatches are core::CheckError.
+std::string encode_gif(const std::vector<img::ImageU8>& frames, double fps);
+
+}  // namespace fdet::ingest

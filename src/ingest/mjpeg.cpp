@@ -1,0 +1,228 @@
+#include "ingest/mjpeg.h"
+
+#include <span>
+#include <utility>
+
+#include "core/artifact.h"
+#include "core/check.h"
+#include "core/rng.h"
+#include "ingest/bytes.h"
+
+namespace fdet::ingest {
+namespace {
+
+constexpr std::string_view kMagicFamily = "FMJ";
+constexpr char kVersion = '1';
+constexpr char kSoi[] = {static_cast<char>(0xff), static_cast<char>(0xd8)};
+constexpr char kEoi[] = {static_cast<char>(0xff), static_cast<char>(0xd9)};
+
+std::string_view soi() { return {kSoi, 2}; }
+std::string_view eoi() { return {kEoi, 2}; }
+
+/// Expands one frame's RLE stream into `out` (pre-sized to the exact
+/// plane total). Every structural defect is a typed error at the byte
+/// that exhibits it; `out` is never written past its end.
+void expand_rle(ByteReader& reader, std::string_view rle, int frame_index,
+                std::string& out) {
+  std::size_t produced = 0;
+  for (std::size_t i = 0; i < rle.size(); i += 2) {
+    if (i + 1 >= rle.size()) {
+      reader.fail(IngestErrorKind::kPlaneSizeMismatch,
+                  "frame " + std::to_string(frame_index) +
+                      ": dangling RLE count byte without a value");
+    }
+    const auto count =
+        static_cast<std::size_t>(static_cast<unsigned char>(rle[i]));
+    const char value = rle[i + 1];
+    if (count == 0) {
+      reader.fail(IngestErrorKind::kPlaneSizeMismatch,
+                  "frame " + std::to_string(frame_index) +
+                      ": zero-length run at RLE byte " + std::to_string(i));
+    }
+    if (produced + count > out.size()) {
+      reader.fail(IngestErrorKind::kPlaneSizeMismatch,
+                  "frame " + std::to_string(frame_index) +
+                      ": RLE expands past the declared plane total (" +
+                      std::to_string(produced + count) + " > " +
+                      std::to_string(out.size()) + ")");
+    }
+    for (std::size_t j = 0; j < count; ++j) {
+      out[produced + j] = value;
+    }
+    produced += count;
+  }
+  if (produced != out.size()) {
+    reader.fail(IngestErrorKind::kPlaneSizeMismatch,
+                "frame " + std::to_string(frame_index) + ": RLE expands to " +
+                    std::to_string(produced) + " byte(s), planes need " +
+                    std::to_string(out.size()));
+  }
+}
+
+void rle_append(ByteWriter& writer, std::span<const std::uint8_t> plane) {
+  std::size_t i = 0;
+  while (i < plane.size()) {
+    const std::uint8_t value = plane[i];
+    std::size_t run = 1;
+    while (run < 255 && i + run < plane.size() && plane[i + run] == value) {
+      ++run;
+    }
+    writer.u8(static_cast<std::uint8_t>(run));
+    writer.u8(value);
+    i += run;
+  }
+}
+
+}  // namespace
+
+MjpegSource::MjpegSource(std::string bytes) : bytes_(std::move(bytes)) {
+  ByteReader reader(bytes_, "mjpeg");
+  reader.expect_magic(kMagicFamily, "container magic");
+  const char version = static_cast<char>(reader.u8("container version"));
+  if (version != kVersion) {
+    reader.fail(IngestErrorKind::kBadVersion,
+                std::string("unsupported FMJ version '") + version + "'");
+  }
+  const int width = static_cast<int>(reader.u32("width"));
+  const int height = static_cast<int>(reader.u32("height"));
+  const int frames = static_cast<int>(reader.u32("frame count"));
+  const std::uint32_t fps_milli = reader.u32("fps");
+  if (width <= 0 || height <= 0 || width > kMaxIngestDimension ||
+      height > kMaxIngestDimension || width % 2 != 0 || height % 2 != 0) {
+    reader.fail(IngestErrorKind::kDimensionOverflow,
+                "declared dimensions " + std::to_string(width) + "x" +
+                    std::to_string(height) + " not even in (0, " +
+                    std::to_string(kMaxIngestDimension) + "]");
+  }
+  if (frames <= 0 || frames > kMaxIngestFrames) {
+    reader.fail(IngestErrorKind::kAbsurdMetadata,
+                "declared frame count " + std::to_string(frames) +
+                    " outside (0, " + std::to_string(kMaxIngestFrames) + "]");
+  }
+  if (fps_milli == 0 ||
+      static_cast<double>(fps_milli) > kMaxIngestFps * 1000.0) {
+    reader.fail(IngestErrorKind::kAbsurdMetadata,
+                "declared rate " + std::to_string(fps_milli) +
+                    " milli-fps over the " +
+                    std::to_string(static_cast<int>(kMaxIngestFps)) +
+                    " fps cap");
+  }
+
+  // An RLE stream never exceeds 2x its expanded size (worst case: every
+  // run has length 1), which bounds each declared length before we trust
+  // it enough to skip over the payload.
+  const std::uint64_t plane_total =
+      static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height) *
+      3 / 2;
+  const std::uint64_t max_rle = plane_total * 2;
+
+  frames_.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i) {
+    reader.expect_magic(soi(), "SOI marker");
+    const std::uint32_t rle_len = reader.u32("RLE length");
+    if (rle_len == 0 || rle_len > max_rle) {
+      reader.fail(IngestErrorKind::kAbsurdMetadata,
+                  "frame " + std::to_string(i) + " declares " +
+                      std::to_string(rle_len) + " RLE byte(s), cap is " +
+                      std::to_string(max_rle));
+    }
+    const std::size_t offset = reader.offset();
+    reader.bytes(rle_len, "RLE payload");
+    frames_.push_back({offset, rle_len});
+    reader.expect_magic(eoi(), "EOI marker");
+  }
+  reader.expect_end("container end");
+
+  info_.format = "mjpeg";
+  info_.container = "FMJ motion-JPEG-like container (RLE intra frames)";
+  info_.width = width;
+  info_.height = height;
+  info_.frames = frames;
+  info_.fps = static_cast<double>(fps_milli) / 1000.0;
+  info_.intra_only = true;
+  latency_seed_ = core::hash_combine(core::crc32(bytes_.substr(0, 20)),
+                                     0x6d6a7065ULL);
+}
+
+video::DecodedFrame MjpegSource::decode(int index) const {
+  check_index(index);
+  const ByteRange range = frames_[static_cast<std::size_t>(index)];
+  ByteReader reader(bytes_, "mjpeg");
+  reader.seek(range.offset, "frame seek");
+  const std::string_view rle = reader.bytes(range.size, "RLE payload");
+
+  const int width = info_.width;
+  const int height = info_.height;
+  const std::size_t luma_bytes =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  std::string expanded(luma_bytes + luma_bytes / 2, '\0');
+  expand_rle(reader, rle, index, expanded);
+
+  img::ImageU8 luma(width, height);
+  img::ImageU8 chroma(width, height / 2);
+  for (std::size_t i = 0; i < luma_bytes; ++i) {
+    luma.pixels()[i] = static_cast<std::uint8_t>(expanded[i]);
+  }
+  for (std::size_t i = 0; i < chroma.size(); ++i) {
+    chroma.pixels()[i] = static_cast<std::uint8_t>(expanded[luma_bytes + i]);
+  }
+
+  video::DecodedFrame out;
+  out.index = index;
+  out.frame = img::Nv12Frame::from_planes(std::move(luma), std::move(chroma));
+  out.decode_ms = decode_latency_ms(index);
+  return out;
+}
+
+double MjpegSource::decode_latency_ms(int index) const {
+  check_index(index);
+  // Intra-frame entropy decode: ~2.5 ms per 1080p frame plus a term for
+  // the compressed size (denser frames cost more), with deterministic
+  // per-(stream, frame) jitter.
+  const double pixels =
+      static_cast<double>(info_.width) * static_cast<double>(info_.height);
+  const double scale = pixels / (1920.0 * 1080.0);
+  const double density =
+      static_cast<double>(frames_[static_cast<std::size_t>(index)].size) /
+      (pixels * 1.5);
+  core::Rng rng(core::hash_combine(latency_seed_,
+                                   static_cast<std::uint64_t>(index)));
+  return scale * (2.5 + 2.0 * density) + rng.uniform(0.0, 0.3);
+}
+
+std::optional<ByteRange> MjpegSource::frame_bytes(int index) const {
+  check_index(index);
+  return frames_[static_cast<std::size_t>(index)];
+}
+
+std::string encode_mjpeg(const std::vector<img::Nv12Frame>& frames,
+                         double fps) {
+  FDET_CHECK(!frames.empty()) << "encode_mjpeg: no frames";
+  FDET_CHECK(fps > 0.0 && fps <= kMaxIngestFps)
+      << "encode_mjpeg: fps " << fps << " outside (0, " << kMaxIngestFps
+      << "]";
+  const int width = frames.front().width();
+  const int height = frames.front().height();
+  ByteWriter writer;
+  writer.bytes(kMagicFamily);
+  writer.u8(static_cast<std::uint8_t>(kVersion));
+  writer.u32(static_cast<std::uint32_t>(width));
+  writer.u32(static_cast<std::uint32_t>(height));
+  writer.u32(static_cast<std::uint32_t>(frames.size()));
+  writer.u32(static_cast<std::uint32_t>(fps * 1000.0));
+  for (const img::Nv12Frame& frame : frames) {
+    FDET_CHECK(frame.width() == width && frame.height() == height)
+        << "encode_mjpeg: frame geometry " << frame.width() << "x"
+        << frame.height() << " != stream " << width << "x" << height;
+    ByteWriter rle;
+    rle_append(rle, frame.luma().pixels());
+    rle_append(rle, frame.chroma().pixels());
+    writer.bytes(soi());
+    writer.u32(static_cast<std::uint32_t>(rle.size()));
+    writer.bytes(rle.str());
+    writer.bytes(eoi());
+  }
+  return writer.take();
+}
+
+}  // namespace fdet::ingest

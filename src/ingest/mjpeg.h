@@ -1,0 +1,53 @@
+// FMJ — an MJPEG-like container: every frame is an independently coded
+// picture delimited by SOI/EOI markers, with run-length "entropy coded"
+// planes. Unlike FRW, frame payloads are variable length, so the open
+// path walks a chain of declared lengths and the decode path exercises a
+// decompressor that must stay in bounds no matter what the bytes say.
+//
+// Wire layout (all integers little-endian):
+//
+//   "FMJ" version-byte '1'
+//   u32 width   u32 height   u32 frames   u32 fps_milli
+//   frames x [ 0xFF 0xD8 | u32 rle_len | rle_len bytes RLE | 0xFF 0xD9 ]
+//   (end of stream — trailing bytes are an error)
+//
+// RLE stream: pairs of (count u8 >= 1, value u8), luma plane first then
+// chroma, expanding to exactly w*h + w*(h/2) bytes. Open-time validation
+// covers the header caps, every marker, every declared length and the
+// total byte count; RLE expansion is validated lazily at decode(i):
+// a zero count, an expansion short of the plane sizes, or one that would
+// overrun them throws kPlaneSizeMismatch — a typed error, never an
+// out-of-bounds write.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ingest/frame_source.h"
+
+namespace fdet::ingest {
+
+class MjpegSource final : public FrameSource {
+ public:
+  /// Parses and validates the container structure; throws IngestError.
+  /// The source takes ownership of the byte stream.
+  explicit MjpegSource(std::string bytes);
+
+  const SourceInfo& info() const override { return info_; }
+  video::DecodedFrame decode(int index) const override;
+  double decode_latency_ms(int index) const override;
+  std::optional<ByteRange> frame_bytes(int index) const override;
+
+ private:
+  std::string bytes_;
+  SourceInfo info_;
+  std::vector<ByteRange> frames_;  ///< RLE extents (markers/length excluded)
+  std::uint64_t latency_seed_ = 0;
+};
+
+/// Serializes NV12 frames into the FMJ container (trusted path —
+/// geometry mismatches are core::CheckError, not IngestError).
+std::string encode_mjpeg(const std::vector<img::Nv12Frame>& frames,
+                         double fps);
+
+}  // namespace fdet::ingest

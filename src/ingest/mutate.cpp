@@ -1,0 +1,186 @@
+#include "ingest/mutate.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/rng.h"
+#include "ingest/registry.h"
+
+namespace fdet::ingest {
+namespace {
+
+/// Uniform offset in [lo, hi) as size_t (uniform_int is int-ranged and
+/// streams can exceed INT_MAX bytes in principle).
+std::size_t uniform_offset(core::Rng& rng, std::size_t lo, std::size_t hi) {
+  return lo + static_cast<std::size_t>(rng() % (hi - lo));
+}
+
+/// Applies `kind` within [lo, hi) of `bytes` (the whole stream or one
+/// frame's payload extent). Truncation cuts at a point inside the range;
+/// the other kinds stay within it.
+std::string mutate_range(std::string_view bytes, MutationKind kind,
+                         std::uint64_t seed, std::size_t lo, std::size_t hi) {
+  std::string out(bytes);
+  core::Rng rng(seed);
+  switch (kind) {
+    case MutationKind::kBitFlip: {
+      const int flips = rng.uniform_int(1, 8);
+      for (int i = 0; i < flips; ++i) {
+        const std::size_t at = uniform_offset(rng, lo, hi);
+        out[at] = static_cast<char>(static_cast<unsigned char>(out[at]) ^
+                                    (1u << rng.uniform_int(0, 7)));
+      }
+      return out;
+    }
+    case MutationKind::kTruncate:
+      out.resize(uniform_offset(rng, lo, hi));
+      return out;
+    case MutationKind::kSplice: {
+      const std::size_t span = std::min<std::size_t>(
+          hi - lo, static_cast<std::size_t>(rng.uniform_int(4, 64)));
+      const std::size_t from = uniform_offset(rng, 0, bytes.size() - span + 1);
+      const std::size_t to = uniform_offset(rng, lo, hi - span + 1);
+      const std::string chunk = out.substr(from, span);
+      out.replace(to, span, chunk);
+      return out;
+    }
+    case MutationKind::kZeroRun: {
+      const std::size_t span = std::min<std::size_t>(
+          hi - lo, static_cast<std::size_t>(rng.uniform_int(4, 64)));
+      const std::size_t at = uniform_offset(rng, lo, hi - span + 1);
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(at),
+                out.begin() + static_cast<std::ptrdiff_t>(at + span), '\0');
+      return out;
+    }
+    case MutationKind::kGarbageTail: {
+      const int extra = rng.uniform_int(1, 64);
+      for (int i = 0; i < extra; ++i) {
+        out.push_back(static_cast<char>(rng() & 0xff));
+      }
+      return out;
+    }
+  }
+  return out;  // unreachable
+}
+
+}  // namespace
+
+std::string_view mutation_kind_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kBitFlip:
+      return "flip";
+    case MutationKind::kTruncate:
+      return "trunc";
+    case MutationKind::kSplice:
+      return "splice";
+    case MutationKind::kZeroRun:
+      return "zero";
+    case MutationKind::kGarbageTail:
+      return "garbage";
+  }
+  return "";
+}
+
+MutationKind parse_mutation_kind(std::string_view name) {
+  for (const MutationKind kind : kAllMutations) {
+    if (name == mutation_kind_name(kind)) {
+      return kind;
+    }
+  }
+  throw IngestError(
+      IngestErrorKind::kUnsupported, "corrupt-plan", 0,
+      "unknown mutation \"" + std::string(name) +
+          "\" (known: flip, trunc, splice, zero, garbage)");
+}
+
+std::string mutate_stream(std::string_view bytes, MutationKind kind,
+                          std::uint64_t seed) {
+  if (bytes.empty()) {
+    return std::string(bytes);
+  }
+  return mutate_range(bytes, kind, seed, 0, bytes.size());
+}
+
+CorruptPlan CorruptPlan::parse(std::string_view spec, std::uint64_t seed) {
+  CorruptPlan plan;
+  plan.seed = seed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) {
+      end = spec.size();
+    }
+    const std::string_view item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t at = item.find('@');
+    if (at == std::string_view::npos) {
+      throw IngestError(IngestErrorKind::kUnsupported, "corrupt-plan", 0,
+                        "entry \"" + std::string(item) +
+                            "\" is not of the form kind@frame");
+    }
+    Entry entry;
+    entry.kind = parse_mutation_kind(item.substr(0, at));
+    const std::string_view frame_text = item.substr(at + 1);
+    int frame = 0;
+    bool valid = !frame_text.empty();
+    for (const char c : frame_text) {
+      if (c < '0' || c > '9' || frame > kMaxIngestFrames) {
+        valid = false;
+        break;
+      }
+      frame = frame * 10 + (c - '0');
+    }
+    if (!valid) {
+      throw IngestError(IngestErrorKind::kUnsupported, "corrupt-plan", 0,
+                        "frame index \"" + std::string(frame_text) +
+                            "\" is not a non-negative integer within caps");
+    }
+    entry.frame = frame;
+    plan.entries.push_back(entry);
+  }
+  return plan;
+}
+
+const CorruptPlan::Entry* CorruptPlan::find(int frame) const {
+  for (const Entry& entry : entries) {
+    if (entry.frame == frame) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+CorruptingSource::CorruptingSource(std::string bytes, CorruptPlan plan)
+    : bytes_(std::move(bytes)), plan_(std::move(plan)),
+      inner_(open_stream(bytes_)) {}
+
+video::DecodedFrame CorruptingSource::decode(int index) const {
+  const CorruptPlan::Entry* entry = plan_.find(index);
+  if (entry == nullptr) {
+    return inner_->decode(index);
+  }
+  const std::optional<ByteRange> range = inner_->frame_bytes(index);
+  if (!range.has_value() || range->size == 0) {
+    return inner_->decode(index);  // nothing to damage (mock sources)
+  }
+  const std::uint64_t seed =
+      core::hash_combine(plan_.seed, static_cast<std::uint64_t>(index));
+  const std::string damaged = mutate_range(
+      bytes_, entry->kind, seed, range->offset, range->offset + range->size);
+  // Re-open the damaged copy: structural wounds (truncation) throw here,
+  // payload wounds throw from decode — either way a typed IngestError.
+  return open_stream(damaged)->decode(index);
+}
+
+double CorruptingSource::decode_latency_ms(int index) const {
+  return inner_->decode_latency_ms(index);
+}
+
+std::optional<ByteRange> CorruptingSource::frame_bytes(int index) const {
+  return inner_->frame_bytes(index);
+}
+
+}  // namespace fdet::ingest

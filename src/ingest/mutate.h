@@ -1,0 +1,91 @@
+// Deterministic malformed-input generation — the corruption half of the
+// fuzz-style harness.
+//
+// Two surfaces:
+//
+//   * mutate_stream(): whole-stream mutations (bit flips, truncation,
+//     splices, zeroed runs, garbage tails) keyed by (kind, seed). The
+//     fdet_fuzz harness sweeps seeds and asserts the corpus invariant:
+//     every mutant either decodes or throws a typed IngestError.
+//   * CorruptingSource: frame-targeted corruption behind the FrameSource
+//     interface. A CorruptPlan ("flip@12,zero@30") names which frames'
+//     payload bytes to damage; decode of an untargeted frame passes
+//     through to the pristine stream, decode of a targeted frame mutates
+//     inside that frame's ByteRange, re-opens the stream and decodes —
+//     so the serving layer sees a mid-stream malformed burst exactly
+//     where the plan says, deterministic in the plan seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ingest/frame_source.h"
+
+namespace fdet::ingest {
+
+enum class MutationKind {
+  kBitFlip,      ///< flip 1–8 random bits anywhere in the stream
+  kTruncate,     ///< cut the stream at a random offset
+  kSplice,       ///< copy a random chunk over another offset
+  kZeroRun,      ///< zero a random run of bytes
+  kGarbageTail,  ///< append 1–64 random bytes
+};
+
+inline constexpr MutationKind kAllMutations[] = {
+    MutationKind::kBitFlip, MutationKind::kTruncate, MutationKind::kSplice,
+    MutationKind::kZeroRun, MutationKind::kGarbageTail};
+
+/// Stable token: "flip" | "trunc" | "splice" | "zero" | "garbage".
+std::string_view mutation_kind_name(MutationKind kind);
+
+/// Parses a mutation token; throws IngestError(kUnsupported) otherwise.
+MutationKind parse_mutation_kind(std::string_view name);
+
+/// Applies one mutation, deterministic in (bytes, kind, seed). The
+/// result may still be valid (a bit flip inside a luma plane of a
+/// CRC-less format) — the corpus invariant is about typed failure, not
+/// guaranteed failure.
+std::string mutate_stream(std::string_view bytes, MutationKind kind,
+                          std::uint64_t seed);
+
+/// Frame-targeted corruption plan: comma-separated `kind@frame` entries,
+/// e.g. "flip@12,zero@30,splice@31".
+struct CorruptPlan {
+  struct Entry {
+    MutationKind kind = MutationKind::kBitFlip;
+    int frame = 0;
+  };
+
+  std::vector<Entry> entries;
+  std::uint64_t seed = 0;
+
+  /// Parses the spec; throws IngestError(kUnsupported) on a malformed
+  /// entry (CLI input is untrusted too).
+  static CorruptPlan parse(std::string_view spec, std::uint64_t seed = 1);
+
+  bool empty() const { return entries.empty(); }
+  /// First entry targeting `frame`, or nullptr.
+  const Entry* find(int frame) const;
+};
+
+/// Wraps a pristine serialized container; targeted frames decode through
+/// a per-frame-corrupted copy of the stream. The pristine stream must
+/// open cleanly (its parse errors propagate from the constructor).
+class CorruptingSource final : public FrameSource {
+ public:
+  CorruptingSource(std::string bytes, CorruptPlan plan);
+
+  const SourceInfo& info() const override { return inner_->info(); }
+  video::DecodedFrame decode(int index) const override;
+  double decode_latency_ms(int index) const override;
+  std::optional<ByteRange> frame_bytes(int index) const override;
+
+ private:
+  std::string bytes_;
+  CorruptPlan plan_;
+  std::unique_ptr<FrameSource> inner_;
+};
+
+}  // namespace fdet::ingest

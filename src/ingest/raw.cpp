@@ -1,0 +1,182 @@
+#include "ingest/raw.h"
+
+#include <utility>
+
+#include "core/artifact.h"
+#include "core/check.h"
+#include "core/rng.h"
+#include "ingest/bytes.h"
+
+namespace fdet::ingest {
+namespace {
+
+constexpr std::string_view kMagicFamily = "FRW";
+constexpr char kVersion = '1';
+
+/// Shared header validation: dimensions, frame count and fps against the
+/// declared-metadata caps. Runs before anything is allocated.
+void validate_header(ByteReader& reader, int width, int height, int frames,
+                     std::uint32_t fps_milli) {
+  if (width <= 0 || height <= 0 || width > kMaxIngestDimension ||
+      height > kMaxIngestDimension) {
+    reader.fail(IngestErrorKind::kDimensionOverflow,
+                "declared dimensions " + std::to_string(width) + "x" +
+                    std::to_string(height) + " outside (0, " +
+                    std::to_string(kMaxIngestDimension) + "]");
+  }
+  if (width % 2 != 0 || height % 2 != 0) {
+    reader.fail(IngestErrorKind::kDimensionOverflow,
+                "NV12 payload needs even dimensions, declared " +
+                    std::to_string(width) + "x" + std::to_string(height));
+  }
+  if (frames <= 0 || frames > kMaxIngestFrames) {
+    reader.fail(IngestErrorKind::kAbsurdMetadata,
+                "declared frame count " + std::to_string(frames) +
+                    " outside (0, " + std::to_string(kMaxIngestFrames) + "]");
+  }
+  if (fps_milli == 0 ||
+      static_cast<double>(fps_milli) > kMaxIngestFps * 1000.0) {
+    reader.fail(IngestErrorKind::kAbsurdMetadata,
+                "declared rate " + std::to_string(fps_milli) +
+                    " milli-fps outside (0, " +
+                    std::to_string(static_cast<int>(kMaxIngestFps * 1000)) +
+                    "]");
+  }
+}
+
+}  // namespace
+
+RawSource::RawSource(std::string bytes) : bytes_(std::move(bytes)) {
+  ByteReader reader(bytes_, "raw");
+  reader.expect_magic(kMagicFamily, "container magic");
+  const char version = static_cast<char>(reader.u8("container version"));
+  if (version != kVersion) {
+    reader.fail(IngestErrorKind::kBadVersion,
+                std::string("unsupported FRW version '") + version + "'");
+  }
+  const int width = static_cast<int>(reader.u32("width"));
+  const int height = static_cast<int>(reader.u32("height"));
+  const int frames = static_cast<int>(reader.u32("frame count"));
+  const std::uint32_t fps_milli = reader.u32("fps");
+  validate_header(reader, width, height, frames, fps_milli);
+
+  // The header fully determines the stream length; reject any mismatch
+  // before touching (or allocating for) a single payload byte.
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height) *
+      3 / 2;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(frames) * (4 + payload);
+  if (reader.remaining() < expected) {
+    reader.fail(IngestErrorKind::kTruncated,
+                "header declares " + std::to_string(expected) +
+                    " payload byte(s), stream holds " +
+                    std::to_string(reader.remaining()));
+  }
+  if (reader.remaining() > expected) {
+    reader.fail(IngestErrorKind::kTrailingGarbage,
+                std::to_string(reader.remaining() - expected) +
+                    " byte(s) past the last declared frame");
+  }
+
+  frames_.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i) {
+    reader.bytes(4, "frame crc");
+    const std::size_t offset = reader.offset();
+    reader.bytes(static_cast<std::size_t>(payload), "frame payload");
+    frames_.push_back({offset, static_cast<std::size_t>(payload)});
+  }
+  reader.expect_end("container end");
+
+  info_.format = "raw";
+  info_.container = "FRW raw-NV12 container (uncompressed, per-frame CRC)";
+  info_.width = width;
+  info_.height = height;
+  info_.frames = frames;
+  info_.fps = static_cast<double>(fps_milli) / 1000.0;
+  info_.intra_only = true;
+  latency_seed_ = core::hash_combine(core::crc32(bytes_.substr(0, 20)),
+                                     0xfa11ed5eedULL);
+}
+
+video::DecodedFrame RawSource::decode(int index) const {
+  check_index(index);
+  const ByteRange range = frames_[static_cast<std::size_t>(index)];
+  ByteReader reader(bytes_, "raw");
+  reader.seek(range.offset - 4, "frame seek");
+  const std::uint32_t declared = reader.u32("frame crc");
+  const std::string_view payload = reader.bytes(range.size, "frame payload");
+  const std::uint32_t actual = core::crc32(payload);
+  if (declared != actual) {
+    reader.fail(IngestErrorKind::kChecksumMismatch,
+                "frame " + std::to_string(index) + " payload crc32 " +
+                    std::to_string(actual) + " != declared " +
+                    std::to_string(declared));
+  }
+
+  const int width = info_.width;
+  const int height = info_.height;
+  img::ImageU8 luma(width, height);
+  img::ImageU8 chroma(width, height / 2);
+  const std::size_t luma_bytes = luma.size();
+  for (std::size_t i = 0; i < luma_bytes; ++i) {
+    luma.pixels()[i] = static_cast<std::uint8_t>(payload[i]);
+  }
+  for (std::size_t i = 0; i < chroma.size(); ++i) {
+    chroma.pixels()[i] = static_cast<std::uint8_t>(payload[luma_bytes + i]);
+  }
+
+  video::DecodedFrame out;
+  out.index = index;
+  out.frame = img::Nv12Frame::from_planes(std::move(luma), std::move(chroma));
+  out.decode_ms = decode_latency_ms(index);
+  return out;
+}
+
+double RawSource::decode_latency_ms(int index) const {
+  check_index(index);
+  // Uncompressed planes decode at memcpy speed: ~1 ms per 1080p frame,
+  // with deterministic per-(stream, frame) jitter like the H.264 mock.
+  const double pixels =
+      static_cast<double>(info_.width) * static_cast<double>(info_.height);
+  const double scale = pixels / (1920.0 * 1080.0);
+  core::Rng rng(core::hash_combine(latency_seed_,
+                                   static_cast<std::uint64_t>(index)));
+  return scale * (1.0 + rng.uniform(0.0, 0.25));
+}
+
+std::optional<ByteRange> RawSource::frame_bytes(int index) const {
+  check_index(index);
+  return frames_[static_cast<std::size_t>(index)];
+}
+
+std::string encode_raw(const std::vector<img::Nv12Frame>& frames, double fps) {
+  FDET_CHECK(!frames.empty()) << "encode_raw: no frames";
+  FDET_CHECK(fps > 0.0 && fps <= kMaxIngestFps)
+      << "encode_raw: fps " << fps << " outside (0, " << kMaxIngestFps << "]";
+  const int width = frames.front().width();
+  const int height = frames.front().height();
+  ByteWriter writer;
+  writer.bytes(kMagicFamily);
+  writer.u8(static_cast<std::uint8_t>(kVersion));
+  writer.u32(static_cast<std::uint32_t>(width));
+  writer.u32(static_cast<std::uint32_t>(height));
+  writer.u32(static_cast<std::uint32_t>(frames.size()));
+  writer.u32(static_cast<std::uint32_t>(fps * 1000.0));
+  for (const img::Nv12Frame& frame : frames) {
+    FDET_CHECK(frame.width() == width && frame.height() == height)
+        << "encode_raw: frame geometry " << frame.width() << "x"
+        << frame.height() << " != stream " << width << "x" << height;
+    std::string payload;
+    payload.reserve(frame.luma().size() + frame.chroma().size());
+    payload.append(reinterpret_cast<const char*>(frame.luma().data()),
+                   frame.luma().size());
+    payload.append(reinterpret_cast<const char*>(frame.chroma().data()),
+                   frame.chroma().size());
+    writer.u32(core::crc32(payload));
+    writer.bytes(payload);
+  }
+  return writer.take();
+}
+
+}  // namespace fdet::ingest

@@ -1,0 +1,51 @@
+// FRW — a raw-NV12/Y4M-like container: uncompressed planes, one CRC per
+// frame. The simplest of the simulated formats, and the one whose
+// validation is purely structural (geometry, sizes, checksums).
+//
+// Wire layout (all integers little-endian):
+//
+//   "FRW" version-byte '1'
+//   u32 width   u32 height   u32 frames   u32 fps_milli
+//   frames x [ u32 crc32(payload) | luma w*h bytes | chroma w*(h/2) bytes ]
+//   (end of stream — trailing bytes are an error)
+//
+// Open-time validation (before any plane allocation): magic + version,
+// dimension caps/evenness, frame-count and fps caps, and that the byte
+// count implied by the header exactly matches the stream — so truncation,
+// plane-size inconsistencies and trailing garbage are all rejected from
+// the header alone. Per-frame CRCs are checked lazily at decode(i),
+// modeling containers whose index parses clean but whose payload rotted.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ingest/frame_source.h"
+
+namespace fdet::ingest {
+
+class RawSource final : public FrameSource {
+ public:
+  /// Parses and validates the container structure; throws IngestError.
+  /// The source takes ownership of the byte stream.
+  explicit RawSource(std::string bytes);
+
+  const SourceInfo& info() const override { return info_; }
+  video::DecodedFrame decode(int index) const override;
+  double decode_latency_ms(int index) const override;
+  std::optional<ByteRange> frame_bytes(int index) const override;
+
+ private:
+  std::string bytes_;
+  SourceInfo info_;
+  std::vector<ByteRange> frames_;  ///< payload extents (crc excluded)
+  std::uint64_t latency_seed_ = 0;
+};
+
+/// Serializes NV12 frames into the FRW container. All frames must share
+/// the first frame's geometry (core::CheckError otherwise — encoding is a
+/// trusted path, unlike parsing).
+std::string encode_raw(const std::vector<img::Nv12Frame>& frames, double fps);
+
+}  // namespace fdet::ingest

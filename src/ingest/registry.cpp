@@ -1,0 +1,87 @@
+#include "ingest/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "img/nv12.h"
+#include "ingest/gif.h"
+#include "ingest/mjpeg.h"
+#include "ingest/raw.h"
+
+namespace fdet::ingest {
+namespace {
+
+std::vector<img::Nv12Frame> render_nv12(const video::SyntheticTrailer& trailer) {
+  std::vector<img::Nv12Frame> frames;
+  frames.reserve(static_cast<std::size_t>(trailer.spec().frames));
+  for (int i = 0; i < trailer.spec().frames; ++i) {
+    frames.push_back(img::Nv12Frame::from_gray(trailer.render_luma(i)));
+  }
+  return frames;
+}
+
+}  // namespace
+
+std::string_view format_name(Format format) {
+  switch (format) {
+    case Format::kRaw:
+      return "raw";
+    case Format::kMjpeg:
+      return "mjpeg";
+    case Format::kGif:
+      return "gif";
+  }
+  FDET_CHECK(false) << "unreachable format " << static_cast<int>(format);
+  return "";
+}
+
+Format parse_format(std::string_view name) {
+  for (const Format format : kAllFormats) {
+    if (name == format_name(format)) {
+      return format;
+    }
+  }
+  throw IngestError(IngestErrorKind::kUnsupported, std::string(name), 0,
+                    "unknown format (known: raw, mjpeg, gif)");
+}
+
+std::string encode_stream(Format format,
+                          const video::SyntheticTrailer& trailer) {
+  const double fps = trailer.spec().fps;
+  switch (format) {
+    case Format::kRaw:
+      return encode_raw(render_nv12(trailer), fps);
+    case Format::kMjpeg:
+      return encode_mjpeg(render_nv12(trailer), fps);
+    case Format::kGif: {
+      std::vector<img::ImageU8> frames;
+      frames.reserve(static_cast<std::size_t>(trailer.spec().frames));
+      for (int i = 0; i < trailer.spec().frames; ++i) {
+        frames.push_back(trailer.render_luma(i));
+      }
+      return encode_gif(frames, fps);
+    }
+  }
+  FDET_CHECK(false) << "unreachable format " << static_cast<int>(format);
+  return "";
+}
+
+std::unique_ptr<FrameSource> open_stream(std::string bytes) {
+  const std::string_view head =
+      std::string_view(bytes).substr(0, std::min<std::size_t>(3, bytes.size()));
+  if (head == "FRW") {
+    return std::make_unique<RawSource>(std::move(bytes));
+  }
+  if (head == "FMJ") {
+    return std::make_unique<MjpegSource>(std::move(bytes));
+  }
+  if (head == "FGF") {
+    return std::make_unique<GifSource>(std::move(bytes));
+  }
+  throw IngestError(
+      IngestErrorKind::kBadMagic, "unknown", 0,
+      "no container parser claims this stream (known magics: FRW, FMJ, FGF)");
+}
+
+}  // namespace fdet::ingest

@@ -1,0 +1,39 @@
+// Format registry: the one place that knows every simulated container —
+// name parsing for CLI flags, magic sniffing for open_stream(), and
+// trailer-backed encoding so tests, the fuzz harness and the example can
+// serialize the same synthetic footage into any byte-stream format.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ingest/frame_source.h"
+#include "video/trailer.h"
+
+namespace fdet::ingest {
+
+/// The byte-stream container formats (the mock H.264 path has no byte
+/// stream and lives outside the registry).
+enum class Format { kRaw, kMjpeg, kGif };
+
+inline constexpr Format kAllFormats[] = {Format::kRaw, Format::kMjpeg,
+                                         Format::kGif};
+
+/// Stable lowercase token: "raw" | "mjpeg" | "gif".
+std::string_view format_name(Format format);
+
+/// Parses a CLI token; throws IngestError(kUnsupported) listing the
+/// known formats on anything else.
+Format parse_format(std::string_view name);
+
+/// Serializes the trailer's frames into the given container format.
+std::string encode_stream(Format format, const video::SyntheticTrailer& trailer);
+
+/// Sniffs the magic and dispatches to the matching validating parser.
+/// Throws IngestError: kBadMagic when no parser claims the stream, or
+/// whatever the claiming parser raises for a malformed body.
+std::unique_ptr<FrameSource> open_stream(std::string bytes);
+
+}  // namespace fdet::ingest

@@ -21,12 +21,16 @@ std::optional<FaultKind> kind_from_token(std::string_view token) {
   if (token == "launch") return FaultKind::kLaunchTransient;
   if (token == "const") return FaultKind::kConstantOverflow;
   if (token == "shared") return FaultKind::kSharedOverflow;
+  if (token == "bitstream") return FaultKind::kBitstream;
   return std::nullopt;
 }
 
 bool is_hard(FaultKind kind) {
+  // Bitstream damage behaves like a hard fault: every decode attempt of
+  // the frame sees the same malformed bytes, so it fires regardless of
+  // the attempt counter (the service quarantines instead of retrying).
   return kind == FaultKind::kConstantOverflow ||
-         kind == FaultKind::kSharedOverflow;
+         kind == FaultKind::kSharedOverflow || kind == FaultKind::kBitstream;
 }
 
 }  // namespace
@@ -38,6 +42,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kLaunchTransient: return "launch";
     case FaultKind::kConstantOverflow: return "const";
     case FaultKind::kSharedOverflow: return "shared";
+    case FaultKind::kBitstream: return "bitstream";
   }
   return "?";
 }
@@ -67,7 +72,7 @@ FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
     FDET_CHECK(kind.has_value())
         << "unknown fault kind '" << token.substr(0, at)
         << "' in '" << token
-        << "' (kinds: decode, corrupt, launch, const, shared)";
+        << "' (kinds: decode, corrupt, launch, const, shared, bitstream)";
     FaultSpec spec;
     spec.kind = *kind;
     std::string target = token.substr(at + 1);

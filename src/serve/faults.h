@@ -28,10 +28,11 @@ enum class FaultKind {
   kLaunchTransient,   ///< first kernel launch of the attempt fails, retryable
   kConstantOverflow,  ///< cascade launch reports constant-memory overflow (hard)
   kSharedOverflow,    ///< shared-memory-using launch reports overflow (hard)
+  kBitstream,         ///< decode throws ingest::IngestError (malformed, no retry)
 };
 
 /// Stable lower-case token, also the spec-string name: "decode", "corrupt",
-/// "launch", "const", "shared".
+/// "launch", "const", "shared", "bitstream".
 const char* fault_kind_name(FaultKind kind);
 
 /// Thrown by FaultInjector::decode on an injected decode failure — the
@@ -66,6 +67,7 @@ class FaultPlan {
   ///   corrupt@12      corrupt the luma plane of frame 12
   ///   const@17        constant-overflow fault at frame 17 (hard)
   ///   shared@21       shared-overflow fault at frame 21 (hard)
+  ///   bitstream@25    malformed-bitstream fault at frame 25 (no retry)
   ///   launch@0.05     probabilistic: each frame fails with p = 0.05
   ///
   /// A target with a '.' parses as a probability, otherwise as a frame

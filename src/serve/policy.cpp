@@ -11,6 +11,7 @@ const char* error_class_name(ErrorClass cls) {
   switch (cls) {
     case ErrorClass::kTransient: return "transient";
     case ErrorClass::kResource: return "resource";
+    case ErrorClass::kMalformed: return "malformed";
     case ErrorClass::kFatal: return "fatal";
   }
   return "?";

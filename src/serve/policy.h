@@ -9,6 +9,10 @@
 //              breaker
 //   resource   constant/shared-memory overflow -> no retry (it would fail
 //              identically); the frame is quarantined with a FrameError
+//   malformed  a validating container parser rejected the frame's bytes
+//              (ingest::IngestError) -> no retry (the bytes won't heal);
+//              quarantine and count toward the decode breaker so a
+//              malformed burst sheds via the ladder
 //   fatal      anything unexpected (core::CheckError from a stage) ->
 //              quarantine, never crash the service
 //
@@ -24,7 +28,7 @@
 
 namespace fdet::serve {
 
-enum class ErrorClass { kTransient, kResource, kFatal };
+enum class ErrorClass { kTransient, kResource, kMalformed, kFatal };
 const char* error_class_name(ErrorClass cls);
 
 /// Structured record of a frame the service could not serve: emitted in

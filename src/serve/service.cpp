@@ -192,7 +192,7 @@ void StreamingService::reset() {
 }
 
 ServedFrame StreamingService::serve_frame(
-    const video::MockH264Decoder& decoder, int index, const FaultPlan* plan,
+    const ingest::FrameSource& source, int index, const FaultPlan* plan,
     double start_s) {
   ServedFrame sf;
   sf.index = index;
@@ -211,7 +211,8 @@ ServedFrame StreamingService::serve_frame(
     sf.error = FrameError{index, stage, cls, message, attempts};
     count("serve.frame_errors", {{"stage", stage},
                                  {"class", error_class_name(cls)}});
-    if (cls == ErrorClass::kResource || cls == ErrorClass::kFatal) {
+    if (cls == ErrorClass::kResource || cls == ErrorClass::kMalformed ||
+        cls == ErrorClass::kFatal) {
       append_cause(sf, std::string("quarantine:") + stage + "/" +
                            error_class_name(cls));
       note_anomaly(sf, obs::Anomaly::kQuarantine);
@@ -283,6 +284,7 @@ ServedFrame StreamingService::serve_frame(
   video::DecodedFrame decoded;
   {
     const obs::ScopedSpan span("serve.decode");
+    const std::string& format = source.info().format;
     int attempt = 0;
     while (true) {
       try {
@@ -293,11 +295,33 @@ ServedFrame StreamingService::serve_frame(
                             std::to_string(index) + ", attempt " +
                             std::to_string(attempt) + ")");
         }
-        decoded = decoder.decode(index);
+        if (plan != nullptr &&
+            plan->fires(FaultKind::kBitstream, index, attempt)) {
+          fault_injected("bitstream");
+          throw ingest::IngestError(
+              ingest::IngestErrorKind::kInjected, format, 0,
+              "injected bitstream damage (frame " + std::to_string(index) +
+                  ")");
+        }
+        decoded = source.decode(index);
         sf.decode_ms += decoded.decode_ms;
+        count("ingest.frames", {{"format", format}});
+        observe_histogram("ingest.decode_ms",
+                          {0.5, 1, 2, 4, 8, 12, 16, 24, 32},
+                          decoded.decode_ms);
         break;
+      } catch (const ingest::IngestError& error) {
+        // Malformed bytes fail every attempt identically: quarantine the
+        // frame instead of retrying, and let the decode breaker see the
+        // failure so a malformed burst sheds via the ladder.
+        count("ingest.rejects",
+              {{"format", format},
+               {"kind", ingest::ingest_error_kind_name(error.kind())}});
+        fail("decode", ErrorClass::kMalformed, error.what(), attempt + 1,
+             decode_breaker_);
+        return sf;
       } catch (const DecodeError& error) {
-        sf.decode_ms += decoder.decode_latency_ms(index);
+        sf.decode_ms += source.decode_latency_ms(index);
         if (attempt + 1 >= options_.retry.max_attempts) {
           fail("decode", ErrorClass::kTransient,
                std::string(error.what()) + " (retries exhausted)",
@@ -395,10 +419,15 @@ ServedFrame StreamingService::serve_frame(
 
 ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
                                     int count_frames, const FaultPlan* plan) {
+  return run(ingest::H264FrameSource(decoder), count_frames, plan);
+}
+
+ServiceReport StreamingService::run(const ingest::FrameSource& source,
+                                    int count_frames, const FaultPlan* plan) {
   FDET_CHECK(count_frames >= 1) << "run() needs at least one frame";
-  FDET_CHECK(count_frames <= decoder.frame_count())
+  FDET_CHECK(count_frames <= source.frame_count())
       << "run(" << count_frames << ") exceeds the stream's "
-      << decoder.frame_count() << " frames";
+      << source.frame_count() << " frames";
   reset();
 
   ServiceReport report;
@@ -455,7 +484,7 @@ ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
       flight(obs::FlightEventKind::kDrop, i, arrival_s * 1e6, 0.0, "drop",
              step.name, static_cast<double>(depth));
     } else {
-      sf = serve_frame(decoder, i, plan, start_s);
+      sf = serve_frame(source, i, plan, start_s);
     }
     sf.arrival_s = arrival_s;
     sf.queue_depth = depth;
@@ -561,6 +590,9 @@ ServiceReport StreamingService::run(const video::MockH264Decoder& decoder,
     }
     report.retries += sf.retries;
     report.faults_injected += sf.fault_injected ? 1 : 0;
+    if (sf.error.has_value() && sf.error->cls == ErrorClass::kMalformed) {
+      ++report.ingest_rejects;
+    }
     report.max_latency_ms = std::max(report.max_latency_ms, sf.latency_ms);
     unserved_streak = served ? 0 : unserved_streak + 1;
     report.max_consecutive_unserved =

@@ -1,12 +1,15 @@
 // Fault-tolerant streaming detection service (the serving layer of
 // ROADMAP's "heavy traffic" north star).
 //
-// StreamingService wraps decoder -> detect::Pipeline behind a bounded
-// frame queue with backpressure and a per-frame deadline budget, all in
-// *virtual* time: frames arrive at the stream fps, service occupancy is
-// the modeled decode + detect (+ retry backoff) latency, and the queue
-// depth is derived from arrivals vs completions — deterministic, like the
-// rest of the simulator, so chaos runs are exactly reproducible.
+// StreamingService wraps ingest::FrameSource -> detect::Pipeline behind a
+// bounded frame queue with backpressure and a per-frame deadline budget,
+// all in *virtual* time: frames arrive at the stream fps, service
+// occupancy is the modeled decode + detect (+ retry backoff) latency, and
+// the queue depth is derived from arrivals vs completions —
+// deterministic, like the rest of the simulator, so chaos runs are
+// exactly reproducible. Any frame source serves identically: the mock
+// hardware H.264 decoder (a convenience overload wraps it) or the
+// validating byte-stream container parsers of src/ingest/.
 //
 // Recovery behavior (serve/policy.h):
 //   * transient faults (decode glitches, vgpu launch hiccups) retry with
@@ -14,9 +17,10 @@
 //   * repeated per-stage frame failures trip a circuit breaker that
 //     rejects the stage for a cooldown and forces the serial-exec rung of
 //     the degradation ladder;
-//   * hard resource faults (constant/shared overflow) and unexpected
-//     errors quarantine the frame with a structured FrameError — the
-//     service never crashes;
+//   * hard resource faults (constant/shared overflow), malformed frame
+//     bytes (ingest::IngestError — the bytes won't heal, so no retry) and
+//     unexpected errors quarantine the frame with a structured
+//     FrameError — the service never crashes;
 //   * blowing the deadline budget walks the degradation ladder down
 //     (shed finest scales -> raise min_neighbors -> serial exec -> shed
 //     queued frames); sustained in-budget frames climb back up.
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "detect/pipeline.h"
+#include "ingest/frame_source.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/slo.h"
@@ -130,6 +135,9 @@ struct ServiceReport {
   int breaker_trips = 0;
   int degradation_shifts = 0;
   int final_degradation_level = 0;
+  /// Frames whose bytes the ingest layer rejected with a typed
+  /// IngestError (ErrorClass::kMalformed; subset of `failed`).
+  int ingest_rejects = 0;
   /// Longest streak of frames that produced no detections output
   /// (dropped or failed) — the chaos harness bounds this.
   int max_consecutive_unserved = 0;
@@ -149,9 +157,15 @@ class StreamingService {
                    detect::PipelineOptions base, ServiceOptions options,
                    obs::Registry* registry = nullptr);
 
-  /// Serves frames [0, count) of the decoder's stream under an optional
+  /// Serves frames [0, count) of the source's stream under an optional
   /// fault plan (null = fault-free). Resets service state (ladder,
   /// breakers, virtual clock) so consecutive runs are independent.
+  ServiceReport run(const ingest::FrameSource& source, int count,
+                    const FaultPlan* plan = nullptr);
+
+  /// Convenience: serves the mock hardware decoder through its
+  /// H264FrameSource adapter (the pre-ingest API, kept for callers that
+  /// never touch byte streams).
   ServiceReport run(const video::MockH264Decoder& decoder, int count,
                     const FaultPlan* plan = nullptr);
 
@@ -167,7 +181,7 @@ class StreamingService {
   /// `start_s` is the virtual time service begins on the frame
   /// (max(arrival, previous completion)) — flight events and vgpu launch
   /// spans are timestamped relative to it.
-  ServedFrame serve_frame(const video::MockH264Decoder& decoder, int index,
+  ServedFrame serve_frame(const ingest::FrameSource& source, int index,
                           const FaultPlan* plan, double start_s);
   void reset();
 

@@ -32,6 +32,7 @@ class MockH264Decoder {
   double decode_latency_ms(int index) const;
 
   int frame_count() const { return trailer_->spec().frames; }
+  const TrailerSpec& spec() const { return trailer_->spec(); }
 
  private:
   const SyntheticTrailer* trailer_;

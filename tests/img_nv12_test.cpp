@@ -59,6 +59,41 @@ TEST(Nv12Frame, RejectsOddDimensionsBecauseOf420Sampling) {
   }
 }
 
+TEST(Nv12Frame, FromPlanesAdoptsMatchingPlanes) {
+  ImageU8 luma(32, 24, 200);
+  ImageU8 chroma(32, 12, 96);
+  const Nv12Frame frame =
+      Nv12Frame::from_planes(std::move(luma), std::move(chroma));
+  EXPECT_EQ(frame.width(), 32);
+  EXPECT_EQ(frame.height(), 24);
+  EXPECT_EQ(frame.luma().at(0, 0), 200);
+  EXPECT_EQ(frame.chroma().at(0, 0), 96);
+}
+
+TEST(Nv12Frame, FromPlanesRejectsBadLumaGeometry) {
+  // Same rules as the allocating constructor: positive and even. The
+  // chroma plane is sized to match so only the luma check can fire.
+  EXPECT_THROW(Nv12Frame::from_planes(ImageU8(), ImageU8()),
+               core::CheckError);
+  EXPECT_THROW(Nv12Frame::from_planes(ImageU8(63, 48), ImageU8(63, 24)),
+               core::CheckError);
+  EXPECT_THROW(Nv12Frame::from_planes(ImageU8(64, 46 + 1), ImageU8(64, 23)),
+               core::CheckError);
+}
+
+TEST(Nv12Frame, FromPlanesRejectsChromaGeometryMismatchNamingPlanes) {
+  for (const auto& [cw, ch] :
+       {std::pair{64, 48}, {64, 12}, {32, 24}, {64, 23}}) {
+    try {
+      Nv12Frame::from_planes(ImageU8(64, 48), ImageU8(cw, ch));
+      FAIL() << "expected CheckError for chroma " << cw << "x" << ch;
+    } catch (const core::CheckError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("chroma"), std::string::npos) << what;
+    }
+  }
+}
+
 TEST(Nv12Frame, FromGrayRejectsEmptyAndOddInputs) {
   EXPECT_THROW(Nv12Frame::from_gray(ImageU8()), core::CheckError);
   EXPECT_THROW(Nv12Frame::from_gray(ImageU8(63, 48)), core::CheckError);

@@ -1,0 +1,138 @@
+// Bounded byte-cursor primitives (ingest/bytes.h): every parser-facing
+// read must fail typed — truncation, magic mismatch, trailing garbage —
+// instead of reading past the end, and the writer/reader pair must
+// round-trip little-endian fields regardless of host endianness.
+#include "ingest/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ingest/error.h"
+
+namespace fdet::ingest {
+namespace {
+
+TEST(ByteWriter, LittleEndianFieldLayout) {
+  ByteWriter writer;
+  writer.u8(0xab);
+  writer.u16(0x1234);
+  writer.u32(0xdeadbeef);
+  const std::string& out = writer.str();
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xab);
+  EXPECT_EQ(static_cast<unsigned char>(out[1]), 0x34);  // u16 low byte first
+  EXPECT_EQ(static_cast<unsigned char>(out[2]), 0x12);
+  EXPECT_EQ(static_cast<unsigned char>(out[3]), 0xef);  // u32 low byte first
+  EXPECT_EQ(static_cast<unsigned char>(out[6]), 0xde);
+}
+
+TEST(ByteReader, RoundTripsWriterFields) {
+  ByteWriter writer;
+  writer.u8(7);
+  writer.u16(60000);
+  writer.u32(0x01020304);
+  writer.bytes("tail");
+
+  ByteReader reader(writer.str(), "raw");
+  EXPECT_EQ(reader.u8("a"), 7);
+  EXPECT_EQ(reader.u16("b"), 60000);
+  EXPECT_EQ(reader.u32("c"), 0x01020304u);
+  EXPECT_EQ(reader.bytes(4, "d"), "tail");
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_NO_THROW(reader.expect_end("stream"));
+}
+
+TEST(ByteReader, TruncatedReadThrowsTypedErrorNamingOffset) {
+  ByteReader reader("abc", "mjpeg");
+  reader.bytes(2, "skip");
+  try {
+    reader.u32("frame length");
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& error) {
+    EXPECT_EQ(error.kind(), IngestErrorKind::kTruncated);
+    EXPECT_EQ(error.format(), "mjpeg");
+    EXPECT_EQ(error.offset(), 2u);
+    EXPECT_NE(std::string(error.what()).find("frame length"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ByteReader, MagicMismatchNamesExpectedAndObservedBytes) {
+  ByteReader reader("FRX1", "raw");
+  try {
+    reader.expect_magic("FRW", "container magic");
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& error) {
+    EXPECT_EQ(error.kind(), IngestErrorKind::kBadMagic);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("FRW"), std::string::npos) << what;
+    EXPECT_NE(what.find("FRX"), std::string::npos) << what;
+  }
+}
+
+TEST(ByteReader, NonPrintableMagicBytesAreEscapedInDiagnostics) {
+  const std::string bytes("\x00\x01G", 3);
+  ByteReader reader(bytes, "gif");
+  try {
+    reader.expect_magic("FGF", "container magic");
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& error) {
+    EXPECT_NE(std::string(error.what()).find("\\x00"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ByteReader, TrailingBytesAfterLastFrameAreTyped) {
+  ByteReader reader("payloadEXTRA", "raw");
+  reader.bytes(7, "payload");
+  try {
+    reader.expect_end("stream");
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& error) {
+    EXPECT_EQ(error.kind(), IngestErrorKind::kTrailingGarbage);
+    EXPECT_NE(std::string(error.what()).find("5 byte(s)"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ByteReader, SeekPastEndIsTruncationNotUb) {
+  ByteReader reader("12345678", "raw");
+  EXPECT_NO_THROW(reader.seek(8, "frame table"));  // one-past-end is valid
+  EXPECT_TRUE(reader.at_end());
+  try {
+    reader.seek(9, "frame table");
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& error) {
+    EXPECT_EQ(error.kind(), IngestErrorKind::kTruncated);
+  }
+}
+
+TEST(ByteReader, FailRaisesSemanticErrorAtCurrentOffset) {
+  ByteReader reader("FRW1....", "raw");
+  reader.bytes(4, "header");
+  try {
+    reader.fail(IngestErrorKind::kAbsurdMetadata, "0 frames declared");
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& error) {
+    EXPECT_EQ(error.kind(), IngestErrorKind::kAbsurdMetadata);
+    EXPECT_EQ(error.offset(), 4u);
+  }
+}
+
+TEST(IngestErrorKindName, TokensAreStable) {
+  EXPECT_STREQ(ingest_error_kind_name(IngestErrorKind::kTruncated),
+               "truncated");
+  EXPECT_STREQ(ingest_error_kind_name(IngestErrorKind::kBadMagic),
+               "bad-magic");
+  EXPECT_STREQ(ingest_error_kind_name(IngestErrorKind::kChecksumMismatch),
+               "checksum-mismatch");
+  EXPECT_STREQ(ingest_error_kind_name(IngestErrorKind::kPaletteOverflow),
+               "palette-overflow");
+  EXPECT_STREQ(ingest_error_kind_name(IngestErrorKind::kInjected),
+               "injected");
+}
+
+}  // namespace
+}  // namespace fdet::ingest

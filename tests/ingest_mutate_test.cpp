@@ -1,0 +1,156 @@
+// Deterministic corruption machinery (ingest/mutate.h): the seeded
+// whole-stream mutator the fuzz harness sweeps, and the frame-targeted
+// CorruptingSource the chaos/serving tests use to stage mid-stream
+// malformed bursts. Both must be reproducible from their seeds — a fuzz
+// failure that cannot be replayed is worthless.
+#include "ingest/mutate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ingest/error.h"
+#include "ingest/registry.h"
+#include "video/trailer.h"
+
+namespace fdet::ingest {
+namespace {
+
+video::SyntheticTrailer test_trailer() {
+  video::TrailerSpec spec;
+  spec.title = "mutate-test";
+  spec.width = 64;
+  spec.height = 48;
+  spec.frames = 4;
+  spec.fps = 24.0;
+  spec.shot_frames = 2;
+  spec.seed = 0xbeef;
+  return video::SyntheticTrailer(spec);
+}
+
+TEST(MutationKinds, TokensRoundTrip) {
+  for (const MutationKind kind : kAllMutations) {
+    EXPECT_EQ(parse_mutation_kind(mutation_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_mutation_kind("nuke"), IngestError);
+}
+
+TEST(MutateStream, DeterministicInKindAndSeed) {
+  const std::string pristine = encode_stream(Format::kRaw, test_trailer());
+  for (const MutationKind kind : kAllMutations) {
+    const std::string a = mutate_stream(pristine, kind, 42);
+    const std::string b = mutate_stream(pristine, kind, 42);
+    EXPECT_EQ(a, b) << mutation_kind_name(kind);
+    EXPECT_NE(a, pristine) << mutation_kind_name(kind)
+                           << ": mutation must change the stream";
+  }
+}
+
+TEST(MutateStream, DifferentSeedsDiverge) {
+  const std::string pristine = encode_stream(Format::kRaw, test_trailer());
+  // Bit flips land on seed-chosen offsets; two seeds colliding on the
+  // same flips would make the sweep revisit mutants.
+  EXPECT_NE(mutate_stream(pristine, MutationKind::kBitFlip, 1),
+            mutate_stream(pristine, MutationKind::kBitFlip, 2));
+}
+
+TEST(MutateStream, TruncateShortensAndGarbageTailLengthens) {
+  const std::string pristine = encode_stream(Format::kMjpeg, test_trailer());
+  EXPECT_LT(mutate_stream(pristine, MutationKind::kTruncate, 9).size(),
+            pristine.size());
+  EXPECT_GT(mutate_stream(pristine, MutationKind::kGarbageTail, 9).size(),
+            pristine.size());
+}
+
+TEST(CorruptPlan, ParsesKindAtFrameEntries) {
+  const CorruptPlan plan = CorruptPlan::parse("flip@12,zero@30,splice@31", 7);
+  ASSERT_EQ(plan.entries.size(), 3u);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_EQ(plan.entries[0].kind, MutationKind::kBitFlip);
+  EXPECT_EQ(plan.entries[0].frame, 12);
+  EXPECT_EQ(plan.entries[2].kind, MutationKind::kSplice);
+  EXPECT_EQ(plan.entries[2].frame, 31);
+  ASSERT_NE(plan.find(30), nullptr);
+  EXPECT_EQ(plan.find(30)->kind, MutationKind::kZeroRun);
+  EXPECT_EQ(plan.find(13), nullptr);
+}
+
+TEST(CorruptPlan, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(CorruptPlan::parse("").empty());
+}
+
+TEST(CorruptPlan, MalformedEntriesAreTypedCliErrors) {
+  for (const char* spec : {"flip", "flip@", "@3", "nuke@3", "flip@x"}) {
+    try {
+      CorruptPlan::parse(spec);
+      FAIL() << "expected IngestError for '" << spec << "'";
+    } catch (const IngestError& error) {
+      EXPECT_EQ(error.kind(), IngestErrorKind::kUnsupported) << spec;
+    }
+  }
+}
+
+TEST(CorruptingSource, UntargetedFramesPassThroughByteIdentical) {
+  const std::string pristine = encode_stream(Format::kRaw, test_trailer());
+  const auto clean = open_stream(pristine);
+  const CorruptingSource corrupting(pristine, CorruptPlan::parse("flip@2", 5));
+  EXPECT_EQ(corrupting.info().frames, 4);
+  for (const int i : {0, 1, 3}) {
+    EXPECT_EQ(corrupting.decode(i).frame.luma(),
+              clean->decode(i).frame.luma())
+        << "frame " << i;
+    EXPECT_NEAR(corrupting.decode_latency_ms(i),
+                clean->decode_latency_ms(i), 1e-12);
+  }
+}
+
+TEST(CorruptingSource, TargetedRawFrameFailsItsChecksumTyped) {
+  // The raw container CRCs every payload, and the mutator targets only
+  // payload bytes (frame_bytes excludes the CRC) — so a bit flip on a
+  // targeted frame is guaranteed to surface as kChecksumMismatch.
+  const CorruptingSource source(encode_stream(Format::kRaw, test_trailer()),
+                                CorruptPlan::parse("flip@2", 5));
+  try {
+    source.decode(2);
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& error) {
+    EXPECT_EQ(error.kind(), IngestErrorKind::kChecksumMismatch);
+    EXPECT_EQ(error.format(), "raw");
+  }
+  // Statelessness holds for failures too: same frame, same error.
+  EXPECT_THROW(source.decode(2), IngestError);
+  EXPECT_NO_THROW(source.decode(3));
+}
+
+TEST(CorruptingSource, DamageIsDeterministicInThePlanSeed) {
+  const std::string pristine = encode_stream(Format::kMjpeg, test_trailer());
+  // Whatever a targeted decode produces — a typed rejection or a frame
+  // the CRC-less RLE coder still accepts — two sources built from the
+  // same plan must agree.
+  for (const std::uint64_t seed : {1ull, 99ull}) {
+    const CorruptingSource a(pristine, CorruptPlan::parse("splice@1", seed));
+    const CorruptingSource b(pristine, CorruptPlan::parse("splice@1", seed));
+    try {
+      const auto frame_a = a.decode(1);
+      const auto frame_b = b.decode(1);
+      EXPECT_EQ(frame_a.frame.luma(), frame_b.frame.luma());
+    } catch (const IngestError& error_a) {
+      try {
+        b.decode(1);
+        FAIL() << "a rejected but b decoded: " << error_a.what();
+      } catch (const IngestError& error_b) {
+        EXPECT_EQ(error_a.kind(), error_b.kind());
+      }
+    }
+  }
+}
+
+TEST(CorruptingSource, PristineStreamMustOpenClean) {
+  std::string broken = encode_stream(Format::kGif, test_trailer());
+  broken[0] = 'Z';
+  EXPECT_THROW(CorruptingSource(std::move(broken), CorruptPlan::parse("")),
+               IngestError);
+}
+
+}  // namespace
+}  // namespace fdet::ingest

@@ -7,6 +7,8 @@
 
 #include "core/check.h"
 #include "facegen/dataset.h"
+#include "ingest/mutate.h"
+#include "ingest/registry.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -354,6 +356,124 @@ TEST(StreamingService, LegacyLadderPathMatchesSloDrivenDefault) {
         << "frame " << i;
   }
   EXPECT_EQ(a.degradation_shifts, b.degradation_shifts);
+}
+
+/// The serve-test footage serialized into the raw byte-stream container,
+/// so the service runs over a validating parser instead of the mock
+/// hardware decoder.
+std::string test_raw_stream() {
+  video::TrailerSpec spec;
+  spec.title = "serve-test";
+  spec.width = 160;
+  spec.height = 120;
+  spec.frames = 24;
+  spec.shot_frames = 8;
+  spec.face_density = 1.5;
+  spec.seed = 9;
+  return ingest::encode_stream(ingest::Format::kRaw,
+                               video::SyntheticTrailer(spec));
+}
+
+TEST(StreamingService, ByteStreamSourceServesLikeTheMockDecoder) {
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const auto source = ingest::open_stream(test_raw_stream());
+  const ServiceReport report = service.run(*source, 6);
+  EXPECT_EQ(report.ok, 6);
+  EXPECT_EQ(report.ingest_rejects, 0);
+  for (const ServedFrame& frame : report.frames) {
+    EXPECT_GT(frame.decode_ms, 0.0);
+  }
+}
+
+TEST(StreamingService, MalformedMidStreamBurstShedsAndRecovers) {
+  ServiceOptions options = generous_options();
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_frames = 2;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           options);
+  // Frames 4-6 arrive with flipped payload bytes; the raw container's
+  // per-frame CRC turns each into a typed IngestError mid-stream.
+  const ingest::CorruptingSource source(
+      test_raw_stream(), ingest::CorruptPlan::parse("flip@4,flip@5,flip@6", 3));
+  const ServiceReport report = service.run(source, 20);
+
+  // Each malformed frame quarantines without retry (the bytes will not
+  // get better) and counts as an ingest reject.
+  EXPECT_EQ(report.ingest_rejects, 3);
+  for (const int i : {4, 5, 6}) {
+    const ServedFrame& frame = report.frames[static_cast<std::size_t>(i)];
+    EXPECT_EQ(frame.status, FrameStatus::kFailed) << "frame " << i;
+    ASSERT_TRUE(frame.error.has_value());
+    EXPECT_EQ(frame.error->stage, "decode");
+    EXPECT_EQ(frame.error->cls, ErrorClass::kMalformed);
+    EXPECT_EQ(frame.retries, 0);
+  }
+  // The burst trips the decode breaker, which forces the serial-exec
+  // rung while unhealthy; the stream then climbs back to full quality.
+  EXPECT_EQ(report.breaker_trips, 1);
+  ASSERT_TRUE(report.frames[7].error.has_value());
+  EXPECT_NE(report.frames[7].error->message.find("breaker"),
+            std::string::npos);
+  EXPECT_TRUE(DegradationLadder::step_at(report.frames[8].degradation_level)
+                  .serial_exec);
+  EXPECT_EQ(report.final_degradation_level, 0);
+  EXPECT_EQ(report.frames.back().status, FrameStatus::kOk);
+  // Frames outside the burst are unaffected.
+  EXPECT_EQ(report.frames[3].status, FrameStatus::kOk);
+}
+
+TEST(StreamingService, PublishesIngestMetricsPerFormatAndKind) {
+  obs::Registry registry;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options(), &registry);
+  const ingest::CorruptingSource source(
+      test_raw_stream(), ingest::CorruptPlan::parse("flip@1,flip@2", 3));
+  service.run(source, 6);
+
+  EXPECT_EQ(registry.counter("ingest.frames", {{"format", "raw"}}).value(),
+            4.0);
+  EXPECT_EQ(registry
+                .counter("ingest.rejects",
+                         {{"format", "raw"}, {"kind", "checksum-mismatch"}})
+                .value(),
+            2.0);
+  EXPECT_EQ(registry
+                .counter("serve.frame_errors",
+                         {{"stage", "decode"}, {"class", "malformed"}})
+                .value(),
+            2.0);
+  EXPECT_EQ(registry
+                .histogram("ingest.decode_ms",
+                           {0.5, 1, 2, 4, 8, 12, 16, 24, 32})
+                .count(),
+            4.0);
+}
+
+TEST(StreamingService, BitstreamFaultInjectsATypedIngestReject) {
+  const video::MockH264Decoder decoder = test_decoder();
+  obs::Registry registry;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options(), &registry);
+  const FaultPlan plan = FaultPlan::parse("bitstream@2", 1);
+  const ServiceReport report = service.run(decoder, 5, &plan);
+
+  // A bitstream fault is hard: malformed bytes fail identically on every
+  // attempt, so the frame quarantines without retry.
+  const ServedFrame& frame = report.frames[2];
+  EXPECT_EQ(frame.status, FrameStatus::kFailed);
+  ASSERT_TRUE(frame.error.has_value());
+  EXPECT_EQ(frame.error->cls, ErrorClass::kMalformed);
+  EXPECT_EQ(frame.retries, 0);
+  EXPECT_TRUE(frame.fault_injected);
+  EXPECT_EQ(report.faults_injected, 1);
+  EXPECT_EQ(report.ingest_rejects, 1);
+  EXPECT_EQ(registry
+                .counter("ingest.rejects",
+                         {{"format", "h264"}, {"kind", "injected"}})
+                .value(),
+            1.0);
+  EXPECT_EQ(report.frames[3].status, FrameStatus::kOk);
 }
 
 TEST(StreamingService, RejectsUnusableOptions) {

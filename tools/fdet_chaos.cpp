@@ -24,7 +24,8 @@
 // The default plan exercises every fault kind: transient decode failures,
 // a decode burst long enough to trip the circuit breaker, luma corruption,
 // transient launch faults (whose backoff blows the deadline and walks the
-// degradation ladder), and the two hard overflow kinds.
+// degradation ladder), the two hard overflow kinds, and a malformed-
+// bitstream fault (typed ingest rejection, quarantined without retry).
 #include <cstdio>
 #include <exception>
 #include <set>
@@ -87,7 +88,7 @@ int run_chaos(int argc, char** argv) {
   double deadline_ms = 0.0;  // 0 = auto from the fault-free run
   std::string faults =
       "decode@6x2,corrupt@12,launch@18x2,const@26,shared@34,"
-      "decode@44x3,decode@45x3,decode@46x3";
+      "decode@44x3,decode@45x3,decode@46x3,bitstream@64";
   double seed = 20120926;
   int max_unserved = 8;
   std::string metrics_out;

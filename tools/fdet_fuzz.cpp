@@ -1,0 +1,374 @@
+// Fuzz-style robustness harness for the ingest layer (tools/fdet_fuzz).
+//
+// The corpus invariant, asserted over every input this harness touches:
+//
+//   every byte stream either decodes completely or raises a typed
+//   ingest::IngestError — never a crash, never an out-of-bounds access
+//   (CI runs this under ASan/UBSan), never a silently malformed frame.
+//
+// Three modes:
+//
+//   fdet_fuzz                          seeded mutation sweep: encode a
+//                                      synthetic trailer into every
+//                                      container format, apply --mutants
+//                                      deterministic mutations per format
+//                                      (bit flips, truncation, splices,
+//                                      zeroed runs, garbage tails), and
+//                                      probe each mutant
+//   fdet_fuzz --write-corpus=DIR       regenerate the committed seed
+//                                      corpus: pristine streams (ok_*)
+//                                      plus one handcrafted malformed
+//                                      stream per reachable error kind
+//                                      (bad_<format>_<kind>.bin)
+//   fdet_fuzz --corpus=DIR             replay a corpus directory: ok_*
+//                                      must decode fully (twice,
+//                                      byte-identical); bad_* must raise
+//                                      the exact kind its name declares
+//
+// Exit codes: 0 invariant holds, 1 usage, 2 invariant violated.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/cli.h"
+#include "core/rng.h"
+#include "ingest/mutate.h"
+#include "ingest/quarantine.h"
+#include "ingest/registry.h"
+#include "video/trailer.h"
+
+namespace {
+
+using fdet::ingest::Format;
+using fdet::ingest::IngestError;
+using fdet::ingest::IngestErrorKind;
+using fdet::ingest::MutationKind;
+
+/// Outcome of probing one byte stream against the corpus invariant.
+struct Probe {
+  bool decoded = false;              ///< opened and every frame decoded
+  bool typed_reject = false;         ///< rejected with an IngestError
+  IngestErrorKind kind = IngestErrorKind::kTruncated;
+  std::string what;
+};
+
+/// Opens and fully decodes `bytes`. IngestError is the *only* acceptable
+/// failure; anything else escapes to the caller as a violation.
+Probe probe_stream(const std::string& bytes) {
+  Probe result;
+  try {
+    std::string copy = bytes;
+    const auto source = fdet::ingest::open_stream(std::move(copy));
+    for (int i = 0; i < source->frame_count(); ++i) {
+      const fdet::video::DecodedFrame frame = source->decode(i);
+      // A frame that comes back must match the stream's geometry — the
+      // "never silently malformed" half of the invariant.
+      if (frame.frame.width() != source->info().width ||
+          frame.frame.height() != source->info().height) {
+        throw std::runtime_error("decoded frame geometry mismatch");
+      }
+    }
+    result.decoded = true;
+  } catch (const IngestError& error) {
+    result.typed_reject = true;
+    result.kind = error.kind();
+    result.what = error.what();
+  }
+  return result;
+}
+
+/// Byte-identical double decode of frame 0 — determinism spot check.
+bool decode_deterministic(const std::string& bytes) {
+  std::string a = bytes;
+  std::string b = bytes;
+  const auto first = fdet::ingest::open_stream(std::move(a))->decode(0);
+  const auto second = fdet::ingest::open_stream(std::move(b))->decode(0);
+  return first.frame.luma() == second.frame.luma() &&
+         first.frame.chroma() == second.frame.chroma();
+}
+
+fdet::video::TrailerSpec fuzz_spec() {
+  fdet::video::TrailerSpec spec;
+  spec.title = "fuzz";
+  spec.width = 64;
+  spec.height = 48;
+  spec.frames = 8;
+  spec.fps = 24.0;
+  spec.shot_frames = 4;
+  spec.face_density = 1.0;
+  spec.seed = 0xf0220;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Handcrafted malformed streams: one per (format, reachable error kind).
+// Offsets lean on the fixed 20-byte header every format shares:
+//   [0,3) magic  [3] version  [4,8) width  [8,12) height
+//   [12,16) frames  [16,20) fps_milli
+// ---------------------------------------------------------------------------
+
+std::string patch(std::string bytes, std::size_t offset, char value) {
+  bytes.at(offset) = value;
+  return bytes;
+}
+
+std::string patch_u32(std::string bytes, std::size_t offset,
+                      std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes.at(offset + static_cast<std::size_t>(i)) =
+        static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+/// XOR-damage one byte — guaranteed to differ from the original.
+std::string patch_xor(std::string bytes, std::size_t offset, char mask) {
+  bytes.at(offset) = static_cast<char>(bytes.at(offset) ^ mask);
+  return bytes;
+}
+
+struct CorpusEntry {
+  std::string name;  ///< file stem, e.g. "bad_raw_bad-magic"
+  std::string bytes;
+};
+
+std::vector<CorpusEntry> build_bad_corpus(
+    const std::map<Format, std::string>& pristine) {
+  std::vector<CorpusEntry> out;
+  const auto add = [&out](Format format, IngestErrorKind kind,
+                          std::string bytes) {
+    out.push_back({std::string("bad_") +
+                       std::string(fdet::ingest::format_name(format)) + "_" +
+                       fdet::ingest::ingest_error_kind_name(kind),
+                   std::move(bytes)});
+  };
+
+  for (const auto& [format, bytes] : pristine) {
+    // Shared header wounds, one per format.
+    add(format, IngestErrorKind::kBadMagic, patch(bytes, 0, 'Z'));
+    add(format, IngestErrorKind::kBadVersion, patch(bytes, 3, '9'));
+    add(format, IngestErrorKind::kDimensionOverflow,
+        patch_u32(bytes, 4, 63));  // odd width
+    add(format, IngestErrorKind::kAbsurdMetadata,
+        patch_u32(bytes, 12, 1u << 30));  // absurd frame count
+    add(format, IngestErrorKind::kTruncated,
+        bytes.substr(0, bytes.size() - 7));
+    add(format, IngestErrorKind::kTrailingGarbage, bytes + "EXTRA");
+  }
+
+  // Raw: flip one payload byte behind frame 0's CRC.
+  add(Format::kRaw, IngestErrorKind::kChecksumMismatch,
+      patch_xor(pristine.at(Format::kRaw), 24 + 100, '\x5a'));
+  // Mjpeg: zero frame 0's first RLE count byte (runs must be >= 1).
+  // Frame 0 starts at 20: SOI(2) + rle_len(4), RLE at 26.
+  add(Format::kMjpeg, IngestErrorKind::kPlaneSizeMismatch,
+      patch(pristine.at(Format::kMjpeg), 26, '\0'));
+  {
+    // Gif: point a keyframe pixel past the 64-entry palette, and bend a
+    // delta rect outside the canvas. Keyframe indices start after the
+    // header (20), palette_size byte (1), palette (64), pixel count (4).
+    const std::string& gif = pristine.at(Format::kGif);
+    const std::size_t key_pixels = 20 + 1 + 64 + 4;
+    add(Format::kGif, IngestErrorKind::kPaletteOverflow,
+        patch(gif, key_pixels + 5, '\xff'));
+    // Frame 1's rect starts right after the 64*48 keyframe pixels:
+    // u16 x at that offset — push x past the 64-wide canvas.
+    const std::size_t rect_x = key_pixels + 64 * 48;
+    add(Format::kGif, IngestErrorKind::kBadSubRect,
+        patch(gif, rect_x, '\xff'));
+  }
+  return out;
+}
+
+int write_corpus(const std::string& dir,
+                 const std::map<Format, std::string>& pristine) {
+  std::filesystem::create_directories(dir);
+  int written = 0;
+  const auto emit = [&](const std::string& stem, const std::string& bytes) {
+    fdet::core::atomic_write_file(dir + "/" + stem + ".bin", bytes);
+    ++written;
+  };
+  for (const auto& [format, bytes] : pristine) {
+    emit(std::string("ok_") + std::string(fdet::ingest::format_name(format)),
+         bytes);
+  }
+  for (const CorpusEntry& entry : build_bad_corpus(pristine)) {
+    emit(entry.name, entry.bytes);
+  }
+  std::printf("wrote %d corpus file(s) to %s\n", written, dir.c_str());
+  return 0;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::string out;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+      out.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  return out;
+}
+
+int run_corpus(const std::string& dir) {
+  int checked = 0;
+  int violations = 0;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".bin") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    const std::string stem = path.stem().string();
+    const std::string bytes = read_file(path);
+    ++checked;
+    try {
+      const Probe probe = probe_stream(bytes);
+      if (stem.rfind("ok_", 0) == 0) {
+        if (!probe.decoded) {
+          std::printf("VIOLATION %s: pristine stream rejected: %s\n",
+                      stem.c_str(), probe.what.c_str());
+          ++violations;
+        } else if (!decode_deterministic(bytes)) {
+          std::printf("VIOLATION %s: decode(0) not byte-identical twice\n",
+                      stem.c_str());
+          ++violations;
+        }
+      } else {
+        // bad_<format>_<kind>: the rejection must carry the named kind.
+        const std::string expected = stem.substr(stem.rfind('_') + 1);
+        if (!probe.typed_reject) {
+          std::printf("VIOLATION %s: malformed stream decoded cleanly\n",
+                      stem.c_str());
+          ++violations;
+        } else if (expected !=
+                   fdet::ingest::ingest_error_kind_name(probe.kind)) {
+          std::printf("VIOLATION %s: expected kind %s, got %s (%s)\n",
+                      stem.c_str(), expected.c_str(),
+                      fdet::ingest::ingest_error_kind_name(probe.kind),
+                      probe.what.c_str());
+          ++violations;
+        }
+      }
+    } catch (const std::exception& error) {
+      std::printf("VIOLATION %s: untyped failure escaped: %s\n", stem.c_str(),
+                  error.what());
+      ++violations;
+    }
+  }
+  std::printf("corpus: %d file(s), %d violation(s)\n", checked, violations);
+  return violations == 0 && checked > 0 ? 0 : 2;
+}
+
+int run_mutation_sweep(const std::map<Format, std::string>& pristine,
+                       int mutants, std::uint64_t seed,
+                       const std::string& quarantine_dir) {
+  fdet::ingest::StreamQuarantine quarantine(quarantine_dir,
+                                            /*max_records=*/16);
+  int violations = 0;
+  for (const auto& [format, bytes] : pristine) {
+    const std::string name(fdet::ingest::format_name(format));
+    int decoded = 0;
+    std::map<std::string, int> rejects;
+    for (int i = 0; i < mutants; ++i) {
+      const MutationKind kind =
+          fdet::ingest::kAllMutations[static_cast<std::size_t>(i) %
+                                      std::size(fdet::ingest::kAllMutations)];
+      const std::uint64_t mutant_seed = fdet::core::hash_combine(
+          fdet::core::hash_combine(seed, static_cast<std::uint64_t>(format)),
+          static_cast<std::uint64_t>(i));
+      const std::string mutant =
+          fdet::ingest::mutate_stream(bytes, kind, mutant_seed);
+      try {
+        const Probe probe = probe_stream(mutant);
+        if (probe.decoded) {
+          ++decoded;
+        } else {
+          ++rejects[fdet::ingest::ingest_error_kind_name(probe.kind)];
+        }
+      } catch (const std::exception& error) {
+        // Untyped escape: the exact bug class this harness exists to
+        // catch. Quarantine the mutant so CI uploads it for triage.
+        std::printf("VIOLATION %s mutant %d (%s, seed %llu): %s\n",
+                    name.c_str(), i,
+                    std::string(fdet::ingest::mutation_kind_name(kind)).c_str(),
+                    static_cast<unsigned long long>(mutant_seed),
+                    error.what());
+        quarantine.record(
+            name + "_mutant_" + std::to_string(i),
+            IngestError(IngestErrorKind::kUnsupported, name, 0,
+                        std::string("untyped escape: ") + error.what()),
+            mutant);
+        ++violations;
+      }
+    }
+    std::printf("%-6s %5d mutants: %5d decoded, %5d typed reject(s)\n",
+                name.c_str(), mutants, decoded, mutants - decoded);
+    for (const auto& [kind, n] : rejects) {
+      std::printf("         %-20s %5d\n", kind.c_str(), n);
+    }
+  }
+  if (violations > 0) {
+    std::printf("INVARIANT VIOLATED: %d untyped escape(s)\n", violations);
+    return 2;
+  }
+  std::printf("invariant holds: every mutant decoded or raised a typed "
+              "IngestError\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fdet::core::Cli cli("fdet_fuzz");
+  int mutants = 1000;
+  int seed = 0xf022;
+  std::string write_dir;
+  std::string corpus_dir;
+  std::string quarantine_dir;
+  cli.flag("mutants", mutants, "mutated inputs per format (sweep mode)");
+  cli.flag("seed", seed, "mutation seed base");
+  cli.flag("write-corpus", write_dir, "regenerate the seed corpus here");
+  cli.flag("corpus", corpus_dir, "replay this corpus directory");
+  cli.flag("quarantine-dir", quarantine_dir,
+           "dump untyped-escape mutants here (CI artifact)");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+
+  const fdet::video::SyntheticTrailer trailer(fuzz_spec());
+  std::map<Format, std::string> pristine;
+  for (const Format format : fdet::ingest::kAllFormats) {
+    pristine[format] = fdet::ingest::encode_stream(format, trailer);
+  }
+  // The pristine encodes must satisfy the invariant before any mutation
+  // is worth running.
+  for (const auto& [format, bytes] : pristine) {
+    const Probe probe = probe_stream(bytes);
+    if (!probe.decoded || !decode_deterministic(bytes)) {
+      std::printf("VIOLATION: pristine %s stream failed: %s\n",
+                  std::string(fdet::ingest::format_name(format)).c_str(),
+                  probe.what.c_str());
+      return 2;
+    }
+  }
+
+  if (!write_dir.empty()) {
+    return write_corpus(write_dir, pristine);
+  }
+  if (!corpus_dir.empty()) {
+    return run_corpus(corpus_dir);
+  }
+  return run_mutation_sweep(pristine, mutants,
+                            static_cast<std::uint64_t>(seed), quarantine_dir);
+}

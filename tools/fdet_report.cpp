@@ -83,6 +83,7 @@ const char* paper_artifact(const std::string& name) {
       {"softcascade.", "soft-cascade extension (future work)"},
       {"slo.", "serving SLO engine (DESIGN.md §8)"},
       {"serve.", "serving layer (chaos invariants)"},
+      {"ingest.", "ingest hardening (DESIGN.md §11)"},
       {"obs.overhead", "observability overhead gate"},
   };
   const Mapping* best = nullptr;
@@ -156,15 +157,38 @@ void show_verification_table(
   std::printf("\n");
 }
 
+/// Per-format rollup of the `ingest.frames` / `ingest.rejects` counters the
+/// serving layer publishes per decode attempt (serve/service.cpp).
+struct IngestRollup {
+  double accepted = 0.0;
+  double rejected = 0.0;
+  std::string reject_kinds;  ///< "kind×n, kind×n" breakdown
+};
+
+void show_ingest_table(const std::map<std::string, IngestRollup>& rollup) {
+  std::printf("#### Ingest accept/reject by format\n\n");
+  core::Table table(
+      {"format", "accepted", "rejected", "reject breakdown"});
+  for (const auto& [format, v] : rollup) {
+    table.add_row({format, format_number(v.accepted),
+                   format_number(v.rejected),
+                   v.reject_kinds.empty() ? "—" : v.reject_kinds});
+  }
+  table.print_markdown(std::cout);
+  std::printf("\n");
+}
+
 void show_metrics_file(const obs::json::Value& doc) {
   std::printf("### Metrics registry export\n\n");
   core::Table table({"metric", "kind", "labels", "value", "paper artifact"});
   std::map<std::string, KernelVerification> verification;
+  std::map<std::string, IngestRollup> ingest;
   for (const obs::json::Value& entry : doc.at("metrics").as_array()) {
     const std::string& name = entry.at("name").as_string();
     std::string labels;
     std::string kernel_label;
     std::string kind_label;
+    std::string format_label;
     for (const auto& [key, value] : entry.at("labels").as_object()) {
       if (!labels.empty()) {
         labels += ',';
@@ -174,6 +198,8 @@ void show_metrics_file(const obs::json::Value& doc) {
         kernel_label = value.as_string();
       } else if (key == "kind") {
         kind_label = value.as_string();
+      } else if (key == "format") {
+        format_label = value.as_string();
       }
     }
     std::string value;
@@ -210,11 +236,33 @@ void show_metrics_file(const obs::json::Value& doc) {
         v.global_ops = number;
       }
     }
+
+    if (!format_label.empty() &&
+        (name == "ingest.frames" || name == "ingest.rejects")) {
+      IngestRollup& r = ingest[format_label];
+      const obs::json::Value* raw = entry.find("value");
+      const double number =
+          raw != nullptr && !raw->is_null() ? raw->as_number() : 0.0;
+      if (name == "ingest.frames") {
+        r.accepted = number;
+      } else {
+        r.rejected += number;
+        if (!kind_label.empty()) {
+          if (!r.reject_kinds.empty()) {
+            r.reject_kinds += ", ";
+          }
+          r.reject_kinds += kind_label + "×" + format_number(number);
+        }
+      }
+    }
   }
   table.print_markdown(std::cout);
   std::printf("\n");
   if (!verification.empty()) {
     show_verification_table(verification);
+  }
+  if (!ingest.empty()) {
+    show_ingest_table(ingest);
   }
 }
 
