@@ -13,6 +13,15 @@
 // frames' payload bytes so the quarantine + degradation-ladder response
 // to malformed input can be watched end to end.
 //
+// With --streams > 1 (or an explicit --tenant-mix) the scenario scales
+// from one hardened stream to a fleet: serve::FleetScheduler multiplexes
+// the streams over --devices virtual devices with QoS-aware admission,
+// cross-stream batching, and device fault domains — --faults then also
+// accepts the device fault vocabulary (device-lost@1:2+0.5,
+// device-hang@0:3+0.2, device-slow@0.05*4) alongside the frame-level
+// kinds, split by serve::parse_mixed_fault_plan. The run ends with a
+// per-tenant QoS summary instead of a per-frame log.
+//
 // Uses the trained cascade pair (trains once into --cache-dir on first
 // use; expect a few minutes on a cache miss).
 #include <cstdio>
@@ -24,6 +33,7 @@
 #include "ingest/mutate.h"
 #include "ingest/registry.h"
 #include "obs/profile.h"
+#include "serve/fleet.h"
 #include "serve/service.h"
 #include "train/pretrained.h"
 #include "video/decoder.h"
@@ -41,6 +51,9 @@ int main(int argc, char** argv) {
   std::string profile_out;
   std::string format_name = "h264";
   std::string ingest_corrupt;
+  int streams = 1;
+  int devices = 2;
+  std::string tenant_mix;
   core::Cli cli("video_surveillance");
   cli.flag("frames", frames, "frames to process");
   cli.flag("width", width, "stream width");
@@ -56,6 +69,12 @@ int main(int argc, char** argv) {
            "ingest container: h264 | raw | mjpeg | gif");
   cli.flag("ingest-corrupt", ingest_corrupt,
            "corrupt frame payloads, e.g. flip@2,zero@4 (see ingest/mutate.h)");
+  cli.flag("streams", streams,
+           "concurrent streams; > 1 serves a fleet (serve/fleet.h)");
+  cli.flag("devices", devices, "virtual devices when serving a fleet");
+  cli.flag("tenant-mix", tenant_mix,
+           "fleet QoS mix, e.g. gold:2,best-effort:6 (implies fleet mode; "
+           "default gold:1 + best-effort for the rest of --streams)");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
@@ -122,6 +141,105 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Frame- and device-level fault vocabularies share the --faults flag;
+  // the splitter routes device-* tokens to the device plan.
+  const serve::MixedFaultPlan mixed =
+      serve::parse_mixed_fault_plan(faults, 20120926);
+  const bool fleet_mode = streams > 1 || !tenant_mix.empty();
+  if (!fleet_mode && !mixed.device.empty()) {
+    std::fprintf(stderr, "device faults (%s) need a fleet: pass --streams=N "
+                         "or --tenant-mix\n",
+                 mixed.device.describe().c_str());
+    return 1;
+  }
+
+  if (fleet_mode) {
+    std::vector<serve::TenantMixEntry> mix;
+    if (!tenant_mix.empty()) {
+      mix = serve::parse_tenant_mix(tenant_mix);
+    } else {
+      // Default mix: one gold tenant, the rest best-effort.
+      serve::TenantMixEntry gold;
+      gold.spec.name = "gold";
+      gold.spec.cls = serve::QosClass::kGold;
+      gold.streams = 1;
+      mix.push_back(gold);
+      if (streams > 1) {
+        serve::TenantMixEntry rest;
+        rest.spec.name = "best-effort";
+        rest.spec.cls = serve::QosClass::kBestEffort;
+        rest.streams = streams - 1;
+        mix.push_back(rest);
+      }
+    }
+    int total_streams = 0;
+    for (const serve::TenantMixEntry& entry : mix) {
+      total_streams += entry.streams;
+    }
+
+    serve::FleetOptions fleet_options;
+    fleet_options.devices = devices;
+    fleet_options.deadline_ms = deadline_ms;
+    serve::FleetScheduler fleet(device, pair.ours, pipeline_options,
+                                fleet_options);
+    int stream_id = 0;
+    for (const serve::TenantMixEntry& entry : mix) {
+      const int tenant = fleet.add_tenant(entry.spec);
+      for (int s = 0; s < entry.streams; ++s, ++stream_id) {
+        fleet.add_stream(tenant, *source, fps,  frames,
+                         (stream_id % 7) * (1.0 / fps) / 7.0);
+      }
+    }
+
+    std::printf("serving a fleet: %d streams x %d frames of \"%s\" at "
+                "%dx%d over %d devices, cascade '%s', deadline %.0f ms\n\n",
+                total_streams, frames, spec.title.c_str(), width, height,
+                devices, pair.ours.name().c_str(), deadline_ms);
+    if (!mixed.frame.empty()) {
+      std::printf("frame fault plan:  %s\n", mixed.frame.describe().c_str());
+    }
+    if (!mixed.device.empty()) {
+      std::printf("device fault plan: %s\n", mixed.device.describe().c_str());
+    }
+
+    const serve::FleetReport report =
+        fleet.run(mixed.device.empty() ? nullptr : &mixed.device,
+                  mixed.frame.empty() ? nullptr : &mixed.frame);
+
+    std::printf("\nper-tenant summary:\n");
+    for (const serve::TenantReport& tenant : report.tenants) {
+      std::printf("  %-12s %-11s streams=%2d frames=%4d admitted=%4d "
+                  "rejected=%3d ok=%4d degraded=%3d dropped=%3d failed=%3d "
+                  "misses=%3d failovers=%2d max_shed=%d p50=%7.2f ms "
+                  "p99=%7.2f ms\n",
+                  tenant.name.c_str(), serve::qos_class_name(tenant.cls),
+                  tenant.streams, tenant.frames, tenant.admitted,
+                  tenant.admission_rejected, tenant.ok, tenant.degraded,
+                  tenant.dropped, tenant.failed, tenant.deadline_misses,
+                  tenant.failovers, tenant.max_shed_level, tenant.p50_ms,
+                  tenant.p99_ms);
+    }
+    std::printf("\nfleet: served=%d/%d, %d deadline misses, %d failovers, "
+                "%d device faults (%d watchdog), %d cross-stream batches "
+                "(%d frames), shed/recover %d/%d\n",
+                report.served, report.admitted, report.deadline_misses,
+                report.failovers, report.device_faults, report.watchdog_fires,
+                report.batches, report.batched_frames, report.shed_steps,
+                report.recover_steps);
+    for (std::size_t d = 0; d < report.devices.size(); ++d) {
+      const serve::DeviceReport& dev = report.devices[d];
+      std::printf("  device %zu: frames=%4d faults=%d busy=%8.1f ms "
+                  "final=%s\n",
+                  d, dev.frames, dev.faults, dev.busy_ms,
+                  serve::device_state_name(dev.final_state));
+    }
+    if (!profile_out.empty()) {
+      profiler.snapshot("surveillance").write_file(profile_out);
+      std::printf("kernel profile written to %s\n", profile_out.c_str());
+    }
+    return 0;
+  }
+
   std::printf("serving %d frames of \"%s\" at %dx%d via %s ingest with "
               "cascade '%s' (%d stages, %d classifiers), deadline %.0f ms\n\n",
               frames, spec.title.c_str(), width, height,
@@ -137,7 +255,7 @@ int main(int argc, char** argv) {
   service_options.deadline_ms = deadline_ms;
   serve::StreamingService service(device, pair.ours, pipeline_options,
                                   service_options);
-  const serve::FaultPlan plan = serve::FaultPlan::parse(faults, 20120926);
+  const serve::FaultPlan& plan = mixed.frame;
   if (!plan.empty()) {
     std::printf("fault plan: %s\n\n", plan.describe().c_str());
   }

@@ -61,6 +61,19 @@ struct ByteRange {
   std::size_t size = 0;
 };
 
+/// How delivery slot `i` of a source relates to the original stream
+/// order. Well-behaved sources deliver every frame exactly once, in
+/// order; a network-ish wrapper (LossyReorderSource) can deliver frames
+/// late or twice — the serving layer counts and cause-tags both instead
+/// of treating them as malformed input.
+enum class FrameArrival {
+  kInOrder,
+  kOutOfOrder,  ///< an earlier frame delivered after a later one
+  kDuplicate,   ///< same frame delivered again
+};
+
+const char* frame_arrival_name(FrameArrival arrival);
+
 class FrameSource {
  public:
   virtual ~FrameSource() = default;
@@ -74,6 +87,13 @@ class FrameSource {
 
   /// Modeled fixed-function decode latency for frame `index`.
   virtual double decode_latency_ms(int index) const = 0;
+
+  /// Delivery-order classification of slot `index`. In-order for every
+  /// source except wrappers that model network-ish arrival.
+  virtual FrameArrival arrival_kind(int index) const {
+    (void)index;
+    return FrameArrival::kInOrder;
+  }
 
   /// Byte extent of frame `index`'s payload in the serialized container,
   /// when the source is backed by one (nullopt for the mock hardware

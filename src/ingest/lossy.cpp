@@ -1,0 +1,122 @@
+#include "ingest/lossy.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace fdet::ingest {
+
+LossyReorderSource::LossyReorderSource(const FrameSource& inner,
+                                       LossyOptions options)
+    : inner_(&inner), options_(options) {
+  FDET_CHECK(options.drop_probability >= 0.0 &&
+             options.drop_probability <= 1.0)
+      << "lossy: drop_probability outside [0, 1]";
+  FDET_CHECK(options.duplicate_probability >= 0.0 &&
+             options.duplicate_probability <= 1.0)
+      << "lossy: duplicate_probability outside [0, 1]";
+  FDET_CHECK(options.reorder_probability >= 0.0 &&
+             options.reorder_probability <= 1.0)
+      << "lossy: reorder_probability outside [0, 1]";
+  FDET_CHECK(options.max_displacement >= 1)
+      << "lossy: max_displacement must be >= 1";
+
+  const int inner_frames = inner.frame_count();
+  // Independent decision streams so toggling one probability never
+  // reshuffles the outcomes of the others under the same seed.
+  core::Rng drop_rng(core::hash_combine(options.seed, 0xd809));
+  core::Rng dup_rng(core::hash_combine(options.seed, 0xd011));
+  core::Rng move_rng(core::hash_combine(options.seed, 0x302e));
+
+  // Pass 1: drops leave a -1 gap in the frame's natural slot; a
+  // duplicate occupies an extra slot right after the original.
+  for (int i = 0; i < inner_frames; ++i) {
+    if (drop_rng.bernoulli(options.drop_probability)) {
+      delivery_.push_back(-1);
+      ++dropped_;
+      continue;
+    }
+    delivery_.push_back(i);
+    if (dup_rng.bernoulli(options.duplicate_probability)) {
+      delivery_.push_back(i);
+      ++duplicated_;
+    }
+  }
+
+  // Pass 2: displacement. A selected frame drifts up to max_displacement
+  // slots later (rotate, so no other frame is lost); gaps stay put —
+  // the receiver notices the loss where the frame should have been.
+  for (std::size_t slot = 0; slot < delivery_.size(); ++slot) {
+    if (delivery_[slot] < 0 ||
+        !move_rng.bernoulli(options.reorder_probability)) {
+      continue;
+    }
+    const std::size_t limit = delivery_.size() - 1;
+    const std::size_t target = std::min(
+        limit, slot + static_cast<std::size_t>(
+                          move_rng.uniform_int(1, options.max_displacement)));
+    if (target > slot) {
+      std::rotate(delivery_.begin() + static_cast<std::ptrdiff_t>(slot),
+                  delivery_.begin() + static_cast<std::ptrdiff_t>(slot) + 1,
+                  delivery_.begin() + static_cast<std::ptrdiff_t>(target) + 1);
+      ++displaced_;
+    }
+  }
+
+  // Classify each slot against the highest inner index already seen.
+  arrival_.assign(delivery_.size(), FrameArrival::kInOrder);
+  int max_seen = -1;
+  int previous = -1;
+  for (std::size_t slot = 0; slot < delivery_.size(); ++slot) {
+    const int frame = delivery_[slot];
+    if (frame < 0) {
+      continue;
+    }
+    if (frame == previous) {
+      arrival_[slot] = FrameArrival::kDuplicate;
+    } else if (frame < max_seen) {
+      arrival_[slot] = FrameArrival::kOutOfOrder;
+    }
+    max_seen = std::max(max_seen, frame);
+    previous = frame;
+  }
+
+  info_ = inner.info();
+  info_.frames = static_cast<int>(delivery_.size());
+  info_.container += " + lossy transport (seeded drop/reorder/duplicate)";
+  info_.has_ground_truth = false;  // slot i no longer matches gt i
+}
+
+video::DecodedFrame LossyReorderSource::decode(int index) const {
+  check_index(index);
+  const int frame = delivery_[static_cast<std::size_t>(index)];
+  if (frame < 0) {
+    throw IngestError(IngestErrorKind::kMissingFrame, info_.format, 0,
+                      "slot " + std::to_string(index) +
+                          " lost in transit (delivery gap)");
+  }
+  video::DecodedFrame decoded = inner_->decode(frame);
+  decoded.index = index;  // slot identity, not inner identity
+  return decoded;
+}
+
+double LossyReorderSource::decode_latency_ms(int index) const {
+  check_index(index);
+  const int frame = delivery_[static_cast<std::size_t>(index)];
+  // A gap costs nothing: no bytes ever reached the decoder.
+  return frame < 0 ? 0.0 : inner_->decode_latency_ms(frame);
+}
+
+FrameArrival LossyReorderSource::arrival_kind(int index) const {
+  check_index(index);
+  return arrival_[static_cast<std::size_t>(index)];
+}
+
+int LossyReorderSource::delivered_inner_index(int index) const {
+  check_index(index);
+  return delivery_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace fdet::ingest

@@ -1,0 +1,67 @@
+// Network-ish delivery simulation over any FrameSource.
+//
+// Real camera feeds reach the detector over lossy transports: frames go
+// missing, arrive late (after a successor), or arrive twice. The
+// hardened parsers (DESIGN.md §11) cover *malformed bytes*; this wrapper
+// covers *malformed arrival order* — a different failure axis that
+// exercises the serving queue and DegradationLadder without any byte
+// being wrong. LossyReorderSource precomputes a seeded delivery
+// schedule over an inner source:
+//
+//   * a dropped frame leaves a gap — decoding its slot throws
+//     IngestError(kMissingFrame), the typed signal the service turns
+//     into a counted drop (never a malformed-stream quarantine);
+//   * a displaced frame is delivered after a later one — its slot
+//     reports FrameArrival::kOutOfOrder;
+//   * a duplicated frame occupies two slots — the second reports
+//     FrameArrival::kDuplicate.
+//
+// The schedule is a pure function of (inner frame count, options.seed),
+// so the wrapper keeps the FrameSource determinism contract: any slot,
+// any order, any number of times, byte-identical results.
+#pragma once
+
+#include <vector>
+
+#include "ingest/frame_source.h"
+
+namespace fdet::ingest {
+
+struct LossyOptions {
+  double drop_probability = 0.0;       ///< frame never delivered
+  double duplicate_probability = 0.0;  ///< frame delivered twice
+  double reorder_probability = 0.0;    ///< frame displaced later
+  int max_displacement = 3;            ///< how many slots a frame can drift
+  std::uint64_t seed = 0x105512;
+};
+
+class LossyReorderSource final : public FrameSource {
+ public:
+  /// The inner source must outlive the wrapper (same borrow rule as
+  /// H264FrameSource and CorruptingSource).
+  LossyReorderSource(const FrameSource& inner, LossyOptions options);
+
+  const SourceInfo& info() const override { return info_; }
+  video::DecodedFrame decode(int index) const override;
+  double decode_latency_ms(int index) const override;
+  FrameArrival arrival_kind(int index) const override;
+
+  /// Inner frame index delivered in slot `index`, or -1 for a gap.
+  int delivered_inner_index(int index) const;
+
+  int dropped() const { return dropped_; }
+  int duplicated() const { return duplicated_; }
+  int displaced() const { return displaced_; }
+
+ private:
+  const FrameSource* inner_;
+  LossyOptions options_;
+  SourceInfo info_;
+  std::vector<int> delivery_;          ///< slot -> inner index, -1 = gap
+  std::vector<FrameArrival> arrival_;  ///< slot -> order classification
+  int dropped_ = 0;
+  int duplicated_ = 0;
+  int displaced_ = 0;
+};
+
+}  // namespace fdet::ingest

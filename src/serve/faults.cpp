@@ -226,4 +226,216 @@ vgpu::LaunchFaultHook make_launch_fault_hook(const FaultPlan& plan, int frame,
   };
 }
 
+const char* device_fault_kind_name(DeviceFaultKind kind) {
+  switch (kind) {
+    case DeviceFaultKind::kDeviceLost: return "device-lost";
+    case DeviceFaultKind::kDeviceHang: return "device-hang";
+    case DeviceFaultKind::kDeviceSlow: return "device-slow";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<DeviceFaultKind> device_kind_from_token(std::string_view token) {
+  if (token == "device-lost") return DeviceFaultKind::kDeviceLost;
+  if (token == "device-hang") return DeviceFaultKind::kDeviceHang;
+  if (token == "device-slow") return DeviceFaultKind::kDeviceSlow;
+  return std::nullopt;
+}
+
+bool is_outage(DeviceFaultKind kind) {
+  return kind == DeviceFaultKind::kDeviceLost ||
+         kind == DeviceFaultKind::kDeviceHang;
+}
+
+}  // namespace
+
+DeviceFaultPlan::DeviceFaultPlan(std::uint64_t seed,
+                                 std::vector<DeviceFaultSpec> specs)
+    : seed_(seed), specs_(std::move(specs)) {
+  for (const DeviceFaultSpec& spec : specs_) {
+    const char* name = device_fault_kind_name(spec.kind);
+    if (spec.device < 0) {
+      FDET_CHECK(spec.kind == DeviceFaultKind::kDeviceSlow)
+          << "device fault '" << name
+          << "' needs an explicit device (only device-slow is probabilistic)";
+      FDET_CHECK(spec.probability > 0.0 && spec.probability <= 1.0)
+          << "probabilistic device-slow needs probability in (0, 1]";
+    } else {
+      FDET_CHECK(spec.start_s >= 0.0)
+          << "device fault '" << name << "' onset must be >= 0";
+      FDET_CHECK(spec.duration_s > 0.0)
+          << "device fault '" << name << "' duration must be > 0";
+    }
+    if (spec.kind == DeviceFaultKind::kDeviceSlow) {
+      FDET_CHECK(spec.factor > 1.0)
+          << "device-slow factor must be > 1 (got " << spec.factor << ")";
+    }
+  }
+  // Outage windows on one device must not overlap — the fleet's health
+  // machine assumes one down-window is fully processed before the next.
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (!is_outage(specs_[i].kind) || specs_[i].device < 0) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < specs_.size(); ++j) {
+      if (!is_outage(specs_[j].kind) ||
+          specs_[j].device != specs_[i].device) {
+        continue;
+      }
+      const double a0 = specs_[i].start_s;
+      const double a1 = a0 + specs_[i].duration_s;
+      const double b0 = specs_[j].start_s;
+      const double b1 = b0 + specs_[j].duration_s;
+      FDET_CHECK(a1 <= b0 || b1 <= a0)
+          << "overlapping outage windows on device " << specs_[i].device
+          << " ([" << a0 << ", " << a1 << ") and [" << b0 << ", " << b1
+          << "))";
+    }
+  }
+}
+
+DeviceFaultPlan DeviceFaultPlan::parse(const std::string& text,
+                                       std::uint64_t seed) {
+  std::vector<DeviceFaultSpec> specs;
+  std::istringstream stream(text);
+  for (std::string token; std::getline(stream, token, ',');) {
+    if (token.empty()) {
+      continue;
+    }
+    const auto at = token.find('@');
+    FDET_CHECK(at != std::string::npos)
+        << "device fault token '" << token
+        << "' is not <kind>@<device>:<start>+<dur>[*f] or device-slow@<p>[*f]";
+    const auto kind = device_kind_from_token(token.substr(0, at));
+    FDET_CHECK(kind.has_value())
+        << "unknown device fault kind '" << token.substr(0, at) << "' in '"
+        << token << "' (kinds: device-lost, device-hang, device-slow)";
+    DeviceFaultSpec spec;
+    spec.kind = *kind;
+    std::string target = token.substr(at + 1);
+    if (const auto star = target.find('*'); star != std::string::npos) {
+      const std::string factor = target.substr(star + 1);
+      try {
+        spec.factor = std::stod(factor);
+      } catch (const std::exception&) {
+        spec.factor = 0.0;  // rejected by the ctor with the token context
+      }
+      FDET_CHECK(spec.factor > 1.0)
+          << "device-slow factor '" << factor << "' in '" << token
+          << "' must be a number > 1";
+      target.resize(star);
+    }
+    try {
+      if (const auto colon = target.find(':'); colon != std::string::npos) {
+        spec.device = std::stoi(target.substr(0, colon));
+        std::string window = target.substr(colon + 1);
+        const auto plus = window.find('+');
+        FDET_CHECK(plus != std::string::npos)
+            << "device fault window '" << window << "' in '" << token
+            << "' is not <start_s>+<duration_s>";
+        spec.start_s = std::stod(window.substr(0, plus));
+        spec.duration_s = std::stod(window.substr(plus + 1));
+      } else {
+        spec.device = -1;
+        spec.probability = std::stod(target);
+      }
+    } catch (const core::CheckError&) {
+      throw;
+    } catch (const std::exception&) {
+      FDET_CHECK(false) << "device fault target '" << target << "' in '"
+                        << token << "' did not parse";
+    }
+    specs.push_back(spec);
+  }
+  return DeviceFaultPlan(seed, std::move(specs));
+}
+
+std::vector<const DeviceFaultSpec*> DeviceFaultPlan::outages(
+    int device) const {
+  std::vector<const DeviceFaultSpec*> windows;
+  for (const DeviceFaultSpec& spec : specs_) {
+    if (is_outage(spec.kind) && spec.device == device) {
+      windows.push_back(&spec);
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const DeviceFaultSpec* a, const DeviceFaultSpec* b) {
+              return a->start_s < b->start_s;
+            });
+  return windows;
+}
+
+double DeviceFaultPlan::slow_factor(int device, int stream, int frame,
+                                    double at_s) const {
+  double factor = 1.0;
+  for (const DeviceFaultSpec& spec : specs_) {
+    if (spec.kind != DeviceFaultKind::kDeviceSlow) {
+      continue;
+    }
+    if (spec.device >= 0) {
+      if (spec.device == device && at_s >= spec.start_s &&
+          at_s < spec.start_s + spec.duration_s) {
+        factor *= spec.factor;
+      }
+    } else {
+      core::Rng rng(core::hash_combine(
+          core::hash_combine(seed_, 0x51040 + static_cast<std::uint64_t>(
+                                                  device)),
+          core::hash_combine(static_cast<std::uint64_t>(stream),
+                             static_cast<std::uint64_t>(frame))));
+      if (rng.bernoulli(spec.probability)) {
+        factor *= spec.factor;
+      }
+    }
+  }
+  return factor;
+}
+
+std::string DeviceFaultPlan::describe() const {
+  if (specs_.empty()) {
+    return "(no device faults)";
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const DeviceFaultSpec& spec = specs_[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << device_fault_kind_name(spec.kind) << "@";
+    if (spec.device >= 0) {
+      out << spec.device << ":" << spec.start_s << "+" << spec.duration_s;
+    } else {
+      out << spec.probability;
+    }
+    if (spec.kind == DeviceFaultKind::kDeviceSlow) {
+      out << "*" << spec.factor;
+    }
+  }
+  return out.str();
+}
+
+MixedFaultPlan parse_mixed_fault_plan(const std::string& text,
+                                      std::uint64_t seed) {
+  std::string frame_tokens;
+  std::string device_tokens;
+  std::istringstream stream(text);
+  for (std::string token; std::getline(stream, token, ',');) {
+    if (token.empty()) {
+      continue;
+    }
+    std::string& sink = token.rfind("device-", 0) == 0 ? device_tokens
+                                                       : frame_tokens;
+    if (!sink.empty()) {
+      sink += ',';
+    }
+    sink += token;
+  }
+  MixedFaultPlan mixed;
+  mixed.frame = FaultPlan::parse(frame_tokens, seed);
+  mixed.device = DeviceFaultPlan::parse(device_tokens, seed);
+  return mixed;
+}
+
 }  // namespace fdet::serve

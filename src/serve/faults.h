@@ -109,4 +109,88 @@ void corrupt_luma(img::ImageU8& luma, std::uint64_t seed);
 vgpu::LaunchFaultHook make_launch_fault_hook(const FaultPlan& plan, int frame,
                                              int attempt);
 
+// ---------------------------------------------------------------------------
+// Device-level fault vocabulary (fleet layer, DESIGN.md §12).
+//
+// FaultPlan describes per-frame misbehavior on one device; a fleet of N
+// devices adds a coarser failure axis: whole devices dropping out,
+// stalling, or slowing down. DeviceFaultPlan describes those as seeded,
+// deterministic outage windows in virtual time — the fleet chaos harness
+// replays the same schedule against a clean twin run.
+
+enum class DeviceFaultKind {
+  kDeviceLost,  ///< device drops instantly; in-flight work is torn down
+  kDeviceHang,  ///< device stalls silently; only the watchdog notices
+  kDeviceSlow,  ///< device serves, but slower by `factor`
+};
+
+/// Stable token, also the spec-string name: "device-lost", "device-hang",
+/// "device-slow".
+const char* device_fault_kind_name(DeviceFaultKind kind);
+
+struct DeviceFaultSpec {
+  DeviceFaultKind kind = DeviceFaultKind::kDeviceLost;
+  /// Target device; -1 = probabilistic on every device (slow only).
+  int device = -1;
+  double start_s = 0.0;     ///< outage onset, virtual seconds
+  double duration_s = 0.0;  ///< outage length (recovery at start + duration)
+  /// Per-dispatch firing probability for the probabilistic slow form.
+  double probability = 0.0;
+  /// Service-time multiplier while a device-slow fault is active.
+  double factor = 4.0;
+};
+
+class DeviceFaultPlan {
+ public:
+  DeviceFaultPlan() = default;
+  DeviceFaultPlan(std::uint64_t seed, std::vector<DeviceFaultSpec> specs);
+
+  /// Parses a compact plan spec, comma-separated:
+  ///
+  ///   device-lost@1:2.5+1.0     device 1 lost at t=2.5s, back at t=3.5s
+  ///   device-hang@2:4+0.5       device 2 hangs during [4.0, 4.5)
+  ///   device-slow@0:3+2*4       device 0 serves 4x slower during [3, 5)
+  ///   device-slow@0.05*4        any dispatch is 4x slow with p = 0.05
+  ///
+  /// The windowed form is `<kind>@<device>:<start_s>+<duration_s>`, with
+  /// an optional `*<factor>` for device-slow; a target containing no ':'
+  /// parses as a probability (device-slow only). Throws core::CheckError
+  /// naming the offending token. Outage windows (lost/hang) on the same
+  /// device must not overlap.
+  static DeviceFaultPlan parse(const std::string& text, std::uint64_t seed);
+
+  const std::vector<DeviceFaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Outage (lost/hang) windows targeting `device`, sorted by onset.
+  std::vector<const DeviceFaultSpec*> outages(int device) const;
+
+  /// Combined service-time multiplier for one dispatch on `device` at
+  /// virtual time `at_s`: windowed slow specs active at `at_s` times the
+  /// probabilistic slow specs firing for (device, stream, frame) — the
+  /// probabilistic decision hashes (seed, device, stream, frame) so two
+  /// runs of the same plan slow identical dispatches. Returns 1.0 when
+  /// nothing fires.
+  double slow_factor(int device, int stream, int frame, double at_s) const;
+
+  std::string describe() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<DeviceFaultSpec> specs_;
+};
+
+/// A combined spec can mix frame-level and device-level tokens
+/// ("decode@4,device-lost@1:2+1"); the split routes `device-*` tokens to
+/// the DeviceFaultPlan and everything else to the FaultPlan, sharing one
+/// seed — the surveillance example's --faults flag accepts both kinds.
+struct MixedFaultPlan {
+  FaultPlan frame;
+  DeviceFaultPlan device;
+};
+
+MixedFaultPlan parse_mixed_fault_plan(const std::string& text,
+                                      std::uint64_t seed);
+
 }  // namespace fdet::serve

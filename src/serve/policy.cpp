@@ -13,6 +13,7 @@ const char* error_class_name(ErrorClass cls) {
     case ErrorClass::kResource: return "resource";
     case ErrorClass::kMalformed: return "malformed";
     case ErrorClass::kFatal: return "fatal";
+    case ErrorClass::kRejected: return "rejected";
   }
   return "?";
 }

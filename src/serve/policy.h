@@ -28,14 +28,20 @@
 
 namespace fdet::serve {
 
-enum class ErrorClass { kTransient, kResource, kMalformed, kFatal };
+enum class ErrorClass {
+  kTransient,
+  kResource,
+  kMalformed,
+  kFatal,
+  kRejected,  ///< admission control turned the frame away (fleet layer)
+};
 const char* error_class_name(ErrorClass cls);
 
 /// Structured record of a frame the service could not serve: emitted in
 /// the ServedFrame instead of crashing or silently skipping.
 struct FrameError {
   int frame = 0;
-  std::string stage;  ///< "decode" | "detect"
+  std::string stage;  ///< "decode" | "detect" | "admission"
   ErrorClass cls = ErrorClass::kTransient;
   std::string message;
   int attempts = 1;  ///< attempts spent before giving up

@@ -34,6 +34,7 @@ const char* frame_status_name(FrameStatus status) {
     case FrameStatus::kDegraded: return "degraded";
     case FrameStatus::kDropped: return "dropped";
     case FrameStatus::kFailed: return "failed";
+    case FrameStatus::kAdmissionRejected: return "admission-rejected";
   }
   return "?";
 }
@@ -311,6 +312,20 @@ ServedFrame StreamingService::serve_frame(
                           decoded.decode_ms);
         break;
       } catch (const ingest::IngestError& error) {
+        if (error.kind() == ingest::IngestErrorKind::kMissingFrame) {
+          // A delivery gap: the frame never arrived, nothing was
+          // malformed. Typed drop — no quarantine, and the decode
+          // breaker stays untouched (the decoder is healthy; the
+          // transport lost a frame).
+          sf.status = FrameStatus::kDropped;
+          sf.missing = true;
+          append_cause(sf, "missing-frame");
+          count("serve.dropped", {{"reason", "missing-frame"}});
+          count("ingest.missing", {{"format", format}});
+          flight(obs::FlightEventKind::kDrop, index, now_us(), 0.0, "drop",
+                 "missing-frame");
+          return sf;
+        }
         // Malformed bytes fail every attempt identically: quarantine the
         // frame instead of retrying, and let the decode breaker see the
         // failure so a malformed burst sheds via the ladder.
@@ -335,6 +350,18 @@ ServedFrame StreamingService::serve_frame(
     if (sf.retries > 0) {
       count("serve.faults.recovered", {{"stage", "decode"}});
     }
+  }
+  // Delivery-order bookkeeping: a lossy transport can deliver frames
+  // late or twice. Both decode fine and are served normally — the
+  // service counts and cause-tags them so downstream consumers can see
+  // the disorder without the stream dying.
+  sf.arrival = source.arrival_kind(index);
+  if (sf.arrival == ingest::FrameArrival::kOutOfOrder) {
+    append_cause(sf, "out-of-order");
+    count("ingest.out_of_order", {{"format", source.info().format}});
+  } else if (sf.arrival == ingest::FrameArrival::kDuplicate) {
+    append_cause(sf, "duplicate-frame");
+    count("ingest.duplicates", {{"format", source.info().format}});
   }
   if (plan != nullptr && plan->fires(FaultKind::kCorruptLuma, index)) {
     // Undetectable input damage: flows through like real bitstream
@@ -587,12 +614,20 @@ ServiceReport StreamingService::run(const ingest::FrameSource& source,
       case FrameStatus::kDegraded: ++report.degraded; break;
       case FrameStatus::kDropped: ++report.dropped; break;
       case FrameStatus::kFailed: ++report.failed; break;
+      // A single-stream service has no admission control; the status
+      // exists for the fleet layer (serve/fleet.h).
+      case FrameStatus::kAdmissionRejected: ++report.dropped; break;
     }
     report.retries += sf.retries;
     report.faults_injected += sf.fault_injected ? 1 : 0;
     if (sf.error.has_value() && sf.error->cls == ErrorClass::kMalformed) {
       ++report.ingest_rejects;
     }
+    report.missing_frames += sf.missing ? 1 : 0;
+    report.out_of_order +=
+        sf.arrival == ingest::FrameArrival::kOutOfOrder ? 1 : 0;
+    report.duplicates +=
+        sf.arrival == ingest::FrameArrival::kDuplicate ? 1 : 0;
     report.max_latency_ms = std::max(report.max_latency_ms, sf.latency_ms);
     unserved_streak = served ? 0 : unserved_streak + 1;
     report.max_consecutive_unserved =

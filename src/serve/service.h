@@ -47,7 +47,16 @@
 
 namespace fdet::serve {
 
-enum class FrameStatus { kOk, kDegraded, kDropped, kFailed };
+enum class FrameStatus {
+  kOk,
+  kDegraded,
+  kDropped,
+  kFailed,
+  /// Admission control turned the frame away before it entered any
+  /// queue. Only the fleet layer (serve/fleet.h) produces this — a
+  /// single-stream service admits everything up to queue capacity.
+  kAdmissionRejected,
+};
 const char* frame_status_name(FrameStatus status);
 
 /// Outcome of one frame through the service.
@@ -64,6 +73,12 @@ struct ServedFrame {
   double backoff_ms = 0.0;    ///< total retry backoff charged to the frame
   double latency_ms = 0.0;    ///< end-to-end: completion - arrival
   int queue_depth = 0;        ///< backlog when the frame arrived
+  /// Delivery-order classification from the source (lossy transports
+  /// deliver late or twice; the service counts both, crashes on neither).
+  ingest::FrameArrival arrival = ingest::FrameArrival::kInOrder;
+  /// The source reported a delivery gap (IngestErrorKind::kMissingFrame):
+  /// a typed drop, distinct from malformed bytes.
+  bool missing = false;
   std::uint64_t trace_id = 0; ///< causal trace id of the frame (0 = off)
   /// Causal chain of everything that went wrong on this frame, oldest
   /// first: "fault:launch -> retry:detect -> deadline-miss". Empty for a
@@ -138,6 +153,12 @@ struct ServiceReport {
   /// Frames whose bytes the ingest layer rejected with a typed
   /// IngestError (ErrorClass::kMalformed; subset of `failed`).
   int ingest_rejects = 0;
+  /// Delivery gaps (kMissingFrame drops; subset of `dropped`).
+  int missing_frames = 0;
+  /// Frames delivered after a successor (served, cause-tagged).
+  int out_of_order = 0;
+  /// Frames delivered more than once (served, cause-tagged).
+  int duplicates = 0;
   /// Longest streak of frames that produced no detections output
   /// (dropped or failed) — the chaos harness bounds this.
   int max_consecutive_unserved = 0;

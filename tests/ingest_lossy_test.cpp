@@ -1,0 +1,179 @@
+#include "ingest/lossy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/check.h"
+#include "video/decoder.h"
+
+namespace fdet::ingest {
+namespace {
+
+video::MockH264Decoder lossy_test_decoder() {
+  static const video::SyntheticTrailer trailer = [] {
+    video::TrailerSpec spec;
+    spec.title = "lossy-test";
+    spec.width = 96;
+    spec.height = 72;
+    spec.frames = 48;
+    spec.shot_frames = 8;
+    spec.seed = 5;
+    return video::SyntheticTrailer(spec);
+  }();
+  return video::MockH264Decoder(trailer);
+}
+
+TEST(LossyReorderSource, ZeroProbabilitiesDeliverIdentity) {
+  const video::MockH264Decoder decoder = lossy_test_decoder();
+  const H264FrameSource inner(decoder);
+  const LossyReorderSource lossy(inner, {});
+
+  EXPECT_EQ(lossy.frame_count(), inner.frame_count());
+  EXPECT_EQ(lossy.dropped(), 0);
+  EXPECT_EQ(lossy.duplicated(), 0);
+  EXPECT_EQ(lossy.displaced(), 0);
+  for (int i = 0; i < lossy.frame_count(); ++i) {
+    EXPECT_EQ(lossy.delivered_inner_index(i), i);
+    EXPECT_EQ(lossy.arrival_kind(i), FrameArrival::kInOrder);
+  }
+}
+
+TEST(LossyReorderSource, DropsThrowTypedMissingFrame) {
+  const video::MockH264Decoder decoder = lossy_test_decoder();
+  const H264FrameSource inner(decoder);
+  LossyOptions options;
+  options.drop_probability = 0.3;
+  options.seed = 77;
+  const LossyReorderSource lossy(inner, options);
+
+  ASSERT_GT(lossy.dropped(), 0);
+  // A drop leaves a gap slot in place: the receiver notices the loss
+  // where the frame should have been, so the slot count is unchanged.
+  EXPECT_EQ(lossy.frame_count(), inner.frame_count());
+  int gaps = 0;
+  for (int i = 0; i < lossy.frame_count(); ++i) {
+    if (lossy.delivered_inner_index(i) >= 0) {
+      continue;
+    }
+    ++gaps;
+    try {
+      lossy.decode(i);
+      FAIL() << "gap slot " << i << " decoded";
+    } catch (const IngestError& error) {
+      EXPECT_EQ(error.kind(), IngestErrorKind::kMissingFrame);
+    }
+    // No bytes arrived: a gap costs no decode latency.
+    EXPECT_DOUBLE_EQ(lossy.decode_latency_ms(i), 0.0);
+  }
+  EXPECT_EQ(gaps, lossy.dropped());
+}
+
+TEST(LossyReorderSource, ReorderDisplacesWithoutLosingFrames) {
+  const video::MockH264Decoder decoder = lossy_test_decoder();
+  const H264FrameSource inner(decoder);
+  LossyOptions options;
+  options.reorder_probability = 0.4;
+  options.max_displacement = 4;
+  options.seed = 13;
+  const LossyReorderSource lossy(inner, options);
+
+  ASSERT_GT(lossy.displaced(), 0);
+  EXPECT_EQ(lossy.frame_count(), inner.frame_count());
+  std::set<int> seen;
+  int out_of_order = 0;
+  for (int i = 0; i < lossy.frame_count(); ++i) {
+    const int frame = lossy.delivered_inner_index(i);
+    ASSERT_GE(frame, 0);
+    EXPECT_TRUE(seen.insert(frame).second) << "frame delivered twice";
+    out_of_order +=
+        lossy.arrival_kind(i) == FrameArrival::kOutOfOrder ? 1 : 0;
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), inner.frame_count());
+  EXPECT_GT(out_of_order, 0);
+}
+
+TEST(LossyReorderSource, DuplicatesTagTheSecondDelivery) {
+  const video::MockH264Decoder decoder = lossy_test_decoder();
+  const H264FrameSource inner(decoder);
+  LossyOptions options;
+  options.duplicate_probability = 0.25;
+  options.seed = 99;
+  const LossyReorderSource lossy(inner, options);
+
+  ASSERT_GT(lossy.duplicated(), 0);
+  EXPECT_EQ(lossy.frame_count(), inner.frame_count() + lossy.duplicated());
+  int duplicates = 0;
+  for (int i = 0; i < lossy.frame_count(); ++i) {
+    if (lossy.arrival_kind(i) != FrameArrival::kDuplicate) {
+      continue;
+    }
+    ++duplicates;
+    ASSERT_GT(i, 0);
+    EXPECT_EQ(lossy.delivered_inner_index(i),
+              lossy.delivered_inner_index(i - 1));
+  }
+  EXPECT_EQ(duplicates, lossy.duplicated());
+}
+
+TEST(LossyReorderSource, ScheduleIsDeterministicAndDecodeIsStateless) {
+  const video::MockH264Decoder decoder = lossy_test_decoder();
+  const H264FrameSource inner(decoder);
+  LossyOptions options;
+  options.drop_probability = 0.1;
+  options.duplicate_probability = 0.1;
+  options.reorder_probability = 0.2;
+  options.seed = 42;
+  const LossyReorderSource a(inner, options);
+  const LossyReorderSource b(inner, options);
+
+  ASSERT_EQ(a.frame_count(), b.frame_count());
+  for (int i = 0; i < a.frame_count(); ++i) {
+    EXPECT_EQ(a.delivered_inner_index(i), b.delivered_inner_index(i));
+    EXPECT_EQ(a.arrival_kind(i), b.arrival_kind(i));
+  }
+  // Any deliverable slot decodes identically in any order.
+  for (const int slot : {a.frame_count() - 1, 0, a.frame_count() / 2, 0}) {
+    if (a.delivered_inner_index(slot) < 0) {
+      continue;
+    }
+    const video::DecodedFrame x = a.decode(slot);
+    const video::DecodedFrame y = b.decode(slot);
+    EXPECT_EQ(x.index, slot);
+    EXPECT_EQ(x.frame.luma().pixels().size(), y.frame.luma().pixels().size());
+    EXPECT_TRUE(std::equal(x.frame.luma().pixels().begin(),
+                           x.frame.luma().pixels().end(),
+                           y.frame.luma().pixels().begin()));
+  }
+}
+
+TEST(LossyReorderSource, TogglingOneProbabilityKeepsOtherDecisions) {
+  const video::MockH264Decoder decoder = lossy_test_decoder();
+  const H264FrameSource inner(decoder);
+  LossyOptions drops_only;
+  drops_only.drop_probability = 0.2;
+  drops_only.seed = 7;
+  LossyOptions drops_and_dups = drops_only;
+  drops_and_dups.duplicate_probability = 0.2;
+  const LossyReorderSource a(inner, drops_only);
+  const LossyReorderSource b(inner, drops_and_dups);
+
+  // Independent decision streams: adding duplicates never changes which
+  // frames drop.
+  EXPECT_EQ(a.dropped(), b.dropped());
+}
+
+TEST(LossyReorderSource, RejectsInvalidOptions) {
+  const video::MockH264Decoder decoder = lossy_test_decoder();
+  const H264FrameSource inner(decoder);
+  LossyOptions bad_probability;
+  bad_probability.drop_probability = 1.5;
+  EXPECT_THROW(LossyReorderSource(inner, bad_probability), core::CheckError);
+  LossyOptions bad_displacement;
+  bad_displacement.max_displacement = 0;
+  EXPECT_THROW(LossyReorderSource(inner, bad_displacement), core::CheckError);
+}
+
+}  // namespace
+}  // namespace fdet::ingest

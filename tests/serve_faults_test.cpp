@@ -153,5 +153,116 @@ TEST(ScopedLaunchFaultHook, RestoresThePreviousHookOnExit) {
   EXPECT_EQ(outer_calls, 2);  // cleared after the outermost scope
 }
 
+TEST(DeviceFaultPlan, ParsesEveryFormAndRoundTrips) {
+  const DeviceFaultPlan plan = DeviceFaultPlan::parse(
+      "device-lost@1:2.5+1,device-hang@2:4+0.5,device-slow@0:3+2*4,"
+      "device-slow@0.05*8",
+      1);
+  ASSERT_EQ(plan.specs().size(), 4u);
+  EXPECT_EQ(plan.specs()[0].kind, DeviceFaultKind::kDeviceLost);
+  EXPECT_EQ(plan.specs()[0].device, 1);
+  EXPECT_DOUBLE_EQ(plan.specs()[0].start_s, 2.5);
+  EXPECT_DOUBLE_EQ(plan.specs()[0].duration_s, 1.0);
+  EXPECT_EQ(plan.specs()[1].kind, DeviceFaultKind::kDeviceHang);
+  EXPECT_EQ(plan.specs()[2].kind, DeviceFaultKind::kDeviceSlow);
+  EXPECT_DOUBLE_EQ(plan.specs()[2].factor, 4.0);
+  EXPECT_EQ(plan.specs()[3].device, -1);  // probabilistic on every device
+  EXPECT_DOUBLE_EQ(plan.specs()[3].probability, 0.05);
+  EXPECT_DOUBLE_EQ(plan.specs()[3].factor, 8.0);
+  // describe() round-trips through parse().
+  const DeviceFaultPlan again = DeviceFaultPlan::parse(plan.describe(), 1);
+  EXPECT_EQ(again.describe(), plan.describe());
+}
+
+TEST(DeviceFaultPlan, ParseNamesTheOffendingToken) {
+  try {
+    DeviceFaultPlan::parse("device-lost@1:2+1,device-warp@2:1+1", 1);
+    FAIL() << "expected CheckError";
+  } catch (const core::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("device-warp"),
+              std::string::npos);
+  }
+  EXPECT_THROW(DeviceFaultPlan::parse("device-lost", 1), core::CheckError);
+  EXPECT_THROW(DeviceFaultPlan::parse("device-lost@1", 1), core::CheckError);
+  EXPECT_THROW(DeviceFaultPlan::parse("device-lost@1:2", 1),
+               core::CheckError);
+  // Only device-slow may be probabilistic.
+  EXPECT_THROW(DeviceFaultPlan::parse("device-lost@0.5", 1),
+               core::CheckError);
+  // Outage windows on the same device must not overlap.
+  EXPECT_THROW(
+      DeviceFaultPlan::parse("device-lost@1:2+2,device-hang@1:3+1", 1),
+      core::CheckError);
+  // Slow factors must actually slow.
+  EXPECT_THROW(DeviceFaultPlan::parse("device-slow@0:1+1*0.5", 1),
+               core::CheckError);
+}
+
+TEST(DeviceFaultPlan, OutagesAreSortedPerDevice) {
+  const DeviceFaultPlan plan = DeviceFaultPlan::parse(
+      "device-lost@0:5+1,device-hang@0:1+0.5,device-lost@1:0+1", 1);
+  const auto outages = plan.outages(0);
+  ASSERT_EQ(outages.size(), 2u);
+  EXPECT_DOUBLE_EQ(outages[0]->start_s, 1.0);
+  EXPECT_DOUBLE_EQ(outages[1]->start_s, 5.0);
+  EXPECT_TRUE(plan.outages(2).empty());
+  // Slow specs are not outages.
+  const DeviceFaultPlan slow = DeviceFaultPlan::parse("device-slow@0:1+1", 1);
+  EXPECT_TRUE(slow.outages(0).empty());
+}
+
+TEST(DeviceFaultPlan, SlowFactorWindowsAndProbabilisticFiring) {
+  const DeviceFaultPlan plan =
+      DeviceFaultPlan::parse("device-slow@0:2+3*4", 1);
+  EXPECT_DOUBLE_EQ(plan.slow_factor(0, 0, 0, 1.0), 1.0);  // before onset
+  EXPECT_DOUBLE_EQ(plan.slow_factor(0, 0, 0, 2.0), 4.0);  // active
+  EXPECT_DOUBLE_EQ(plan.slow_factor(0, 0, 0, 4.9), 4.0);
+  EXPECT_DOUBLE_EQ(plan.slow_factor(0, 0, 0, 5.0), 1.0);  // window end
+  EXPECT_DOUBLE_EQ(plan.slow_factor(1, 0, 0, 2.0), 1.0);  // other device
+
+  const DeviceFaultPlan prob =
+      DeviceFaultPlan::parse("device-slow@0.3*2", 9);
+  int fired = 0;
+  for (int frame = 0; frame < 400; ++frame) {
+    const double factor = prob.slow_factor(0, 0, frame, 0.0);
+    EXPECT_TRUE(factor == 1.0 || factor == 2.0);
+    fired += factor > 1.0 ? 1 : 0;
+    // Deterministic in (seed, device, stream, frame).
+    EXPECT_DOUBLE_EQ(factor, prob.slow_factor(0, 0, frame, 99.0));
+  }
+  EXPECT_GT(fired, 400 * 0.3 / 2);
+  EXPECT_LT(fired, 400 * 0.3 * 2);
+  // Different streams draw independently.
+  int diverged = 0;
+  for (int frame = 0; frame < 100; ++frame) {
+    diverged += prob.slow_factor(0, 0, frame, 0.0) !=
+                        prob.slow_factor(0, 7, frame, 0.0)
+                    ? 1
+                    : 0;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(MixedFaultPlanTest, SplitsFrameAndDeviceTokens) {
+  const MixedFaultPlan mixed =
+      parse_mixed_fault_plan("decode@4,device-lost@1:2+1,corrupt@7", 5);
+  ASSERT_EQ(mixed.frame.specs().size(), 2u);
+  EXPECT_EQ(mixed.frame.specs()[0].kind, FaultKind::kDecodeFail);
+  EXPECT_EQ(mixed.frame.specs()[1].kind, FaultKind::kCorruptLuma);
+  ASSERT_EQ(mixed.device.specs().size(), 1u);
+  EXPECT_EQ(mixed.device.specs()[0].kind, DeviceFaultKind::kDeviceLost);
+  EXPECT_EQ(mixed.frame.seed(), 5u);
+  EXPECT_EQ(mixed.device.seed(), 5u);
+
+  const MixedFaultPlan frame_only = parse_mixed_fault_plan("decode@4", 5);
+  EXPECT_TRUE(frame_only.device.empty());
+  const MixedFaultPlan device_only =
+      parse_mixed_fault_plan("device-hang@0:1+1", 5);
+  EXPECT_TRUE(device_only.frame.empty());
+  const MixedFaultPlan none = parse_mixed_fault_plan("", 5);
+  EXPECT_TRUE(none.frame.empty());
+  EXPECT_TRUE(none.device.empty());
+}
+
 }  // namespace
 }  // namespace fdet::serve

@@ -150,5 +150,86 @@ TEST(DegradationLadder, StepsShedMonotonically) {
                core::CheckError);
 }
 
+TEST(DegradationLadder, ExactThresholdLatenciesNeverFlap) {
+  // The hysteresis edges are strict inequalities: a frame exactly at the
+  // deadline is in budget (no shed), a frame exactly at the recovery
+  // fraction is too close to the edge to climb (streak resets). A stream
+  // oscillating between both edge values therefore never moves the
+  // ladder in either direction.
+  DegradationLadder ladder(
+      DegradeOptions{.recover_after = 2, .recover_fraction = 0.75},
+      /*deadline_ms=*/10.0);
+  ladder.observe(12.0);
+  ASSERT_EQ(ladder.level(), 1);
+  const int shifts_before = ladder.shifts();
+  for (int i = 0; i < 20; ++i) {
+    ladder.observe(10.0);  // exactly the deadline: not a miss
+    ladder.observe(7.5);   // exactly the fraction: streak resets
+  }
+  EXPECT_EQ(ladder.level(), 1);
+  EXPECT_EQ(ladder.shifts(), shifts_before);
+  // One ulp under the fraction on every frame does climb.
+  ladder.observe(7.4);
+  ladder.observe(7.4);
+  EXPECT_EQ(ladder.level(), 0);
+}
+
+TEST(DegradationLadder, ClampsAtBothEndsWithoutCountingShifts) {
+  DegradationLadder ladder(DegradeOptions{.recover_after = 1}, 10.0);
+  // Bottom clamp: recovery at full quality is a no-op, not a shift.
+  ASSERT_EQ(ladder.level(), 0);
+  ladder.observe(1.0);
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_EQ(ladder.shifts(), 0);
+  ladder.apply(false, true, "slo-recover");
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_EQ(ladder.shifts(), 0);
+  EXPECT_STREQ(ladder.last_cause(), "");  // no movement, no cause
+
+  // Top clamp: misses beyond the deepest rung change nothing.
+  for (int i = 0; i < DegradationLadder::max_level(); ++i) {
+    ladder.observe(20.0);
+  }
+  ASSERT_EQ(ladder.level(), DegradationLadder::max_level());
+  const int shifts_at_max = ladder.shifts();
+  ladder.observe(20.0);
+  ladder.apply(true, false, "slo-burn");
+  EXPECT_EQ(ladder.level(), DegradationLadder::max_level());
+  EXPECT_EQ(ladder.shifts(), shifts_at_max);
+}
+
+TEST(DegradationLadder, ApplyPrefersDegradeAndRecordsTheCause) {
+  DegradationLadder ladder(DegradeOptions{}, 10.0);
+  // degrade wins when both signals are set (shed before climb).
+  ladder.apply(true, true, "burn-and-recover");
+  EXPECT_EQ(ladder.level(), 1);
+  EXPECT_STREQ(ladder.last_cause(), "burn-and-recover");
+  ladder.apply(false, true, "recovered");
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_STREQ(ladder.last_cause(), "recovered");
+  EXPECT_EQ(ladder.shifts(), 2);
+}
+
+TEST(DegradationLadder, ApplyResetsTheObserveRecoveryStreak) {
+  // A mid-streak apply() must not leave a stale streak behind: after an
+  // SLO-driven shed, the observe() path needs a full fresh streak to
+  // climb.
+  DegradationLadder ladder(
+      DegradeOptions{.recover_after = 3, .recover_fraction = 0.75},
+      /*deadline_ms=*/10.0);
+  ladder.observe(12.0);
+  ladder.observe(12.0);
+  ASSERT_EQ(ladder.level(), 2);
+  ladder.observe(5.0);
+  ladder.observe(5.0);  // streak at 2 of 3
+  ladder.apply(true, false, "slo-burn");
+  ASSERT_EQ(ladder.level(), 3);
+  ladder.observe(5.0);  // would complete the stale streak
+  EXPECT_EQ(ladder.level(), 3);
+  ladder.observe(5.0);
+  ladder.observe(5.0);
+  EXPECT_EQ(ladder.level(), 2);  // fresh streak of 3 climbs
+}
+
 }  // namespace
 }  // namespace fdet::serve

@@ -7,6 +7,7 @@
 
 #include "core/check.h"
 #include "facegen/dataset.h"
+#include "ingest/lossy.h"
 #include "ingest/mutate.h"
 #include "ingest/registry.h"
 #include "obs/json.h"
@@ -493,6 +494,90 @@ TEST(StreamingService, RejectsUnusableOptions) {
   EXPECT_THROW(service.run(decoder, 0), core::CheckError);
   EXPECT_THROW(service.run(decoder, decoder.frame_count() + 1),
                core::CheckError);
+}
+
+TEST(StreamingService, LossyTransportDropsTagsAndServesTheRest) {
+  obs::Registry registry;
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options(), &registry);
+  const video::MockH264Decoder decoder = test_decoder();
+  const ingest::H264FrameSource inner(decoder);
+  ingest::LossyOptions lossy_options;
+  lossy_options.drop_probability = 0.15;
+  lossy_options.duplicate_probability = 0.15;
+  lossy_options.reorder_probability = 0.25;
+  lossy_options.seed = 21;
+  const ingest::LossyReorderSource source(inner, lossy_options);
+  ASSERT_GT(source.dropped(), 0);
+  ASSERT_GT(source.duplicated(), 0);
+  ASSERT_GT(source.displaced(), 0);
+  const ServiceReport report =
+      service.run(source, source.frame_count());
+
+  // A delivery gap is a typed, counted drop — never a quarantine.
+  EXPECT_EQ(report.missing_frames, source.dropped());
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_GE(report.dropped, report.missing_frames);
+  // Late and duplicate deliveries are served and cause-tagged.
+  EXPECT_GT(report.out_of_order, 0);
+  EXPECT_GT(report.duplicates, 0);
+  int missing_seen = 0;
+  for (const ServedFrame& frame : report.frames) {
+    if (frame.missing) {
+      ++missing_seen;
+      EXPECT_EQ(frame.status, FrameStatus::kDropped);
+      EXPECT_NE(frame.cause.find("missing-frame"), std::string::npos);
+      EXPECT_TRUE(frame.detections.empty());
+    }
+    if (frame.arrival == ingest::FrameArrival::kOutOfOrder &&
+        frame.status == FrameStatus::kOk) {
+      EXPECT_NE(frame.cause.find("out-of-order"), std::string::npos);
+    }
+    if (frame.arrival == ingest::FrameArrival::kDuplicate &&
+        frame.status == FrameStatus::kOk) {
+      EXPECT_NE(frame.cause.find("duplicate-frame"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(missing_seen, report.missing_frames);
+  // The transport damage reaches the metrics registry.
+  bool missing_metric = false;
+  for (const auto& sample : registry.samples()) {
+    missing_metric |= sample.name == "ingest.missing";
+  }
+  EXPECT_TRUE(missing_metric);
+}
+
+TEST(StreamingService, DuplicateDeliveriesServeIdenticalDetections) {
+  StreamingService service(vgpu::DeviceSpec{}, service_cascade(), {},
+                           generous_options());
+  const video::MockH264Decoder decoder = test_decoder();
+  const ingest::H264FrameSource inner(decoder);
+  ingest::LossyOptions lossy_options;
+  lossy_options.duplicate_probability = 0.3;
+  lossy_options.seed = 8;
+  const ingest::LossyReorderSource source(inner, lossy_options);
+  ASSERT_GT(source.duplicated(), 0);
+  const ServiceReport report =
+      service.run(source, source.frame_count());
+
+  int compared = 0;
+  for (std::size_t i = 1; i < report.frames.size(); ++i) {
+    const ServedFrame& dup = report.frames[i];
+    const ServedFrame& first = report.frames[i - 1];
+    if (dup.arrival != ingest::FrameArrival::kDuplicate ||
+        dup.status != FrameStatus::kOk ||
+        first.status != FrameStatus::kOk ||
+        first.degradation_level != dup.degradation_level) {
+      continue;
+    }
+    ++compared;
+    ASSERT_EQ(dup.detections.size(), first.detections.size());
+    for (std::size_t d = 0; d < dup.detections.size(); ++d) {
+      EXPECT_EQ(dup.detections[d].box, first.detections[d].box);
+      EXPECT_EQ(dup.detections[d].score, first.detections[d].score);
+    }
+  }
+  EXPECT_GT(compared, 0);
 }
 
 }  // namespace

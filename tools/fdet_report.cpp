@@ -23,6 +23,13 @@
 //                                          the same direction-aware
 //                                          verdicts as `diff`; exit 2 on
 //                                          regression
+//   fdet_report fleet show <f.json>...     per-tenant QoS table plus
+//                                          fleet-wide fault/batching
+//                                          summary from a fleet chaos
+//                                          record (fdet_chaos fleet)
+//   fdet_report fleet diff <base> <cur>    regression-gates the fleet
+//                                          record (latency/miss growth
+//                                          regresses); exit 2
 //
 // Exit codes: 0 success/gate-clean, 1 usage error, 2 regression gate
 // failed, 3 a run-record operand is missing or corrupt (distinct from 2
@@ -82,6 +89,7 @@ const char* paper_artifact(const std::string& name) {
       {"haar.", "Table I feature combinations"},
       {"softcascade.", "soft-cascade extension (future work)"},
       {"slo.", "serving SLO engine (DESIGN.md §8)"},
+      {"serve.fleet.", "fleet serving (DESIGN.md §12)"},
       {"serve.", "serving layer (chaos invariants)"},
       {"ingest.", "ingest hardening (DESIGN.md §11)"},
       {"obs.overhead", "observability overhead gate"},
@@ -650,6 +658,160 @@ int run_profile(const std::vector<std::string>& operands,
   return 1;
 }
 
+/// Per-tenant rollup of the `serve.fleet.*` family a fleet chaos run
+/// records (serve::FleetScheduler::run): admission, deadline and
+/// failover counters plus the latency percentiles, keyed by the tenant
+/// label.
+struct FleetTenantRollup {
+  std::string cls;
+  double frames = 0.0;
+  double rejects = 0.0;
+  double misses = 0.0;
+  double failovers = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_shed = 0.0;
+};
+
+/// `fdet_report fleet show|diff`: the fleet-serving views over
+/// BENCH_fleet_chaos.json. `show` renders the per-tenant QoS table plus
+/// the fleet-wide fault/batching summary; `diff` reuses the
+/// direction-aware regression gate (latency/miss growth regresses,
+/// exit 2) — the fleet_record_gate ctest target runs it against the
+/// committed baseline.
+int run_fleet(const std::vector<std::string>& operands,
+              const obs::CompareOptions& options, bool show_unchanged) {
+  if (operands.empty()) {
+    std::fprintf(stderr, "fdet_report fleet: missing subcommand "
+                         "(show|diff)\n");
+    return 1;
+  }
+  const std::string& sub = operands[0];
+  const std::vector<std::string> files(operands.begin() + 1, operands.end());
+  if (sub == "diff") {
+    if (files.size() != 2) {
+      std::fprintf(stderr, "fdet_report fleet diff: expected "
+                           "<baseline.json> <current.json>\n");
+      return 1;
+    }
+    obs::RunRecord baseline;
+    obs::RunRecord current;
+    try {
+      baseline = obs::RunRecord::load_file(files[0]);
+      current = obs::RunRecord::load_file(files[1]);
+    } catch (const core::CheckError& error) {
+      std::fprintf(stderr, "fdet_report: cannot load run record: %s\n",
+                   error.what());
+      return 3;
+    }
+    return run_diff(baseline, current, options, show_unchanged);
+  }
+  if (sub != "show") {
+    std::fprintf(stderr, "fdet_report fleet: unknown subcommand '%s'\n",
+                 sub.c_str());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "fdet_report fleet show: no input files\n");
+    return 1;
+  }
+  for (const std::string& path : files) {
+    obs::RunRecord record;
+    try {
+      record = obs::RunRecord::load_file(path);
+    } catch (const core::CheckError& error) {
+      std::fprintf(stderr, "fdet_report: cannot load run record: %s\n",
+                   error.what());
+      return 3;
+    }
+    std::map<std::string, FleetTenantRollup> tenants;
+    std::map<std::string, double> fleet_wide;
+    std::map<std::string, double> device_state;
+    for (const obs::MetricSeries& series : record.metrics) {
+      if (!series.name.starts_with("serve.fleet.")) {
+        continue;
+      }
+      std::string tenant_label;
+      std::string class_label;
+      std::string device_label;
+      for (const auto& [key, value] : series.labels) {
+        if (key == "tenant") {
+          tenant_label = value;
+        } else if (key == "class") {
+          class_label = value;
+        } else if (key == "device") {
+          device_label = value;
+        }
+      }
+      if (!tenant_label.empty()) {
+        FleetTenantRollup& t = tenants[tenant_label];
+        t.cls = class_label;
+        if (series.name == "serve.fleet.frames") {
+          t.frames = series.median;
+        } else if (series.name == "serve.fleet.admission_rejects") {
+          t.rejects = series.median;
+        } else if (series.name == "serve.fleet.deadline_misses") {
+          t.misses = series.median;
+        } else if (series.name == "serve.fleet.failovers") {
+          t.failovers = series.median;
+        } else if (series.name == "serve.fleet.latency_p50_ms") {
+          t.p50_ms = series.median;
+        } else if (series.name == "serve.fleet.latency_p99_ms") {
+          t.p99_ms = series.median;
+        } else if (series.name == "serve.fleet.max_shed_level") {
+          t.max_shed = series.median;
+        }
+      } else if (series.name == "serve.fleet.device.state") {
+        device_state[device_label] = series.median;
+      } else {
+        fleet_wide[series.name.substr(std::string("serve.fleet.").size())] =
+            series.median;
+      }
+    }
+    if (tenants.empty()) {
+      std::fprintf(stderr,
+                   "%s: no serve.fleet.* series — not a fleet chaos record "
+                   "(generate one with `fdet_chaos fleet --record-out=...`)\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("### Fleet serving — `%s` (variant `%s`)\n\n",
+                record.artifact.c_str(), record.variant.c_str());
+    core::Table table({"tenant", "class", "frames", "rejected", "misses",
+                       "failovers", "p50 ms", "p99 ms", "max shed"});
+    for (const auto& [tenant, t] : tenants) {
+      table.add_row({tenant, t.cls, format_number(t.frames),
+                     format_number(t.rejects), format_number(t.misses),
+                     format_number(t.failovers), format_number(t.p50_ms),
+                     format_number(t.p99_ms), format_number(t.max_shed)});
+    }
+    table.print_markdown(std::cout);
+    std::printf("\n");
+    if (!fleet_wide.empty()) {
+      core::Table summary({"fleet-wide", "value"});
+      for (const auto& [name, value] : fleet_wide) {
+        summary.add_row({name, format_number(value)});
+      }
+      summary.print_markdown(std::cout);
+      std::printf("\n");
+    }
+    if (!device_state.empty()) {
+      // DeviceState enum order: 0 healthy, 1 lost, 2 probation.
+      static constexpr const char* kStates[] = {"healthy", "lost",
+                                                "probation"};
+      core::Table devices({"device", "final state"});
+      for (const auto& [dev, state] : device_state) {
+        const int s = static_cast<int>(state);
+        devices.add_row({dev, s >= 0 && s <= 2 ? kStates[s]
+                                               : format_number(state)});
+      }
+      devices.print_markdown(std::cout);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
 /// Synthetic fig5-shaped record for the gate self-check.
 obs::RunRecord synthetic_record() {
   obs::RunRecord record;
@@ -726,6 +888,8 @@ int usage() {
       "       fdet_report flight <flight_dump.json>...\n"
       "       fdet_report profile show <PROFILE_x.json>...\n"
       "       fdet_report profile diff <baseline.json> <current.json>\n"
+      "       fdet_report fleet show <BENCH_fleet_chaos.json>...\n"
+      "       fdet_report fleet diff <baseline.json> <current.json>\n"
       "       fdet_report selftest\n"
       "flags: --threshold=R --mad-mult=M --ignore=prefix1,prefix2\n"
       "       --show-unchanged\n");
@@ -796,6 +960,9 @@ int main(int argc, char** argv) {
     }
     if (command == "profile") {
       return run_profile(operands, options, show_unchanged);
+    }
+    if (command == "fleet") {
+      return run_fleet(operands, options, show_unchanged);
     }
     if (command == "flight") {
       return run_flight(operands);
